@@ -1,0 +1,149 @@
+"""Benches for the section-5 extensions: power, scan design, advising.
+
+The paper names these as future work; DESIGN.md tracks them as part of
+the reproduction's extended scope, so each gets a regenerable artifact.
+"""
+
+from __future__ import annotations
+
+from repro.bad.predictor import BADPredictor, PredictorParameters
+from repro.core.feasibility import FeasibilityCriteria
+from repro.dfg.benchmarks import ar_lattice_filter
+from repro.experiments import experiment1_session
+from repro.library.presets import table1_library
+from repro.search.advisor import advise_partition_count
+
+
+def test_power_performance_frontier(benchmark, save_artifact):
+    """Power versus performance across one partition's design frontier:
+    faster designs burn more milliwatts."""
+    rows = []
+
+    def run():
+        rows.clear()
+        session = experiment1_session(2, 1)
+        preds = session.pruned_predictions()["P1"]
+        for pred in preds:
+            rows.append(
+                (pred.ii_main, pred.latency_main,
+                 round(pred.power_mw.ml, 1))
+            )
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["II    delay  power mW"]
+    for ii, delay, power in rows:
+        lines.append(f"{ii:>4}  {delay:>5}  {power:>8}")
+    save_artifact("extension_power_frontier.txt", "\n".join(lines))
+    # Monotone trend along the pruned Pareto frontier.
+    powers = [p for _ii, _d, p in rows]
+    assert powers == sorted(powers, reverse=True)
+
+
+def test_power_constraint_prunes_fast_designs(benchmark, save_artifact):
+    """A binding power budget removes the fast end of the frontier."""
+    outcome = {}
+
+    def run():
+        free = experiment1_session(2, 2)
+        free_result = free.check("iterative")
+        capped = experiment1_session(2, 2)
+        capped.criteria = FeasibilityCriteria(
+            performance_ns=30_000.0,
+            delay_ns=30_000.0,
+            system_power_mw=free_result.best().system.power_mw.ml * 0.8,
+        )
+        try:
+            capped_result = capped.check("iterative")
+            capped_best = capped_result.best()
+        except Exception:
+            capped_best = None
+        outcome["free"] = free_result.best()
+        outcome["capped"] = capped_best
+        return outcome
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    free = outcome["free"]
+    capped = outcome["capped"]
+    lines = [
+        f"unconstrained: II {free.ii_main}, power "
+        f"{free.system.power_mw.ml:.1f} mW"
+    ]
+    if capped is None:
+        lines.append("with 80% power cap: no feasible implementation")
+    else:
+        lines.append(
+            f"with 80% power cap: II {capped.ii_main}, power "
+            f"{capped.system.power_mw.ml:.1f} mW"
+        )
+        assert capped.system.power_mw.ml < free.system.power_mw.ml
+        assert capped.ii_main >= free.ii_main
+    save_artifact("extension_power_constraint.txt", "\n".join(lines))
+
+
+def test_scan_design_overhead(benchmark, save_artifact):
+    """Design-for-test overhead on area and clock (section-5 testability
+    extension)."""
+    outcome = {}
+
+    def run():
+        graph = ar_lattice_filter()
+        session_args = dict(
+            library=table1_library(),
+        )
+        from repro.bad.styles import (
+            ArchitectureStyle, ClockScheme, OperationTiming,
+        )
+
+        clocks = ClockScheme(300.0, dp_multiplier=10)
+        style = ArchitectureStyle(OperationTiming.SINGLE_CYCLE)
+        plain = BADPredictor(
+            session_args["library"], clocks, style,
+        ).predict_partition(graph)
+        scan = BADPredictor(
+            session_args["library"], clocks, style,
+            params=PredictorParameters(scan_design=True),
+        ).predict_partition(graph)
+        outcome["plain"] = plain
+        outcome["scan"] = scan
+        return outcome
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    plain_area = sum(p.area_total.ml for p in outcome["plain"])
+    scan_area = sum(p.area_total.ml for p in outcome["scan"])
+    overhead_pct = 100.0 * (scan_area / plain_area - 1.0)
+    text = (
+        f"mean predicted area without scan: "
+        f"{plain_area / len(outcome['plain']):.0f} mil^2\n"
+        f"mean predicted area with scan:    "
+        f"{scan_area / len(outcome['scan']):.0f} mil^2\n"
+        f"scan overhead: {overhead_pct:.1f}% of area"
+    )
+    save_artifact("extension_scan_overhead.txt", text)
+    assert 0.0 < overhead_pct < 25.0  # real but modest overhead
+
+
+def test_partition_advisor(benchmark, save_artifact):
+    """The system-level-advisor sweep over partition counts."""
+    outcome = {}
+
+    def run():
+        outcome["advice"] = advise_partition_count(
+            lambda count: experiment1_session(2, count),
+            max_partitions=4,
+        )
+        return outcome
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["rank  option         feasible  II    delay  trials"]
+    for rank, advice in enumerate(outcome["advice"], start=1):
+        lines.append(
+            f"{rank:>4}  {advice.label:<13}  {str(advice.feasible):<8}"
+            f"  {advice.ii_main if advice.feasible else '-':>4}"
+            f"  {advice.delay_main if advice.feasible else '-':>5}"
+            f"  {advice.trials:>6}"
+        )
+    save_artifact("extension_partition_advisor.txt", "\n".join(lines))
+    best = outcome["advice"][0]
+    assert best.feasible
+    assert best.label in ("3 partitions", "4 partitions")

@@ -1,0 +1,89 @@
+"""Figure 7: the design space explored during experiment 1, unpruned.
+
+The paper reran the Table 4 search "requesting to keep all
+implementations (no pruning)": 13 411 designs considered (699 unique) in
+61.40 s, against sub-second pruned runs — the figure is the area-delay
+scatter of that cloud.
+
+This bench replays the same protocol over the 1-, 2- and 3-partition
+schemes, saves the scatter (ASCII + CSV) and checks the keep-all run is
+orders of magnitude more expensive than the pruned one.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments import experiment1_session
+from repro.reporting.figures import ascii_scatter, scatter_csv
+
+
+def test_figure7_design_space(benchmark, save_artifact):
+    outcome = {}
+
+    def run_keep_all():
+        total = unique = 0
+        points = []
+        for count in (1, 2, 3):
+            session = experiment1_session(2, count)
+            result = session.check(
+                "enumeration", prune=False, keep_all=True
+            )
+            total += result.space.total
+            unique += result.space.unique
+            points.extend(result.space.scatter_series("system"))
+        outcome["total"] = total
+        outcome["unique"] = unique
+        outcome["points"] = points
+        return outcome
+
+    benchmark.pedantic(run_keep_all, rounds=1, iterations=1)
+
+    points = outcome["points"]
+    header = (
+        f"Figure 7: designs considered during experiment 1 "
+        f"(no pruning)\n"
+        f"total designs: {outcome['total']}, "
+        f"unique designs: {outcome['unique']}\n"
+        f"(paper: 13411 total, 699 unique)\n"
+    )
+    save_artifact(
+        "figure7_design_space.txt", header + ascii_scatter(points)
+    )
+    save_artifact("figure7_design_space.csv", scatter_csv(points))
+
+    assert outcome["total"] > 10_000  # a genuinely large cloud
+    assert outcome["unique"] < outcome["total"]
+
+
+def test_figure7_pruning_speedup(benchmark, save_artifact):
+    """The 61.4 s vs sub-second contrast behind Figure 7."""
+
+    def timed_runs():
+        session = experiment1_session(2, 2)
+        started = time.perf_counter()
+        pruned = session.check("enumeration", prune=True)
+        pruned_s = time.perf_counter() - started
+
+        session = experiment1_session(2, 2)
+        started = time.perf_counter()
+        unpruned = session.check(
+            "enumeration", prune=False, keep_all=True
+        )
+        unpruned_s = time.perf_counter() - started
+        return pruned, pruned_s, unpruned, unpruned_s
+
+    pruned, pruned_s, unpruned, unpruned_s = benchmark.pedantic(
+        timed_runs, rounds=1, iterations=1
+    )
+    text = (
+        f"pruned:   {pruned.trials:>7} trials in {pruned_s:.3f} s\n"
+        f"keep-all: {unpruned.trials:>7} trials in {unpruned_s:.3f} s\n"
+        f"speed-up: {unpruned_s / max(pruned_s, 1e-9):.1f}x "
+        f"(paper: 61.40 s vs well under a second)"
+    )
+    save_artifact("figure7_pruning_speedup.txt", text)
+    assert unpruned.trials > pruned.trials * 20
+    assert unpruned_s > pruned_s
+    # Pruning must not cost feasible solutions.
+    assert pruned.best().ii_main == unpruned.best().ii_main

@@ -1,0 +1,70 @@
+"""Figure 8: part of the design space of experiment 2, unpruned.
+
+The paper could not keep the whole experiment-2 space ("swap space
+problems") and plots the 1-partition slice only: 21 828 designs (8 764
+unique) in 65.89 s.  This bench replays that slice.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import experiment2_session
+from repro.reporting.figures import ascii_scatter, scatter_csv
+
+
+def test_figure8_design_space(benchmark, save_artifact):
+    outcome = {}
+
+    def run_keep_all():
+        session = experiment2_session(partition_count=1)
+        result = session.check(
+            "enumeration", prune=False, keep_all=True
+        )
+        outcome["result"] = result
+        return result
+
+    benchmark.pedantic(run_keep_all, rounds=1, iterations=1)
+    result = outcome["result"]
+    points = result.space.scatter_series()
+
+    header = (
+        "Figure 8: designs considered during experiment 2, "
+        "1-partition slice (no pruning)\n"
+        f"total designs: {result.space.total}, "
+        f"unique designs: {result.space.unique}\n"
+        "(paper: 21828 total, 8764 unique)\n"
+    )
+    save_artifact(
+        "figure8_design_space.txt", header + ascii_scatter(points)
+    )
+    save_artifact("figure8_design_space.csv", scatter_csv(points))
+
+    assert result.space.total > 200
+    assert result.space.unique <= result.space.total
+
+
+def test_figure8_exp2_space_exceeds_exp1(benchmark, save_artifact):
+    """The faster datapath clock creates more design possibilities —
+    the reason the paper's figure 8 cloud dwarfs figure 7's slice."""
+    from repro.experiments import experiment1_session
+
+    sizes = {}
+
+    def run_both():
+        for name, session in (
+            ("exp1", experiment1_session(2, 1)),
+            ("exp2", experiment2_session(1)),
+        ):
+            result = session.check(
+                "enumeration", prune=False, keep_all=True
+            )
+            sizes[name] = result.space.total
+        return sizes
+
+    benchmark.pedantic(run_both, rounds=1, iterations=1)
+    save_artifact(
+        "figure8_vs_figure7_slice.txt",
+        f"exp1 1-partition cloud: {sizes['exp1']}\n"
+        f"exp2 1-partition cloud: {sizes['exp2']}\n"
+        "(paper: 111-design slice vs 21828-design slice)",
+    )
+    assert sizes["exp2"] > sizes["exp1"]

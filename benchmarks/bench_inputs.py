@@ -1,0 +1,34 @@
+"""Tables 1 and 2: the experiment inputs, reproduced verbatim.
+
+These are inputs rather than results; the bench renders them (so the
+artifact set is complete) and measures the session-construction path
+that consumes them.
+"""
+
+from __future__ import annotations
+
+from repro.chips.presets import mosis_packages
+from repro.experiments import experiment1_session
+from repro.library.presets import table1_library
+from repro.reporting.tables import library_table, package_table
+
+
+def test_table1_library(benchmark, save_artifact):
+    library = benchmark(table1_library)
+    text = library_table(library)
+    save_artifact("table1_library.txt", text)
+    assert "add1" in text and "mul3" in text
+
+
+def test_table2_packages(benchmark, save_artifact):
+    packages = benchmark(mosis_packages)
+    text = package_table(packages)
+    save_artifact("table2_packages.txt", text)
+    assert "64" in text and "84" in text
+
+
+def test_session_construction(benchmark):
+    session = benchmark.pedantic(
+        lambda: experiment1_session(2, 2), rounds=5, iterations=1
+    )
+    assert set(session.partitioning().partitions) == {"P1", "P2"}

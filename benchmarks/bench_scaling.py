@@ -1,0 +1,77 @@
+"""Scaling of the prediction and search machinery with problem size.
+
+The paper's fast-feedback claim rests on prediction being cheap; these
+benches chart how BAD and the search scale with graph size (FFT sweeps)
+and library richness, guarding against regressions that would break the
+interactive-use story.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bad.predictor import BADPredictor
+from repro.bad.styles import ArchitectureStyle, ClockScheme, OperationTiming
+from repro.dfg.benchmarks import fir_filter
+from repro.dfg.benchmarks_ext import fft_graph
+from repro.library.presets import extended_library
+
+
+@pytest.mark.parametrize("points", [4, 8, 16])
+def test_predictor_scaling_fft(benchmark, points):
+    graph = fft_graph(points)
+    predictor = BADPredictor(
+        extended_library(),
+        ClockScheme(300.0),
+        ArchitectureStyle(OperationTiming.MULTI_CYCLE),
+    )
+    preds = benchmark.pedantic(
+        lambda: predictor.predict_partition(graph),
+        rounds=1, iterations=1,
+    )
+    assert preds
+
+
+@pytest.mark.parametrize("taps", [8, 16, 32])
+def test_predictor_scaling_fir(benchmark, taps):
+    graph = fir_filter(taps)
+    predictor = BADPredictor(
+        extended_library(),
+        ClockScheme(300.0, dp_multiplier=10),
+        ArchitectureStyle(OperationTiming.SINGLE_CYCLE),
+    )
+    preds = benchmark.pedantic(
+        lambda: predictor.predict_partition(graph),
+        rounds=1, iterations=1,
+    )
+    assert preds
+
+
+def test_scaling_summary(benchmark, save_artifact):
+    """One artifact charting prediction cost against operation count."""
+    import time
+
+    rows = []
+
+    def run():
+        rows.clear()
+        predictor = BADPredictor(
+            extended_library(),
+            ClockScheme(300.0),
+            ArchitectureStyle(OperationTiming.MULTI_CYCLE),
+        )
+        for points in (2, 4, 8, 16):
+            graph = fft_graph(points)
+            started = time.perf_counter()
+            preds = predictor.predict_partition(graph)
+            elapsed = time.perf_counter() - started
+            rows.append((graph.op_count(), len(preds), elapsed))
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["ops   predictions  seconds"]
+    for ops, count, seconds in rows:
+        lines.append(f"{ops:>4}  {count:>11}  {seconds:>7.3f}")
+    save_artifact("scaling_predictor.txt", "\n".join(lines))
+    # Largest graph still predicts in interactive time.
+    assert rows[-1][2] < 60.0

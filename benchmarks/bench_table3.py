@@ -1,0 +1,67 @@
+"""Table 3: statistics on BAD's predictions for experiment 1.
+
+Paper values (for scale comparison; see EXPERIMENTS.md):
+
+    partitions  total predictions  feasible predictions
+    1           111                5
+    2           207                25
+    3           236                32
+
+"Total" counts every prediction BAD emits; "feasible" those surviving
+the first-level feasibility prune (without the inferior-design filter,
+which the paper reports separately as part of the search).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import experiment1_session
+from repro.reporting.tables import prediction_stats_table
+
+
+def _bad_stats(partition_count: int):
+    session = experiment1_session(
+        package_number=2, partition_count=partition_count
+    )
+    raw = session.predict_all()
+    surviving = session.pruned_predictions(drop_inferior=False)
+    total = sum(len(preds) for preds in raw.values())
+    feasible = sum(len(preds) for preds in surviving.values())
+    return total, feasible
+
+
+def test_table3_bad_statistics(benchmark, save_artifact):
+    stats = {}
+
+    def run_all():
+        for count in (1, 2, 3):
+            stats[count] = _bad_stats(count)
+        return stats
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    text = prediction_stats_table(stats)
+    save_artifact("table3_bad_stats_exp1.txt", text)
+
+    totals = [stats[n][0] for n in (1, 2, 3)]
+    feasibles = [stats[n][1] for n in (1, 2, 3)]
+    # Paper shape: totals grow with partition count, feasible counts too,
+    # and the feasible fraction stays small.
+    assert totals[0] < totals[2] * 2  # same order of magnitude
+    assert all(f >= 1 for f in feasibles)
+    assert feasibles[0] < feasibles[1] <= feasibles[2] * 2
+    assert all(f < t for f, t in zip(feasibles, totals))
+
+
+@pytest.mark.parametrize("count", [1, 2, 3])
+def test_bad_prediction_speed(benchmark, count):
+    """The fast-feedback claim: predicting a whole partitioning's
+    implementation lists takes well under a second."""
+    session = experiment1_session(2, count)
+
+    def predict_fresh():
+        session._prediction_cache.clear()
+        return session.predict_all()
+
+    result = benchmark.pedantic(predict_fresh, rounds=3, iterations=1)
+    assert all(result.values())

@@ -1,0 +1,107 @@
+"""Table 4: experiment 1 results.
+
+Paper rows (II / delay / clock are the reproduction targets' *shape*):
+
+    parts pkg H  CPU   trials feas  II  delay clock
+    1     2   E  0.07  5      1     60  67    312
+    1     2   I  0.06  13     1     60  67    312
+    2     2   E  0.59  156    2     30  57    310  (also 20/79)
+    2     2   I  0.21  9      2     30  57    310
+    2     1   E  0.43  156    2     30  59    310  (also 20/80)
+    2     1   I  0.22  9      2     30  59    310
+    3     2   E  1.98  1050   1     30  77    308
+    3     2   I  0.27  9      1     30  67    308
+"""
+
+from __future__ import annotations
+
+from repro.experiments import experiment1_session
+from repro.reporting.tables import results_table
+
+#: (partition count, package number, heuristic) cells of Table 4.
+CELLS = [
+    (1, 2, "E"), (1, 2, "I"),
+    (2, 2, "E"), (2, 2, "I"),
+    (2, 1, "E"), (2, 1, "I"),
+    (3, 2, "E"), (3, 2, "I"),
+]
+
+_HEURISTIC = {"E": "enumeration", "I": "iterative"}
+
+
+def _run_cell(count, package, letter):
+    session = experiment1_session(
+        package_number=package, partition_count=count
+    )
+    return session.check(heuristic=_HEURISTIC[letter])
+
+
+def test_table4_experiment1(benchmark, save_artifact):
+    entries = []
+
+    def run_all():
+        entries.clear()
+        for count, package, letter in CELLS:
+            result = _run_cell(count, package, letter)
+            entries.append((count, package, letter, result))
+        return entries
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    text = results_table(entries)
+    save_artifact("table4_experiment1.txt", text)
+
+    by_cell = {
+        (c, p, h): r for c, p, h, r in entries
+    }
+    # Every cell finds feasible designs (the paper's rows all do).
+    assert all(r.feasible_trials > 0 for r in by_cell.values())
+
+    # Doubling the chips roughly halves the initiation interval.
+    ii1 = by_cell[(1, 2, "E")].best().ii_main
+    ii2 = by_cell[(2, 2, "E")].best().ii_main
+    ii3 = by_cell[(3, 2, "E")].best().ii_main
+    assert ii2 <= ii1 / 1.5
+    assert ii3 <= ii2
+
+    # 64-pin packaging: same II, no better delay (longer I/O transfers).
+    wide = by_cell[(3, 2, "E")].best()
+    narrow = by_cell[(3, 1, "E")] if (3, 1, "E") in by_cell else None
+    assert narrow is None or narrow.best().ii_main == wide.ii_main
+
+    # The iterative heuristic tries far fewer combinations at 3 parts.
+    assert (
+        by_cell[(3, 2, "I")].trials < by_cell[(3, 2, "E")].trials
+    )
+
+
+def test_table4_pin_count_sensitivity(benchmark, save_artifact):
+    """The package-1 vs package-2 comparison rows of Table 4."""
+    entries = []
+
+    def run_all():
+        entries.clear()
+        for package in (2, 1):
+            for count in (2, 3):
+                result = _run_cell(count, package, "E")
+                entries.append((count, package, "E", result))
+        return entries
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    save_artifact("table4_pin_sensitivity.txt", results_table(entries))
+    by_cell = {(c, p): r for c, p, _h, r in entries}
+    for count in (2, 3):
+        wide = by_cell[(count, 2)].best()
+        narrow = by_cell[(count, 1)].best()
+        # Packaging never changes the achievable initiation interval
+        # (the paper's rows agree); the delay moves with the pad-area /
+        # pin-bandwidth trade — the paper's designs paid in transfer
+        # time, ours pay either in transfer time (3 partitions) or die
+        # area (2 partitions).
+        assert narrow.ii_main == wide.ii_main
+        assert narrow.report.feasible and wide.report.feasible
+    # Where the transfer effect dominates (3 partitions), the 64-pin
+    # package shows the paper's "slight increase in the system delay".
+    assert (
+        by_cell[(3, 1)].best().delay_main
+        >= by_cell[(3, 2)].best().delay_main
+    )

@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper and writes the
+rendered artifact to ``benchmarks/results/`` so EXPERIMENTS.md can be
+refreshed from a single ``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_artifact(results_dir):
+    """Write one rendered table/figure and echo it to the terminal."""
+
+    def _save(name: str, text: str) -> None:
+        path = results_dir / name
+        path.write_text(text + "\n")
+        print(f"\n=== {name} ===")
+        print(text)
+
+    return _save

@@ -1,0 +1,72 @@
+"""Quickstart: partition the AR lattice filter onto two chips.
+
+Replays the paper's experiment-1 protocol on its Figure 6 benchmark: a
+two-partition horizontal cut, one MOSIS 84-pin chip per partition, hard
+constraints of 30 us on performance and system delay, and the iterative
+(Figure 5) search heuristic.  Prints the feasible designs and the
+section-3.1-style synthesis guidelines for the best one.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ArchitectureStyle,
+    ChopSession,
+    ClockScheme,
+    FeasibilityCriteria,
+    OperationTiming,
+    ar_lattice_filter,
+    horizontal_cut,
+    mosis_package,
+    table1_library,
+)
+from repro.reporting import design_guidelines, results_table
+
+
+def main() -> None:
+    session = ChopSession(
+        graph=ar_lattice_filter(),
+        library=table1_library(),
+        # Main clock 300 ns; datapath clock 10x slower; transfer clock
+        # at main speed (the paper's experiment-1 clocking).
+        clocks=ClockScheme(300.0, dp_multiplier=10, transfer_multiplier=1),
+        style=ArchitectureStyle(OperationTiming.SINGLE_CYCLE),
+        criteria=FeasibilityCriteria(
+            performance_ns=30_000.0, delay_ns=30_000.0
+        ),
+    )
+    session.add_chip("chip1", mosis_package(2))
+    session.add_chip("chip2", mosis_package(2))
+
+    partitions = horizontal_cut(session.graph, 2)
+    session.set_partitions(
+        partitions, {"P1": "chip1", "P2": "chip2"}
+    )
+
+    print("Tentative partitioning:")
+    for partition in partitions:
+        print(f"  {partition.name}: {len(partition)} operations")
+    print()
+
+    result = session.check(heuristic="iterative")
+    print(
+        f"Searched {result.trials} partitioning implementation trials "
+        f"in {result.cpu_seconds:.2f} s; "
+        f"{result.feasible_trials} feasible."
+    )
+    print()
+    print("Feasible, non-inferior designs:")
+    print(results_table([(2, 2, "I", result)]))
+    print()
+
+    best = result.best()
+    if best is None:
+        print("No feasible implementation; relax the constraints.")
+        return
+    print(design_guidelines(best))
+
+
+if __name__ == "__main__":
+    main()

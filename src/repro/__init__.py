@@ -1,0 +1,180 @@
+"""repro — a reproduction of CHOP, the constraint-driven system-level
+partitioner of Kucukcakar & Parker (DAC 1991).
+
+Quickstart::
+
+    from repro import (
+        ChopSession, FeasibilityCriteria, ClockScheme, ArchitectureStyle,
+        OperationTiming, ar_lattice_filter, table1_library, mosis_package,
+        horizontal_cut,
+    )
+
+    session = ChopSession(
+        graph=ar_lattice_filter(),
+        library=table1_library(),
+        clocks=ClockScheme(300.0, dp_multiplier=10),
+        style=ArchitectureStyle(OperationTiming.SINGLE_CYCLE),
+        criteria=FeasibilityCriteria(performance_ns=30_000, delay_ns=30_000),
+    )
+    session.add_chip("chip1", mosis_package(2))
+    session.add_chip("chip2", mosis_package(2))
+    parts = horizontal_cut(session.graph, 2)
+    session.set_partitions(parts, {"P1": "chip1", "P2": "chip2"})
+    result = session.check(heuristic="iterative")
+    for design in result.non_inferior():
+        print(design.row())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from repro.errors import (
+    ChipError,
+    ChopError,
+    InfeasibleError,
+    LibraryError,
+    PartitioningError,
+    PredictionError,
+    SpecificationError,
+)
+from repro.stats import ConstraintCheck, Triplet
+from repro.dfg import (
+    DataFlowGraph,
+    GraphBuilder,
+    OpType,
+    Operation,
+    Value,
+    ar_lattice_filter,
+    dct8,
+    differential_equation,
+    elliptic_wave_filter,
+    fft_graph,
+    fir_filter,
+    parse_spec,
+    unroll_loop,
+    validate_graph,
+)
+from repro.library import (
+    Cell,
+    Component,
+    ComponentLibrary,
+    ModuleSet,
+    extended_library,
+    table1_library,
+)
+from repro.chips import (
+    Chip,
+    ChipPackage,
+    PinBudget,
+    mosis_package,
+    mosis_packages,
+    pin_budget,
+)
+from repro.memory import MemoryModule
+from repro.bad import (
+    ArchitectureStyle,
+    BADPredictor,
+    ClockScheme,
+    DesignPrediction,
+    OperationTiming,
+    PredictorParameters,
+)
+from repro.core import (
+    ChopSession,
+    FeasibilityCriteria,
+    FeasibilityReport,
+    Partition,
+    Partitioning,
+    SystemPrediction,
+    evaluate_system,
+    horizontal_cut,
+    integrate,
+    single_partition,
+)
+from repro.search import (
+    Advice,
+    DesignSpace,
+    FeasibleDesign,
+    SearchResult,
+    advise_memory_assignment,
+    advise_partition_count,
+    enumeration_search,
+    iterative_search,
+    level1_prune,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "ChopError",
+    "SpecificationError",
+    "LibraryError",
+    "ChipError",
+    "PartitioningError",
+    "PredictionError",
+    "InfeasibleError",
+    # stats
+    "Triplet",
+    "ConstraintCheck",
+    # dfg
+    "DataFlowGraph",
+    "GraphBuilder",
+    "OpType",
+    "Operation",
+    "Value",
+    "ar_lattice_filter",
+    "elliptic_wave_filter",
+    "fir_filter",
+    "differential_equation",
+    "dct8",
+    "fft_graph",
+    "parse_spec",
+    "unroll_loop",
+    "validate_graph",
+    # library
+    "Cell",
+    "Component",
+    "ComponentLibrary",
+    "ModuleSet",
+    "table1_library",
+    "extended_library",
+    # chips
+    "Chip",
+    "ChipPackage",
+    "PinBudget",
+    "pin_budget",
+    "mosis_package",
+    "mosis_packages",
+    # memory
+    "MemoryModule",
+    # bad
+    "ArchitectureStyle",
+    "BADPredictor",
+    "ClockScheme",
+    "DesignPrediction",
+    "OperationTiming",
+    "PredictorParameters",
+    # core
+    "ChopSession",
+    "FeasibilityCriteria",
+    "FeasibilityReport",
+    "Partition",
+    "Partitioning",
+    "SystemPrediction",
+    "evaluate_system",
+    "horizontal_cut",
+    "integrate",
+    "single_partition",
+    # search
+    "Advice",
+    "DesignSpace",
+    "FeasibleDesign",
+    "SearchResult",
+    "advise_memory_assignment",
+    "advise_partition_count",
+    "enumeration_search",
+    "iterative_search",
+    "level1_prune",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""BAD — the Behavioral Area-Delay predictor embedded in CHOP.
+
+The paper embeds BAD [Kucukcakar & Parker 1990] as the per-partition
+predictor: given one partition of the behavioral specification, a
+component library and an architecture style, BAD enumerates design styles
+(pipelined / nonpipelined), module sets and serial-parallel trade-offs,
+and predicts — as (lb, ml, ub) triplets — the area consumed by functional
+units, registers, multiplexers, PLA controller and standard-cell wiring,
+the initiation interval and latency, the clock-cycle overhead, and the
+memory bandwidth per block (section 2.4).
+
+BAD's internals were published separately and are not available; this
+package is a from-scratch predictor with the same interface and axes (see
+DESIGN.md, "Substitutions").
+"""
+
+from repro.bad.styles import (
+    ArchitectureStyle,
+    ClockScheme,
+    OperationTiming,
+)
+from repro.bad.prediction import AreaBreakdown, DesignPrediction
+from repro.bad.predictor import BADPredictor, PredictorParameters
+
+__all__ = [
+    "ArchitectureStyle",
+    "ClockScheme",
+    "OperationTiming",
+    "AreaBreakdown",
+    "DesignPrediction",
+    "BADPredictor",
+    "PredictorParameters",
+]

@@ -1,0 +1,108 @@
+"""PLA-based controller area and delay model.
+
+BAD predicts "PLA-based controller area ... as well as the additional
+delays introduced to the clock cycle (register, multiplexer, wiring and
+PLA delays)" (section 2.4), and CHOP reuses the same PLA model for
+data-transfer-module controllers: "the wait and data transfer times are
+used to predict the number of inputs, outputs and product terms of a PLA
+... from which PLA size and delay are predicted by the same methods used
+in BAD" (section 2.5).
+
+The model is the standard two-plane PLA geometry: the AND plane is
+``2 * inputs`` columns by ``terms`` rows, the OR plane ``outputs`` columns
+by ``terms`` rows, each crosspoint one cell.  Delay grows with the plane
+dimensions (long poly lines), modelled affinely.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import PredictionError
+from repro.stats import Triplet
+
+
+@dataclass(frozen=True, slots=True)
+class PlaParameters:
+    """Technology constants for the PLA model (3-micron defaults)."""
+
+    #: Area of one crosspoint cell in mil^2.
+    cell_area_mil2: float = 1.1
+    #: Fixed peripheral area (drivers, sense) in mil^2.
+    peripheral_area_mil2: float = 300.0
+    #: Fixed evaluation delay in ns.
+    base_delay_ns: float = 8.0
+    #: Delay per input column in ns.
+    delay_per_input_ns: float = 0.35
+    #: Delay per product-term row in ns.
+    delay_per_term_ns: float = 0.08
+    #: Relative uncertainty bounds applied to the area estimate.
+    area_rel_lb: float = 0.88
+    area_rel_ub: float = 1.15
+
+
+@dataclass(frozen=True, slots=True)
+class PlaEstimate:
+    """Size and speed of one predicted PLA."""
+
+    inputs: int
+    outputs: int
+    product_terms: int
+    area_mil2: Triplet
+    delay_ns: float
+
+
+def pla_estimate(
+    inputs: int,
+    outputs: int,
+    product_terms: int,
+    params: PlaParameters = PlaParameters(),
+) -> PlaEstimate:
+    """Area/delay of a PLA with the given logical dimensions."""
+    if inputs < 0 or outputs <= 0 or product_terms <= 0:
+        raise PredictionError(
+            f"invalid PLA dimensions: {inputs} inputs, {outputs} outputs, "
+            f"{product_terms} terms"
+        )
+    columns = 2 * inputs + outputs
+    core = columns * product_terms * params.cell_area_mil2
+    most_likely = core + params.peripheral_area_mil2
+    area = Triplet.spread(most_likely, params.area_rel_lb, params.area_rel_ub)
+    delay = (
+        params.base_delay_ns
+        + params.delay_per_input_ns * inputs
+        + params.delay_per_term_ns * product_terms
+    )
+    return PlaEstimate(
+        inputs=inputs,
+        outputs=outputs,
+        product_terms=product_terms,
+        area_mil2=area,
+        delay_ns=delay,
+    )
+
+
+def datapath_controller(
+    latency_cycles: int,
+    operator_count: int,
+    register_words: int,
+    mux_count: int,
+    value_width: int,
+    params: PlaParameters = PlaParameters(),
+) -> PlaEstimate:
+    """Controller for one processing unit (partition implementation).
+
+    Inputs: state register (``log2`` of the step count) plus two external
+    status/handshake lines.  Outputs: one enable per operator, one load
+    per register word, one select line per word-wide mux group.  Product
+    terms: one per control step plus decode sharing.
+    """
+    if latency_cycles <= 0:
+        raise PredictionError("controller needs at least one control step")
+    state_bits = max(1, math.ceil(math.log2(latency_cycles + 1)))
+    inputs = state_bits + 2
+    mux_groups = max(0, mux_count // max(1, value_width))
+    outputs = max(1, operator_count + register_words + mux_groups)
+    terms = latency_cycles + max(1, outputs // 2)
+    return pla_estimate(inputs, outputs, terms, params)

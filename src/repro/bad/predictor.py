@@ -1,0 +1,520 @@
+"""The BAD predictor facade.
+
+:class:`BADPredictor` generates the per-partition prediction lists CHOP
+searches over.  For one partition it enumerates
+
+* every module set the library offers for the partition's operation
+  types (filtered by the datapath cycle under the single-cycle style),
+* every allocation along the serial-parallel frontier,
+* the nonpipelined design, and the tightest pipelined design each
+  allocation sustains (a pipelined design run slower than its hardware
+  allows is dominated by construction, so BAD does not emit it),
+
+and predicts the full area breakdown, timing and memory bandwidth for
+each, deduplicating identical design points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.bad.allocation import (
+    allocation_candidates,
+    mux_requirement,
+    partition_resource_model,
+    register_bits,
+    register_requirement,
+)
+from repro.bad.controller import PlaParameters, datapath_controller
+from repro.bad.power import PowerParameters, power_estimate
+from repro.bad.prediction import AreaBreakdown, DesignPrediction
+from repro.bad.scheduling import Schedule, list_schedule
+from repro.bad.styles import ArchitectureStyle, ClockScheme, OperationTiming
+from repro.bad.wiring import WiringParameters, wiring_estimate
+from repro.dfg.graph import DataFlowGraph
+from repro.dfg.ops import MEMORY_OP_TYPES, OpType
+from repro.errors import PredictionError
+from repro.library.library import ComponentLibrary, ModuleSet
+from repro.memory.access import memory_access_profile
+from repro.memory.module import MemoryModule
+from repro.stats import Triplet
+from repro.units import ceil_div, cycles_for_delay
+
+
+@dataclass(frozen=True, slots=True)
+class PredictorParameters:
+    """Tunable constants of the prediction model.
+
+    The relative bounds widen each most-likely estimate into its triplet;
+    functional units are known library data (narrow), registers and muxes
+    depend on binding details (moderate), wiring is pre-layout (wide, set
+    in :class:`~repro.bad.wiring.WiringParameters`).
+    """
+
+    max_total_units: int = 64
+    functional_rel_lb: float = 0.98
+    functional_rel_ub: float = 1.04
+    storage_rel_lb: float = 0.92
+    storage_rel_ub: float = 1.10
+    #: Discount on the naive mux-tree count for binder wire sharing; see
+    #: :func:`repro.bad.allocation.mux_requirement`.
+    mux_sharing_factor: float = 0.55
+    #: Allow dependent single-cycle operations to chain within one
+    #: datapath cycle.  Off, every operation is aligned to a cycle
+    #: boundary — the ablation showing why a slow datapath clock wastes
+    #: fast adders.
+    enable_chaining: bool = True
+    pla: PlaParameters = field(default_factory=PlaParameters)
+    wiring: WiringParameters = field(default_factory=WiringParameters)
+    power: PowerParameters = field(default_factory=PowerParameters)
+    #: Include design-for-test overhead (the paper's section-5
+    #: testability extension): one scan mux per register bit, extra
+    #: controller terms for scan control, and a small clock-path delay.
+    scan_design: bool = False
+    #: Extra product terms the scan controller needs, as a fraction of
+    #: the base controller's terms.
+    scan_term_fraction: float = 0.05
+    #: Delay the scan mux adds in front of every register, ns.
+    scan_delay_ns: float = 1.5
+
+
+class BADPredictor:
+    """Behavioral area-delay predictor for one library/style/clock setup."""
+
+    def __init__(
+        self,
+        library: ComponentLibrary,
+        clocks: ClockScheme,
+        style: ArchitectureStyle,
+        memories: Optional[Mapping[str, MemoryModule]] = None,
+        params: Optional[PredictorParameters] = None,
+    ) -> None:
+        self.library = library
+        self.clocks = clocks
+        self.style = style
+        self.memories = dict(memories or {})
+        self.params = params or PredictorParameters()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def predict_partition(
+        self,
+        graph: DataFlowGraph,
+        op_ids: Optional[Iterable[str]] = None,
+        name: str = "P1",
+        input_arrivals: Optional[Mapping[str, int]] = None,
+    ) -> List[DesignPrediction]:
+        """All predicted implementations of one partition.
+
+        ``op_ids`` selects the partition's operations; ``None`` means the
+        whole graph.  ``input_arrivals`` optionally maps primary-input
+        value ids to arrival times in datapath cycles (the section-5
+        extension); by default all inputs are available at cycle 0.
+        Returns predictions sorted by the paper's ordering (initiation
+        interval, then delay), deduplicated on the design point (module
+        set, operators, II, latency, style).
+        """
+        sub = (
+            graph.subgraph_ops(op_ids) if op_ids is not None else graph
+        )
+        if sub.op_count() == 0:
+            raise PredictionError(f"partition {name!r} is empty")
+        ready = self._ready_times(sub, input_arrivals)
+        op_class, counts = partition_resource_model(sub)
+
+        predictions: Dict[Tuple, DesignPrediction] = {}
+        # Module sets with identical cycle counts and (when chaining)
+        # identical delays produce identical schedules; cache them so a
+        # rich library does not re-run the list scheduler needlessly.
+        schedule_cache: Dict[Tuple, Schedule] = {}
+        for module_set in self._module_sets(sub):
+            duration = self._durations(sub, module_set)
+            delay_ns, cycle_ns = self._chaining_model(sub, module_set)
+            if duration and max(duration.values()) > 1:
+                # A multi-cycle memory access forbids chaining alignment.
+                delay_ns, cycle_ns = None, None
+            busy_cycles: Dict[str, int] = {}
+            for op_id, cycles in duration.items():
+                cls = op_class[op_id]
+                busy_cycles[cls] = busy_cycles.get(cls, 0) + cycles
+            timing_key: Tuple = (
+                tuple(sorted(duration.items())),
+                tuple(sorted(delay_ns.items())) if delay_ns else None,
+            )
+            for allocation in allocation_candidates(
+                counts, self.params.max_total_units, busy_cycles=busy_cycles
+            ):
+                capacities = self._capacities(allocation)
+                cache_key = (
+                    timing_key, tuple(sorted(capacities.items()))
+                )
+                schedule = schedule_cache.get(cache_key)
+                if schedule is None:
+                    schedule = list_schedule(
+                        sub, duration, op_class, capacities,
+                        delay_ns=delay_ns, cycle_ns=cycle_ns,
+                        ready=ready,
+                    )
+                    schedule_cache[cache_key] = schedule
+                for prediction in self._designs_for_schedule(
+                    name, sub, module_set, allocation, schedule
+                ):
+                    key = self._dedup_key(prediction)
+                    existing = predictions.get(key)
+                    if (
+                        existing is None
+                        or prediction.area_total.ml < existing.area_total.ml
+                    ):
+                        predictions[key] = prediction
+        result = sorted(predictions.values(), key=DesignPrediction.sort_key)
+        if not result:
+            raise PredictionError(
+                f"no implementations predicted for partition {name!r}"
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # enumeration helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _ready_times(
+        sub: DataFlowGraph,
+        input_arrivals: Optional[Mapping[str, int]],
+    ) -> Optional[Dict[str, int]]:
+        """Per-operation earliest starts from input arrival times."""
+        if not input_arrivals:
+            return None
+        known = {v.id for v in sub.primary_inputs()}
+        unknown = set(input_arrivals) - known
+        if unknown:
+            raise PredictionError(
+                f"arrival times reference non-input values: "
+                f"{sorted(unknown)[:5]}"
+            )
+        ready: Dict[str, int] = {}
+        for value_id, arrival in input_arrivals.items():
+            if arrival < 0:
+                raise PredictionError(
+                    f"input {value_id!r} has negative arrival time"
+                )
+            for consumer in sub.consumers(value_id):
+                ready[consumer] = max(ready.get(consumer, 0), arrival)
+        return ready
+
+    def _module_sets(self, sub: DataFlowGraph) -> List[ModuleSet]:
+        compute_types = sorted(
+            {
+                op.op_type
+                for op in sub
+                if op.op_type not in MEMORY_OP_TYPES
+            },
+            key=lambda t: t.value,
+        )
+        if not compute_types:
+            # A pure-memory partition still needs a (trivial) module set.
+            return [ModuleSet.of({})]
+        max_delay = None
+        if self.style.timing is OperationTiming.SINGLE_CYCLE:
+            max_delay = self.clocks.dp_cycle_ns
+        return self.library.module_sets(compute_types, max_delay)
+
+    def _durations(
+        self, sub: DataFlowGraph, module_set: ModuleSet
+    ) -> Dict[str, int]:
+        dp = self.clocks.dp_cycle_ns
+        duration: Dict[str, int] = {}
+        for op in sub:
+            if op.op_type in MEMORY_OP_TYPES:
+                module = self.memories.get(op.memory_block or "")
+                if module is None:
+                    raise PredictionError(
+                        f"operation {op.id!r} accesses unknown memory block "
+                        f"{op.memory_block!r}"
+                    )
+                duration[op.id] = cycles_for_delay(module.access_time_ns, dp)
+                continue
+            component = module_set.component(op.op_type)
+            if self.style.timing is OperationTiming.SINGLE_CYCLE:
+                duration[op.id] = 1
+            else:
+                duration[op.id] = cycles_for_delay(component.delay_ns, dp)
+        return duration
+
+    def _chaining_model(
+        self, sub: DataFlowGraph, module_set: ModuleSet
+    ) -> Tuple[Optional[Dict[str, float]], Optional[float]]:
+        """Per-operation delays for single-cycle chaining, if applicable.
+
+        Under the single-cycle style a long datapath cycle would waste
+        most of its span on a fast adder; BAD chains dependent operations
+        within the cycle instead ("additional delays introduced to the
+        clock cycle" are handled separately).  The multi-cycle style never
+        chains — operations are aligned to cycle boundaries.
+        """
+        if self.style.timing is not OperationTiming.SINGLE_CYCLE:
+            return None, None
+        if not self.params.enable_chaining:
+            return None, None
+        delays: Dict[str, float] = {}
+        for op in sub:
+            if op.op_type in MEMORY_OP_TYPES:
+                module = self.memories.get(op.memory_block or "")
+                assert module is not None  # checked in _durations
+                delays[op.id] = module.access_time_ns
+            else:
+                delays[op.id] = module_set.component(op.op_type).delay_ns
+        return delays, self.clocks.dp_cycle_ns
+
+    def _capacities(self, allocation: Mapping[str, int]) -> Dict[str, int]:
+        capacities: Dict[str, int] = {}
+        for cls, units in allocation.items():
+            if cls.startswith("mem:"):
+                block = cls[len("mem:") :]
+                module = self.memories.get(block)
+                if module is None:
+                    raise PredictionError(
+                        f"unknown memory block {block!r} in allocation"
+                    )
+                capacities[cls] = min(units, module.ports)
+            else:
+                capacities[cls] = units
+        return capacities
+
+    def _designs_for_schedule(
+        self,
+        name: str,
+        sub: DataFlowGraph,
+        module_set: ModuleSet,
+        allocation: Mapping[str, int],
+        schedule: Schedule,
+    ) -> List[DesignPrediction]:
+        designs: List[DesignPrediction] = []
+        latency = max(schedule.latency, 1)
+        if self.style.allow_nonpipelined:
+            designs.append(
+                self._build_prediction(
+                    name, sub, module_set, allocation, schedule,
+                    ii_dp=latency, pipelined=False,
+                )
+            )
+        if self.style.allow_pipelined and latency > 1:
+            ii = self._min_pipeline_ii(schedule)
+            if ii < latency:
+                designs.append(
+                    self._build_prediction(
+                        name, sub, module_set, allocation, schedule,
+                        ii_dp=ii, pipelined=True,
+                    )
+                )
+        return designs
+
+    @staticmethod
+    def _min_pipeline_ii(schedule: Schedule) -> int:
+        """Smallest initiation interval the allocation sustains.
+
+        Work conservation bounds the interval from below: a class with
+        ``busy`` unit-cycles on ``cap`` units needs ``ceil(busy/cap)``
+        cycles per iteration, so the scan starts there instead of at 1.
+        Modulo feasibility is not monotone in the interval, so a bounded
+        window above the bound is probed; past it the nonpipelined
+        design (always emitted separately) covers the point.
+        """
+        latency = max(schedule.latency, 1)
+        busy: Dict[str, int] = {}
+        for op_id, begin in schedule.start.items():
+            cls = schedule.resource_class[op_id]
+            busy[cls] = busy.get(cls, 0) + schedule.duration[op_id]
+        lower = max(
+            (
+                ceil_div(total, schedule.capacities[cls])
+                for cls, total in busy.items()
+            ),
+            default=1,
+        )
+        window = 128
+        for ii in range(max(1, lower), min(latency, lower + window) + 1):
+            if schedule.pipeline_feasible(ii):
+                return ii
+        return latency
+
+    # ------------------------------------------------------------------
+    # prediction assembly
+    # ------------------------------------------------------------------
+    def _build_prediction(
+        self,
+        name: str,
+        sub: DataFlowGraph,
+        module_set: ModuleSet,
+        allocation: Mapping[str, int],
+        schedule: Schedule,
+        ii_dp: int,
+        pipelined: bool,
+    ) -> DesignPrediction:
+        params = self.params
+        width = self._dominant_width(sub)
+        op_class, _counts = partition_resource_model(sub)
+
+        # Charge the units the schedule actually needs, not the raw
+        # allocation: chaining and slack often leave allocated units
+        # never used concurrently, and synthesis instantiates only the
+        # peak (pipelined designs peak across overlapped iterations).
+        if pipelined:
+            effective = schedule.pipeline_capacities(ii_dp)
+        else:
+            profile = schedule.usage_profile()
+            effective = {
+                cls: max(usage, default=0) or 1
+                for cls, usage in profile.items()
+            }
+
+        interval = ii_dp if pipelined else max(schedule.latency, 1)
+        reg_words = register_requirement(sub, schedule, interval)
+        reg_bits = register_bits(sub, schedule, interval)
+        muxes = mux_requirement(
+            sub, effective, op_class, reg_words, width,
+            sharing_factor=params.mux_sharing_factor,
+        )
+        if params.scan_design:
+            # Design-for-test: a scan path threads every register bit
+            # through a 2:1 mux.
+            muxes += reg_bits
+
+        functional_ml = 0.0
+        operator_count = 0
+        for cls, units in effective.items():
+            if cls.startswith("mem:"):
+                continue  # memory area belongs to the memory block
+            component = module_set.component(OpType(cls))
+            functional_ml += units * component.area_for_width(width)
+            operator_count += units
+        functional = Triplet.spread(
+            functional_ml, params.functional_rel_lb, params.functional_rel_ub
+        )
+        registers = Triplet.spread(
+            self.library.register.area_for_bits(reg_bits),
+            params.storage_rel_lb,
+            params.storage_rel_ub,
+        ) if reg_bits else Triplet.zero()
+        multiplexers = Triplet.spread(
+            self.library.mux.area_for_bits(muxes),
+            params.storage_rel_lb,
+            params.storage_rel_ub,
+        ) if muxes else Triplet.zero()
+
+        controller = datapath_controller(
+            latency_cycles=max(schedule.latency, 1),
+            operator_count=max(operator_count, 1),
+            register_words=reg_words,
+            mux_count=muxes,
+            value_width=width,
+            params=params.pla,
+        )
+        if params.scan_design:
+            from repro.bad.controller import pla_estimate
+
+            extra_terms = max(
+                1,
+                int(controller.product_terms * params.scan_term_fraction),
+            )
+            controller = pla_estimate(
+                controller.inputs,
+                controller.outputs + 1,  # scan-enable line
+                controller.product_terms + extra_terms,
+                params.pla,
+            )
+
+        active_ml = (
+            functional.ml
+            + registers.ml
+            + multiplexers.ml
+            + controller.area_mil2.ml
+        )
+        cell_count = (
+            max(operator_count, 1)
+            + reg_words
+            + ceil_div(muxes, max(width, 1))
+            + 1  # the controller
+        )
+        wiring = wiring_estimate(active_ml, cell_count, params.wiring)
+
+        overhead = (
+            self.library.register.delay_ns
+            + (self.library.mux.delay_ns if muxes else 0.0)
+            + wiring.delay_ns
+            + controller.delay_ns
+        )
+        if params.scan_design:
+            overhead += params.scan_delay_ns
+
+        profile = memory_access_profile(sub, sub.operations)
+        bandwidth = (
+            profile.bandwidth_bits(self.memories) if profile.blocks else {}
+        )
+
+        unit_area_by_class: Dict[str, float] = {}
+        busy_by_class: Dict[str, int] = {}
+        for an_op_id, cls in op_class.items():
+            cycles = schedule.duration[an_op_id]
+            busy_by_class[cls] = busy_by_class.get(cls, 0) + cycles
+            if cls.startswith("mem:") or cls in unit_area_by_class:
+                continue
+            component = module_set.component(OpType(cls))
+            unit_area_by_class[cls] = component.area_for_width(width)
+        power = power_estimate(
+            functional_area_by_class=unit_area_by_class,
+            busy_cycles_by_class=busy_by_class,
+            ii_dp=ii_dp,
+            dp_cycle_ns=self.clocks.dp_cycle_ns,
+            register_bits=reg_bits,
+            mux_count=muxes,
+            controller_terms=controller.product_terms,
+            active_area_mil2=active_ml,
+            params=params.power,
+        )
+
+        return DesignPrediction(
+            partition=name,
+            module_set=module_set,
+            timing=self.style.timing,
+            pipelined=pipelined,
+            operators=dict(effective),
+            ii_dp=ii_dp,
+            latency_dp=max(schedule.latency, 1),
+            ii_main=self.clocks.dp_cycles_to_main(ii_dp),
+            latency_main=self.clocks.dp_cycles_to_main(
+                max(schedule.latency, 1)
+            ),
+            register_bits=reg_bits,
+            register_words=reg_words,
+            mux_count=muxes,
+            area=AreaBreakdown(
+                functional_units=functional,
+                registers=registers,
+                multiplexers=multiplexers,
+                controller=controller.area_mil2,
+                wiring=wiring.area_mil2,
+            ),
+            controller=controller,
+            clock_overhead_ns=overhead,
+            memory_bandwidth_bits=bandwidth,
+            input_bits=sum(v.width for v in sub.primary_inputs()),
+            output_bits=sum(v.width for v in sub.primary_outputs()),
+            power_mw=power.total_mw,
+        )
+
+    @staticmethod
+    def _dominant_width(sub: DataFlowGraph) -> int:
+        widths = [v.width for v in sub.values.values()]
+        return max(widths) if widths else 1
+
+    @staticmethod
+    def _dedup_key(prediction: DesignPrediction) -> Tuple:
+        return (
+            prediction.module_set.label,
+            tuple(sorted(prediction.operators.items())),
+            prediction.ii_main,
+            prediction.latency_main,
+            prediction.pipelined,
+        )

@@ -1,0 +1,349 @@
+"""Operation scheduling for the predictor.
+
+Implements the classic scheduling toolbox BAD's predictions rest on:
+ASAP/ALAP levels, resource-constrained list scheduling with critical-path
+urgency, and modulo-resource accounting for pipelined designs with a
+chosen initiation interval (the Sehwa-style pipeline model the paper
+builds on — Park & Parker 1988, reference [8]).
+
+All times here are in **datapath cycles**; conversion to main-clock cycles
+happens in the predictor.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.dfg.graph import DataFlowGraph
+from repro.errors import PredictionError
+
+
+def asap_schedule(
+    graph: DataFlowGraph,
+    duration: Mapping[str, int],
+    ready: Optional[Mapping[str, int]] = None,
+) -> Dict[str, int]:
+    """Earliest start time of each operation, resources unconstrained.
+
+    ``ready`` gives per-operation earliest start times (in cycles), used
+    to model inputs with unique arrival times — the classic model assumes
+    all inputs available at cycle 0 (paper section 2.3); the extension of
+    section 5 relaxes that.
+    """
+    _check_durations(graph, duration)
+    start: Dict[str, int] = {}
+    for op_id in graph.topological_order():
+        earliest = ready.get(op_id, 0) if ready else 0
+        if earliest < 0:
+            raise PredictionError(
+                f"operation {op_id!r} has negative ready time"
+            )
+        for pred in graph.predecessors(op_id):
+            earliest = max(earliest, start[pred] + duration[pred])
+        start[op_id] = earliest
+    return start
+
+
+def critical_path_cycles(
+    graph: DataFlowGraph,
+    duration: Mapping[str, int],
+    ready: Optional[Mapping[str, int]] = None,
+) -> int:
+    """Unconstrained latency: the longest duration-weighted path."""
+    start = asap_schedule(graph, duration, ready)
+    return max(
+        (start[op_id] + duration[op_id] for op_id in start), default=0
+    )
+
+
+def alap_schedule(
+    graph: DataFlowGraph, duration: Mapping[str, int], deadline: int
+) -> Dict[str, int]:
+    """Latest start times meeting ``deadline``.
+
+    Raises :class:`PredictionError` when the deadline is shorter than the
+    critical path.
+    """
+    _check_durations(graph, duration)
+    cp = critical_path_cycles(graph, duration)
+    if deadline < cp:
+        raise PredictionError(
+            f"deadline {deadline} is below the critical path {cp}"
+        )
+    start: Dict[str, int] = {}
+    for op_id in reversed(graph.topological_order()):
+        latest = deadline - duration[op_id]
+        for succ in graph.successors(op_id):
+            latest = min(latest, start[succ] - duration[op_id])
+        start[op_id] = latest
+    return start
+
+
+@dataclass(slots=True)
+class Schedule:
+    """A resource-feasible schedule of one partition's operations.
+
+    When built with operation chaining (single-cycle style with a long
+    datapath cycle), ``offset_ns`` holds each operation's start offset
+    within its first cycle; dependent operations may then share a cycle
+    as long as their combinational delays fit, which is how a 3-micron
+    adder avoids wasting a 3000 ns cycle.
+    """
+
+    start: Dict[str, int]
+    duration: Dict[str, int]
+    resource_class: Dict[str, str]
+    capacities: Dict[str, int]
+    latency: int
+    offset_ns: Dict[str, float] = field(default_factory=dict)
+    delay_ns: Dict[str, float] = field(default_factory=dict)
+
+    def finish(self, op_id: str) -> int:
+        return self.start[op_id] + self.duration[op_id]
+
+    def chained(self, pred: str, succ: str) -> bool:
+        """Whether ``succ`` consumes ``pred`` within the same cycle."""
+        return (
+            bool(self.offset_ns)
+            and self.start.get(pred) == self.start.get(succ)
+        )
+
+    def usage_profile(self) -> Dict[str, List[int]]:
+        """Per-class unit usage in each cycle of the schedule."""
+        profile = {
+            cls: [0] * max(self.latency, 1) for cls in self.capacities
+        }
+        for op_id, begin in self.start.items():
+            cls = self.resource_class[op_id]
+            for cycle in range(begin, begin + self.duration[op_id]):
+                profile[cls][cycle] += 1
+        return profile
+
+    def verify(self, graph: DataFlowGraph) -> None:
+        """Raise :class:`PredictionError` on any violated constraint."""
+        for op_id, begin in self.start.items():
+            for pred in graph.predecessors(op_id):
+                if self.finish(pred) <= begin:
+                    continue
+                if self.chained(pred, op_id):
+                    # Same-cycle chaining: the successor must start after
+                    # the predecessor's combinational delay settles.
+                    pred_end = self.offset_ns[pred] + self.delay_ns[pred]
+                    if self.offset_ns[op_id] + 1e-9 >= pred_end:
+                        continue
+                raise PredictionError(
+                    f"precedence violated: {pred} finishes at "
+                    f"{self.finish(pred)} but {op_id} starts at {begin}"
+                )
+        for cls, usage in self.usage_profile().items():
+            peak = max(usage, default=0)
+            if peak > self.capacities[cls]:
+                raise PredictionError(
+                    f"resource class {cls!r} oversubscribed: peak {peak} > "
+                    f"capacity {self.capacities[cls]}"
+                )
+
+    def modulo_usage(self, initiation_interval: int) -> Dict[str, List[int]]:
+        """Steady-state usage when a new iteration starts every ``ii`` cycles.
+
+        Slot ``s`` of the result accumulates every cycle congruent to ``s``
+        modulo the initiation interval across overlapped iterations — the
+        standard pipeline resource model.
+        """
+        if initiation_interval <= 0:
+            raise PredictionError(
+                f"initiation interval must be positive, got "
+                f"{initiation_interval}"
+            )
+        usage = {
+            cls: [0] * initiation_interval for cls in self.capacities
+        }
+        for op_id, begin in self.start.items():
+            cls = self.resource_class[op_id]
+            for cycle in range(begin, begin + self.duration[op_id]):
+                usage[cls][cycle % initiation_interval] += 1
+        return usage
+
+    def pipeline_capacities(
+        self, initiation_interval: int
+    ) -> Dict[str, int]:
+        """Units of each class needed to sustain the initiation interval."""
+        return {
+            cls: max(slots, default=0)
+            for cls, slots in self.modulo_usage(initiation_interval).items()
+        }
+
+    def pipeline_feasible(self, initiation_interval: int) -> bool:
+        """Whether the allocated capacities sustain the interval."""
+        needed = self.pipeline_capacities(initiation_interval)
+        return all(
+            needed[cls] <= self.capacities[cls] for cls in self.capacities
+        )
+
+
+def list_schedule(
+    graph: DataFlowGraph,
+    duration: Mapping[str, int],
+    resource_class: Mapping[str, str],
+    capacities: Mapping[str, int],
+    delay_ns: Optional[Mapping[str, float]] = None,
+    cycle_ns: Optional[float] = None,
+    ready: Optional[Mapping[str, int]] = None,
+) -> Schedule:
+    """Resource-constrained list scheduling with critical-path urgency.
+
+    Priority is the ALAP start time against the critical-path deadline
+    (smaller = more urgent), the urgency measure the paper attributes to
+    Sehwa.  Deterministic: ties break on operation id.
+
+    When ``delay_ns`` and ``cycle_ns`` are given and every duration is one
+    cycle (the single-cycle style), dependent operations **chain** within
+    a cycle while their combinational delays fit — each chained operation
+    still occupies its own unit for the cycle.
+
+    ``ready`` optionally holds per-operation earliest start cycles (input
+    arrival times).
+    """
+    _check_durations(graph, duration)
+    for op_id in graph.operations:
+        cls = resource_class.get(op_id)
+        if cls is None:
+            raise PredictionError(f"operation {op_id!r} has no resource class")
+        if capacities.get(cls, 0) <= 0:
+            raise PredictionError(
+                f"resource class {cls!r} has no units allocated"
+            )
+    chaining = delay_ns is not None and cycle_ns is not None
+    if chaining:
+        assert delay_ns is not None and cycle_ns is not None
+        if any(duration[o] != 1 for o in graph.operations):
+            raise PredictionError(
+                "chaining requires single-cycle operations"
+            )
+        for op_id in graph.operations:
+            d = delay_ns.get(op_id)
+            if d is None or d < 0:
+                raise PredictionError(
+                    f"operation {op_id!r} needs a non-negative delay for "
+                    "chaining"
+                )
+            if d > cycle_ns:
+                raise PredictionError(
+                    f"operation {op_id!r} delay {d:g} ns exceeds the "
+                    f"{cycle_ns:g} ns cycle; use the multi-cycle style"
+                )
+
+    cp = critical_path_cycles(graph, duration, ready)
+    alap = alap_schedule(graph, duration, cp)
+    order = graph.topological_order()
+    remaining_preds = {
+        op_id: len(graph.predecessors(op_id)) for op_id in order
+    }
+    ready_list: List[str] = sorted(
+        (op_id for op_id, n in remaining_preds.items() if n == 0),
+        key=lambda o: (alap[o], o),
+    )
+    start: Dict[str, int] = {}
+    offset: Dict[str, float] = {}
+    usage: Dict[str, Dict[int, int]] = {cls: {} for cls in capacities}
+
+    def chain_offset_at(op_id: str, time: int) -> Optional[float]:
+        """Start offset of ``op_id`` within cycle ``time``, or None if a
+        predecessor blocks placement in this cycle."""
+        if ready and ready.get(op_id, 0) > time:
+            return None
+        begin = 0.0
+        for pred in graph.predecessors(op_id):
+            if pred not in start:
+                return None
+            pred_finish = start[pred] + duration[pred]
+            if pred_finish <= time:
+                continue
+            if chaining and start[pred] == time:
+                begin = max(begin, offset[pred] + delay_ns[pred])
+                continue
+            return None
+        if chaining:
+            if begin + delay_ns[op_id] > cycle_ns + 1e-9:
+                return None
+        elif begin > 0.0:
+            return None
+        return begin
+
+    time = 0
+    scheduled = 0
+    total = len(order)
+    # Upper bound on schedule length: every op serialized, after the
+    # latest arrival.
+    horizon = sum(duration[o] for o in order) + 1
+    if ready:
+        horizon += max(ready.values(), default=0)
+    # Event-driven time advance: placements can only become possible at
+    # operation-finish boundaries (resources free, dependencies settle)
+    # or at input arrival times, so the clock jumps between those.
+    events: List[int] = sorted(
+        {t for t in (ready or {}).values() if t > 0}
+    )
+    heapq.heapify(events)
+    while scheduled < total:
+        if time > horizon:
+            raise PredictionError(
+                "list scheduler failed to converge; inconsistent resources"
+            )
+        placed_any = True
+        while placed_any:
+            placed_any = False
+            for op_id in list(ready_list):
+                begin_offset = chain_offset_at(op_id, time)
+                if begin_offset is None:
+                    continue
+                cls = resource_class[op_id]
+                cap = capacities[cls]
+                span = range(time, time + duration[op_id])
+                if all(usage[cls].get(c, 0) < cap for c in span):
+                    start[op_id] = time
+                    offset[op_id] = begin_offset
+                    for c in span:
+                        usage[cls][c] = usage[cls].get(c, 0) + 1
+                    ready_list.remove(op_id)
+                    scheduled += 1
+                    placed_any = True
+                    heapq.heappush(events, time + duration[op_id])
+                    for succ in graph.successors(op_id):
+                        remaining_preds[succ] -= 1
+                        if remaining_preds[succ] == 0:
+                            ready_list.append(succ)
+            ready_list.sort(key=lambda o: (alap[o], o))
+        while events and events[0] <= time:
+            heapq.heappop(events)
+        time = events[0] if events else time + 1
+
+    latency = max(
+        (start[o] + duration[o] for o in start), default=0
+    )
+    schedule = Schedule(
+        start=start,
+        duration=dict(duration),
+        resource_class=dict(resource_class),
+        capacities=dict(capacities),
+        latency=latency,
+        offset_ns=offset if chaining else {},
+        delay_ns=dict(delay_ns) if chaining else {},
+    )
+    schedule.verify(graph)
+    return schedule
+
+
+def _check_durations(
+    graph: DataFlowGraph, duration: Mapping[str, int]
+) -> None:
+    for op_id in graph.operations:
+        d = duration.get(op_id)
+        if d is None:
+            raise PredictionError(f"operation {op_id!r} has no duration")
+        if d <= 0:
+            raise PredictionError(
+                f"operation {op_id!r} has non-positive duration {d}"
+            )

@@ -1,0 +1,78 @@
+"""Standard-cell wiring area and delay model.
+
+BAD predicts "standard cell routing area" and the wiring contribution to
+the clock cycle (section 2.4).  Routing area in a standard-cell design is
+an overhead fraction of the active cell area that grows with the number
+of interconnected cells (channel count grows with rows, net length with
+row width); the classic fit is logarithmic in cell count.  Wiring delay is
+driven by the longest on-chip nets and scales with the die's linear
+dimension, i.e. the square root of the occupied area.
+
+Routing estimates are the least certain part of any pre-layout predictor,
+so their triplet bounds are the widest in the library.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import PredictionError
+from repro.stats import Triplet
+
+
+@dataclass(frozen=True, slots=True)
+class WiringParameters:
+    """Fit constants for the routing model (3-micron standard cell)."""
+
+    #: Base routing fraction for a trivial design.
+    base_fraction: float = 0.11
+    #: Additional fraction per natural-log of the cell count.
+    fraction_per_log_cell: float = 0.033
+    #: Cap: routing never exceeds this fraction of active area.
+    max_fraction: float = 0.85
+    #: Wiring delay per mil of estimated die side, in ns.
+    delay_per_mil_ns: float = 0.012
+    #: Relative uncertainty bounds (routing is the widest prediction).
+    area_rel_lb: float = 0.76
+    area_rel_ub: float = 1.26
+
+
+@dataclass(frozen=True, slots=True)
+class WiringEstimate:
+    """Routing area and the wiring delay added to the clock cycle."""
+
+    area_mil2: Triplet
+    delay_ns: float
+    fraction: float
+
+
+def wiring_estimate(
+    active_area_mil2: float,
+    cell_count: int,
+    params: WiringParameters = WiringParameters(),
+) -> WiringEstimate:
+    """Routing overhead over ``active_area_mil2`` of placed cells.
+
+    ``cell_count`` is the number of placed instances (operators, register
+    words, word-wide mux groups, the controller): more instances mean more
+    nets and a higher routing fraction.
+    """
+    if active_area_mil2 < 0:
+        raise PredictionError(
+            f"active area must be non-negative, got {active_area_mil2}"
+        )
+    if cell_count < 0:
+        raise PredictionError(
+            f"cell count must be non-negative, got {cell_count}"
+        )
+    fraction = min(
+        params.max_fraction,
+        params.base_fraction
+        + params.fraction_per_log_cell * math.log1p(cell_count),
+    )
+    most_likely = active_area_mil2 * fraction
+    area = Triplet.spread(most_likely, params.area_rel_lb, params.area_rel_ub)
+    total_area = active_area_mil2 + most_likely
+    delay = params.delay_per_mil_ns * math.sqrt(max(total_area, 0.0))
+    return WiringEstimate(area_mil2=area, delay_ns=delay, fraction=fraction)

@@ -1,0 +1,29 @@
+"""Baseline partitioning algorithms for comparison experiments.
+
+The paper's related-work section singles out Kernighan & Lin's min-cut
+heuristic [4] and argues it "is not directly applicable for partitioning
+of behavioral specifications": minimising cut bits does not track pin
+counts or chip areas once behavioral synthesis introduces sequential
+behaviour.  This package implements KL (and simple random / exhaustive
+generators) so that claim can be measured: the benchmark harness runs
+KL's min-cut partitions through CHOP's feasibility analysis and compares
+them with the constraint-driven cuts.
+"""
+
+from repro.baselines.kernighan_lin import (
+    cut_bits,
+    kl_bipartition,
+    recursive_bisection,
+)
+from repro.baselines.random_search import random_level_partitions
+from repro.baselines.exhaustive import exhaustive_bipartitions
+from repro.baselines.repair import make_acyclic
+
+__all__ = [
+    "cut_bits",
+    "kl_bipartition",
+    "recursive_bisection",
+    "random_level_partitions",
+    "exhaustive_bipartitions",
+    "make_acyclic",
+]

@@ -1,0 +1,57 @@
+"""Exhaustive bipartition enumeration for small graphs.
+
+Used by tests and ablation benches to verify that heuristic cuts are
+close to optimal on graphs small enough to enumerate.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Set, Tuple
+
+from repro.dfg.graph import DataFlowGraph
+from repro.errors import PartitioningError
+
+#: Enumeration is 2^(n-1); refuse beyond this many operations.
+MAX_OPS = 18
+
+
+def exhaustive_bipartitions(
+    graph: DataFlowGraph,
+    acyclic_only: bool = True,
+) -> Iterator[Tuple[Set[str], Set[str]]]:
+    """Yield every proper bipartition (A, B) of the operations.
+
+    With ``acyclic_only`` (the default) only CHOP-valid cuts — where no
+    data flows from B back to A — are yielded.  The first operation in id
+    order is pinned to side A to break the A/B symmetry.
+    """
+    ops = sorted(graph.operations)
+    if len(ops) < 2:
+        raise PartitioningError("need at least two operations")
+    if len(ops) > MAX_OPS:
+        raise PartitioningError(
+            f"{len(ops)} operations exceed the exhaustive limit of "
+            f"{MAX_OPS}"
+        )
+    first, rest = ops[0], ops[1:]
+    for size in range(0, len(rest) + 1):
+        for chosen in itertools.combinations(rest, size):
+            side_a = {first, *chosen}
+            side_b = set(ops) - side_a
+            if not side_b:
+                continue
+            if acyclic_only and not _one_way(graph, side_a, side_b):
+                continue
+            yield side_a, side_b
+
+
+def _one_way(
+    graph: DataFlowGraph, side_a: Set[str], side_b: Set[str]
+) -> bool:
+    """True when no value flows from side B into side A."""
+    for op_id in side_a:
+        for pred in graph.predecessors(op_id):
+            if pred in side_b:
+                return False
+    return True

@@ -1,0 +1,50 @@
+"""Random level-respecting partition generation.
+
+Random baselines sample *downward-closed* cuts — partitions formed by
+splitting the ASAP level sequence at random boundaries — so every sample
+is a valid CHOP partitioning (acyclic between partitions) and the
+comparison against the horizontal-cut scheme isolates the effect of
+boundary placement rather than validity repair.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Set
+
+from repro.dfg.graph import DataFlowGraph
+from repro.errors import PartitioningError
+
+
+def random_level_partitions(
+    graph: DataFlowGraph,
+    count: int,
+    rng: random.Random,
+) -> List[Set[str]]:
+    """``count`` partitions from random level-boundary placement.
+
+    ``rng`` must be supplied by the caller: experiments stay reproducible
+    by seeding it.
+    """
+    if count < 1:
+        raise PartitioningError(f"count must be >= 1, got {count}")
+    levels: Dict[str, int] = {}
+    for op_id in graph.topological_order():
+        preds = graph.predecessors(op_id)
+        levels[op_id] = 1 + max((levels[p] for p in preds), default=0)
+    max_level = max(levels.values(), default=0)
+    if max_level < count:
+        raise PartitioningError(
+            f"graph has {max_level} levels; cannot make {count} partitions"
+        )
+    boundaries = sorted(rng.sample(range(1, max_level), count - 1))
+    edges = [0] + boundaries + [max_level]
+    parts: List[Set[str]] = []
+    for index in range(count):
+        low, high = edges[index], edges[index + 1]
+        parts.append(
+            {op for op, level in levels.items() if low < level <= high}
+        )
+    if any(not part for part in parts):
+        raise PartitioningError("random boundaries produced an empty part")
+    return parts

@@ -1,0 +1,80 @@
+"""Acyclicity repair for baseline partitions.
+
+CHOP's prediction model forbids mutual data dependencies between
+partitions (paper section 2.3).  KL and random cuts ignore edge
+direction, so their partitions usually violate that restriction.
+:func:`make_acyclic` repairs a bipartition minimally: it orients the pair
+(the side holding more producers first) and moves every operation that
+breaks the one-way data flow.
+"""
+
+from __future__ import annotations
+
+from typing import Set, Tuple
+
+from repro.dfg.graph import DataFlowGraph
+from repro.errors import PartitioningError
+
+
+def _ancestors_in(
+    graph: DataFlowGraph, op_id: str, pool: Set[str]
+) -> Set[str]:
+    """Transitive predecessors of ``op_id`` that lie in ``pool``.
+
+    The traversal must walk *through* non-pool operations: a pool
+    ancestor reachable only via same-side intermediaries still creates a
+    backward dependency.
+    """
+    found: Set[str] = set()
+    visited: Set[str] = set()
+    stack = [op_id]
+    while stack:
+        current = stack.pop()
+        for pred in graph.predecessors(current):
+            if pred in visited:
+                continue
+            visited.add(pred)
+            if pred in pool:
+                found.add(pred)
+            stack.append(pred)
+    return found
+
+
+def make_acyclic(
+    graph: DataFlowGraph, side_a: Set[str], side_b: Set[str]
+) -> Tuple[Set[str], Set[str], int]:
+    """Repair (A, B) so data only flows A -> B; returns the new sides and
+    the number of operations moved.
+
+    The orientation keeping more operations in place wins.  With A first,
+    any A-operation depending (transitively) on a B-operation moves to B.
+    Raises when a side would end up empty — the cut was unrepairable.
+    """
+    if side_a & side_b:
+        raise PartitioningError("sides overlap")
+    if set(graph.operations) != side_a | side_b:
+        raise PartitioningError("sides must cover the whole graph")
+
+    def violators(first: Set[str], second: Set[str]) -> Set[str]:
+        bad: Set[str] = set()
+        for op_id in first:
+            ancestors = _ancestors_in(graph, op_id, second)
+            if ancestors:
+                bad.add(op_id)
+        return bad
+
+    moves_ab = violators(side_a, side_b)  # A first: these leave A
+    moves_ba = violators(side_b, side_a)  # B first: these leave B
+    if len(moves_ab) <= len(moves_ba):
+        new_a = side_a - moves_ab
+        new_b = side_b | moves_ab
+        moved = len(moves_ab)
+    else:
+        new_a = side_b - moves_ba  # B becomes the first side
+        new_b = side_a | moves_ba
+        moved = len(moves_ba)
+    if not new_a or not new_b:
+        raise PartitioningError(
+            "cut cannot be repaired into a one-way partitioning"
+        )
+    return new_a, new_b, moved

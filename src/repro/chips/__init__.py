@@ -1,0 +1,22 @@
+"""Chip packages, chips and pin budgeting.
+
+The paper's chip-set information "is in the form of actual chip packages
+to be used", each with project-area dimensions, pin count, pad delay and
+I/O pad area (section 2.2, Table 2).  This package models those packages,
+the chips instantiated from them, and the pin budget available for data
+transfer after power/ground, distributed-controller control signals and
+dedicated memory lines are reserved (section 2.4).
+"""
+
+from repro.chips.package import ChipPackage
+from repro.chips.chip import Chip, PinBudget, pin_budget
+from repro.chips.presets import mosis_packages, mosis_package
+
+__all__ = [
+    "ChipPackage",
+    "Chip",
+    "PinBudget",
+    "pin_budget",
+    "mosis_packages",
+    "mosis_package",
+]

@@ -1,0 +1,87 @@
+"""Chips and pin budgeting.
+
+A :class:`Chip` is a named instance of a package in the target chip set.
+:class:`PinBudget` splits the package's pins into the reservation classes
+of section 2.4: power/ground, control signals between distributed
+controllers (per communication link), dedicated select/R-W lines (per
+memory block reachable through the chip), and the remaining shareable
+*data* pins over which data-transfer tasks are multiplexed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chips.package import ChipPackage
+from repro.errors import ChipError
+
+#: Pins reserved for supply rails on every chip.
+POWER_GROUND_PINS = 4
+#: Control pins per inter-chip communication link (request/acknowledge
+#: between distributed controllers).
+CONTROL_PINS_PER_LINK = 2
+#: Dedicated, unshared pins per off-chip memory block accessed through a
+#: chip: Select and R/W (the paper names exactly these two).
+DEDICATED_PINS_PER_MEMORY = 2
+
+
+@dataclass(frozen=True, slots=True)
+class Chip:
+    """One chip of the target chip set."""
+
+    name: str
+    package: ChipPackage
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name} [{self.package.name}]"
+
+
+@dataclass(frozen=True, slots=True)
+class PinBudget:
+    """Breakdown of a chip's pins into reservation classes."""
+
+    total: int
+    power_ground: int
+    control: int
+    memory_dedicated: int
+
+    def __post_init__(self) -> None:
+        if min(self.total, self.power_ground, self.control,
+               self.memory_dedicated) < 0:
+            raise ChipError("pin budget fields must be non-negative")
+        if self.reserved > self.total:
+            raise ChipError(
+                f"pin reservations ({self.reserved}) exceed the package's "
+                f"{self.total} pins"
+            )
+
+    @property
+    def reserved(self) -> int:
+        return self.power_ground + self.control + self.memory_dedicated
+
+    @property
+    def data(self) -> int:
+        """Shareable data pins left for data-transfer tasks."""
+        return self.total - self.reserved
+
+
+def pin_budget(
+    package: ChipPackage,
+    communication_links: int,
+    memory_blocks: int,
+) -> PinBudget:
+    """Compute the pin budget for a chip.
+
+    ``communication_links`` counts distinct chips this chip exchanges data
+    with (each link needs distributed-controller handshake pins);
+    ``memory_blocks`` counts off-chip memory blocks the chip accesses
+    (each needs dedicated Select and R/W pins).
+    """
+    if communication_links < 0 or memory_blocks < 0:
+        raise ChipError("link and memory counts must be non-negative")
+    return PinBudget(
+        total=package.pin_count,
+        power_ground=POWER_GROUND_PINS,
+        control=CONTROL_PINS_PER_LINK * communication_links,
+        memory_dedicated=DEDICATED_PINS_PER_MEMORY * memory_blocks,
+    )

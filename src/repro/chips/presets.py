@@ -1,0 +1,45 @@
+"""The paper's Table 2: a subset of MOSIS standard chip packages."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.chips.package import ChipPackage
+from repro.errors import ChipError
+
+
+def mosis_packages() -> Dict[int, ChipPackage]:
+    """Table 2 verbatim, keyed by the paper's package number.
+
+    Both packages share a 311.02 x 362.20 mil project area, 25 ns pad
+    delay and 297.60 mil^2 pad area; they differ only in pin count (64 vs
+    84).
+    """
+    return {
+        1: ChipPackage(
+            name="MOSIS-64",
+            width_mil=311.02,
+            height_mil=362.20,
+            pin_count=64,
+            pad_delay_ns=25.0,
+            pad_area_mil2=297.60,
+        ),
+        2: ChipPackage(
+            name="MOSIS-84",
+            width_mil=311.02,
+            height_mil=362.20,
+            pin_count=84,
+            pad_delay_ns=25.0,
+            pad_area_mil2=297.60,
+        ),
+    }
+
+
+def mosis_package(number: int) -> ChipPackage:
+    """One package of Table 2 by its paper number (1 or 2)."""
+    packages = mosis_packages()
+    if number not in packages:
+        raise ChipError(
+            f"Table 2 has packages 1 and 2; no package {number}"
+        )
+    return packages[number]

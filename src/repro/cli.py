@@ -1,0 +1,229 @@
+"""Command-line interface to the CHOP reproduction.
+
+Usage::
+
+    python -m repro.cli inputs
+    python -m repro.cli demo --experiment 1 --partitions 2
+    python -m repro.cli check project.json --heuristic iterative
+    python -m repro.cli predict project.json --partition P1
+    python -m repro.cli export-demo project.json
+
+``check`` loads a project document (see :mod:`repro.io.project`), runs
+the chosen heuristic, and prints the paper-style result rows plus the
+synthesis guidelines for the best design.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import json as _json
+
+from repro.chips.presets import mosis_packages
+from repro.dfg.parser import parse_spec
+from repro.errors import ChopError
+from repro.io.graphs import graph_to_dict
+from repro.experiments import experiment1_session, experiment2_session
+from repro.io.project import load_project_file, save_project_file
+from repro.library.presets import table1_library
+from repro.reporting.guidelines import design_guidelines
+from repro.reporting.markdown import markdown_report
+from repro.reporting.tables import (
+    library_table,
+    package_table,
+    results_table,
+)
+
+
+def _cmd_inputs(_args: argparse.Namespace) -> int:
+    print("Table 1 library:")
+    print(library_table(table1_library()))
+    print()
+    print("Table 2 packages:")
+    print(package_table(mosis_packages()))
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    if args.experiment == 1:
+        session = experiment1_session(
+            package_number=args.package, partition_count=args.partitions
+        )
+    else:
+        session = experiment2_session(
+            partition_count=args.partitions, package_number=args.package
+        )
+    return _check_session(session, args.heuristic, args.partitions,
+                          args.package)
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    session = load_project_file(args.project)
+    count = len(session.partitioning().partitions)
+    return _check_session(session, args.heuristic, count, 0)
+
+
+def _check_session(session, heuristic: str, count: int,
+                   package: int) -> int:
+    result = session.check(heuristic=heuristic)
+    letter = "E" if heuristic == "enumeration" else "I"
+    print(results_table([(count, package, letter, result)]))
+    best = result.best()
+    if best is None:
+        print()
+        print("No feasible implementation under the given constraints.")
+        return 1
+    print()
+    print(design_guidelines(best))
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    session = load_project_file(args.project)
+    predictions = session.predict(args.partition)
+    print(
+        f"{len(predictions)} predicted implementations for "
+        f"{args.partition}:"
+    )
+    limit = args.limit if args.limit > 0 else len(predictions)
+    for prediction in predictions[:limit]:
+        print(
+            f"  II {prediction.ii_main:>4}  delay "
+            f"{prediction.latency_main:>4}  area "
+            f"{prediction.area_total.ml:>9.0f}  power "
+            f"{prediction.power_mw.ml:>7.1f} mW  "
+            f"{prediction.style_label}, {prediction.module_set.label}, "
+            f"{prediction.operator_summary()}"
+        )
+    if limit < len(predictions):
+        print(f"  ... {len(predictions) - limit} more")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import pathlib
+
+    session = load_project_file(args.project)
+    results = {
+        heuristic: session.check(heuristic=heuristic)
+        for heuristic in ("iterative", "enumeration")
+    }
+    text = markdown_report(session, results)
+    if args.output:
+        pathlib.Path(args.output).write_text(text)
+        print(f"Wrote report to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    import pathlib
+
+    source = pathlib.Path(args.spec).read_text()
+    graph = parse_spec(source)
+    document = graph_to_dict(graph)
+    if args.output:
+        pathlib.Path(args.output).write_text(
+            _json.dumps(document, indent=2) + "\n"
+        )
+        print(
+            f"Compiled {graph.name!r}: {graph.op_count()} operations, "
+            f"depth {graph.depth()} -> {args.output}"
+        )
+    else:
+        print(_json.dumps(document, indent=2))
+    return 0
+
+
+def _cmd_export_demo(args: argparse.Namespace) -> int:
+    session = experiment1_session(package_number=2, partition_count=2)
+    save_project_file(session, args.output)
+    print(f"Wrote the experiment-1 two-partition project to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CHOP constraint-driven system-level partitioner "
+        "(DAC 1991 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser(
+        "inputs", help="print the paper's Table 1 and Table 2"
+    ).set_defaults(func=_cmd_inputs)
+
+    demo = sub.add_parser(
+        "demo", help="run one cell of the paper's experiments"
+    )
+    demo.add_argument("--experiment", type=int, choices=(1, 2), default=1)
+    demo.add_argument("--partitions", type=int, default=2)
+    demo.add_argument("--package", type=int, choices=(1, 2), default=2)
+    demo.add_argument(
+        "--heuristic", choices=("iterative", "enumeration"),
+        default="iterative",
+    )
+    demo.set_defaults(func=_cmd_demo)
+
+    check = sub.add_parser(
+        "check", help="check a project document for feasibility"
+    )
+    check.add_argument("project", help="path to a project JSON file")
+    check.add_argument(
+        "--heuristic", choices=("iterative", "enumeration"),
+        default="iterative",
+    )
+    check.set_defaults(func=_cmd_check)
+
+    predict = sub.add_parser(
+        "predict", help="list BAD's predictions for one partition"
+    )
+    predict.add_argument("project")
+    predict.add_argument("--partition", required=True)
+    predict.add_argument("--limit", type=int, default=20)
+    predict.set_defaults(func=_cmd_predict)
+
+    report = sub.add_parser(
+        "report", help="write a markdown feasibility report"
+    )
+    report.add_argument("project")
+    report.add_argument("-o", "--output", default=None)
+    report.set_defaults(func=_cmd_report)
+
+    compile_ = sub.add_parser(
+        "compile",
+        help="compile a behavioral .chop spec into a graph JSON document",
+    )
+    compile_.add_argument("spec", help="path to the specification file")
+    compile_.add_argument("-o", "--output", default=None)
+    compile_.set_defaults(func=_cmd_compile)
+
+    export = sub.add_parser(
+        "export-demo",
+        help="write the experiment-1 session as a project file",
+    )
+    export.add_argument("output")
+    export.set_defaults(func=_cmd_export_demo)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ChopError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Output was piped into a pager/head that closed early.
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,47 @@
+"""CHOP's core: partitionings, system integration and feasibility.
+
+This package implements the partitioner proper (sections 2.4-2.6 of the
+paper): the designer's partitioning data model, the data-transfer task
+graph, transfer bandwidth/time/buffer prediction, urgency scheduling of
+all tasks over shared chip pins and memory ports, system-integration
+prediction, and the probabilistic feasibility analysis.  The
+:class:`~repro.core.chop.ChopSession` facade ties it together with the
+search heuristics of :mod:`repro.search`.
+"""
+
+from repro.core.partition import Partition
+from repro.core.partitioning import Partitioning
+from repro.core.schemes import horizontal_cut, single_partition
+from repro.core.tasks import TaskGraph, TransferTask, build_task_graph
+from repro.core.transfer import TransferEstimate, DataTransferModule
+from repro.core.urgency import TaskSchedule, urgency_schedule
+from repro.core.integration import ChipUsage, SystemPrediction, integrate
+from repro.core.feasibility import (
+    FeasibilityCriteria,
+    FeasibilityReport,
+    evaluate_system,
+    prediction_possibly_feasible,
+)
+from repro.core.chop import ChopSession
+
+__all__ = [
+    "Partition",
+    "Partitioning",
+    "horizontal_cut",
+    "single_partition",
+    "TaskGraph",
+    "TransferTask",
+    "build_task_graph",
+    "TransferEstimate",
+    "DataTransferModule",
+    "TaskSchedule",
+    "urgency_schedule",
+    "ChipUsage",
+    "SystemPrediction",
+    "integrate",
+    "FeasibilityCriteria",
+    "FeasibilityReport",
+    "evaluate_system",
+    "prediction_possibly_feasible",
+    "ChopSession",
+]

@@ -1,0 +1,238 @@
+"""The CHOP designer session.
+
+:class:`ChopSession` is the top-level API mirroring the paper's Figure 1
+loop: the designer supplies the six input groups (specification, library,
+chip set, memories + assignments, partitions + assignments, clocks /
+style / criteria / parameters — section 2.2), CHOP predicts per-partition
+implementations through the embedded BAD, searches combinations with the
+heuristic of the designer's choice, and reports feasible designs with
+synthesis guidelines.  The designer then modifies the partitioning
+(section 2.7) and re-checks — iteration is fast because only predictions
+run, never synthesis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.bad.prediction import DesignPrediction
+from repro.bad.predictor import BADPredictor, PredictorParameters
+from repro.bad.styles import ArchitectureStyle, ClockScheme
+from repro.chips.chip import Chip, POWER_GROUND_PINS
+from repro.chips.package import ChipPackage
+from repro.core.feasibility import FeasibilityCriteria
+from repro.core.partition import Partition
+from repro.core.partitioning import Partitioning
+from repro.dfg.graph import DataFlowGraph
+from repro.errors import PartitioningError, PredictionError
+from repro.library.library import ComponentLibrary
+from repro.memory.module import MemoryModule
+
+
+class ChopSession:
+    """One interactive partitioning session."""
+
+    def __init__(
+        self,
+        graph: DataFlowGraph,
+        library: ComponentLibrary,
+        clocks: ClockScheme,
+        style: ArchitectureStyle,
+        criteria: FeasibilityCriteria,
+        memories: Iterable[MemoryModule] = (),
+        predictor_params: Optional[PredictorParameters] = None,
+    ) -> None:
+        self.graph = graph
+        self.library = library
+        self.clocks = clocks
+        self.style = style
+        self.criteria = criteria
+        self.memories: Dict[str, MemoryModule] = {
+            m.name: m for m in memories
+        }
+        self.chips: Dict[str, Chip] = {}
+        self.memory_chip: Dict[str, str] = {}
+        self._partitions: Dict[str, Partition] = {}
+        self._partition_chip: Dict[str, str] = {}
+        self._predictor = BADPredictor(
+            library=library,
+            clocks=clocks,
+            style=style,
+            memories=self.memories,
+            params=predictor_params,
+        )
+        self._prediction_cache: Dict[frozenset, List[DesignPrediction]] = {}
+
+    # ------------------------------------------------------------------
+    # designer inputs and modifications (section 2.7)
+    # ------------------------------------------------------------------
+    def add_chip(self, name: str, package: ChipPackage) -> Chip:
+        """Add one chip of the target chip set."""
+        if name in self.chips:
+            raise PartitioningError(f"duplicate chip name {name!r}")
+        chip = Chip(name=name, package=package)
+        self.chips[name] = chip
+        return chip
+
+    def set_partitions(
+        self,
+        partitions: Sequence[Partition],
+        assignment: Mapping[str, str],
+    ) -> None:
+        """Define the tentative partitions and their chip assignments."""
+        self._partitions = {p.name: p for p in partitions}
+        self._partition_chip = dict(assignment)
+        self.partitioning()  # validate eagerly; raises on bad input
+
+    def assign_memory(self, memory_name: str, chip_name: str) -> None:
+        """Place an on-chip memory block on a design chip."""
+        if memory_name not in self.memories:
+            raise PartitioningError(f"unknown memory {memory_name!r}")
+        if chip_name not in self.chips:
+            raise PartitioningError(f"unknown chip {chip_name!r}")
+        self.memory_chip[memory_name] = chip_name
+
+    def move_partition(self, partition_name: str, chip_name: str) -> None:
+        """Migrate one partition to another chip."""
+        if partition_name not in self._partitions:
+            raise PartitioningError(f"unknown partition {partition_name!r}")
+        if chip_name not in self.chips:
+            raise PartitioningError(f"unknown chip {chip_name!r}")
+        self._partition_chip[partition_name] = chip_name
+        self.partitioning()
+
+    def migrate_operations(
+        self, from_partition: str, to_partition: str, op_ids: Iterable[str]
+    ) -> None:
+        """Move operations between partitions (a section 2.7 change)."""
+        src = self._partitions.get(from_partition)
+        dst = self._partitions.get(to_partition)
+        if src is None or dst is None:
+            raise PartitioningError(
+                f"unknown partition in migration: {from_partition!r} -> "
+                f"{to_partition!r}"
+            )
+        new_src, new_dst = src.migrate(dst, set(op_ids))
+        self._partitions[from_partition] = new_src
+        self._partitions[to_partition] = new_dst
+        self.partitioning()  # re-validate (may raise on mutual dependency)
+
+    # ------------------------------------------------------------------
+    # prediction and search
+    # ------------------------------------------------------------------
+    def partitioning(self) -> Partitioning:
+        """The current tentative partitioning (validated)."""
+        if not self._partitions:
+            raise PartitioningError(
+                "no partitions defined; call set_partitions first"
+            )
+        return Partitioning(
+            graph=self.graph,
+            partitions=self._partitions.values(),
+            chips=self.chips.values(),
+            partition_chip=self._partition_chip,
+            memories=self.memories.values(),
+            memory_chip=self.memory_chip,
+        )
+
+    def predict(self, partition_name: str) -> List[DesignPrediction]:
+        """BAD's raw prediction list for one partition (cached)."""
+        partition = self._partitions.get(partition_name)
+        if partition is None:
+            raise PartitioningError(f"unknown partition {partition_name!r}")
+        key = partition.op_ids
+        cached = self._prediction_cache.get(key)
+        if cached is None:
+            cached = self._predictor.predict_partition(
+                self.graph, partition.op_ids, name=partition_name
+            )
+            self._prediction_cache[key] = cached
+        return list(cached)
+
+    def predict_all(self) -> Dict[str, List[DesignPrediction]]:
+        """Raw predictions for every partition."""
+        return {name: self.predict(name) for name in self._partitions}
+
+    def max_usable_area_mil2(self) -> float:
+        """Optimistic usable area of the roomiest chip (for pruning)."""
+        if not self.chips:
+            raise PartitioningError("no chips in the target chip set")
+        return max(
+            chip.package.usable_area_mil2(POWER_GROUND_PINS)
+            for chip in self.chips.values()
+        )
+
+    def pruned_predictions(
+        self, drop_inferior: bool = True
+    ) -> Dict[str, List[DesignPrediction]]:
+        """Level-1 pruned predictions for every partition."""
+        from repro.search.pruning import level1_prune
+
+        usable = self.max_usable_area_mil2()
+        return {
+            name: level1_prune(
+                self.predict(name), self.criteria, self.clocks, usable,
+                drop_inferior=drop_inferior,
+            )
+            for name in self._partitions
+        }
+
+    def check(
+        self,
+        heuristic: str = "iterative",
+        prune: bool = True,
+        keep_all: bool = False,
+    ):
+        """Search for feasible implementations of the current partitioning.
+
+        ``heuristic`` is ``"iterative"`` (Figure 5) or ``"enumeration"``.
+        ``prune=False`` with ``keep_all=True`` reproduces the paper's
+        design-space figures, at the cost the paper measured (section 3.1:
+        61.4 s unpruned vs under a second pruned).
+        Returns a :class:`repro.search.results.SearchResult`.
+        """
+        from repro.search.enumeration import enumeration_search
+        from repro.search.iterative import iterative_search
+
+        partitioning = self.partitioning()
+        if prune:
+            predictions = self.pruned_predictions()
+        else:
+            predictions = self.predict_all()
+        empty = [name for name, preds in predictions.items() if not preds]
+        if empty:
+            raise PredictionError(
+                f"no feasible predictions survive level-1 pruning for "
+                f"partitions {empty}; relax the constraints or repartition"
+            )
+        if heuristic == "enumeration":
+            result = enumeration_search(
+                partitioning, predictions, self.clocks, self.library,
+                self.criteria, prune=prune, keep_all=keep_all,
+            )
+        elif heuristic == "iterative":
+            result = iterative_search(
+                partitioning, predictions, self.clocks, self.library,
+                self.criteria, keep_all=keep_all,
+            )
+        else:
+            raise PredictionError(
+                f"unknown heuristic {heuristic!r}; use 'iterative' or "
+                "'enumeration'"
+            )
+        if keep_all and result.space is not None:
+            # The figures count BAD's per-partition predictions too.
+            from repro.search.space import DesignPoint
+
+            for preds in predictions.values():
+                for pred in preds:
+                    result.space.record(
+                        DesignPoint(
+                            kind="partition",
+                            area_mil2=pred.area_total.ml,
+                            delay_cycles=pred.latency_main,
+                            ii_cycles=pred.ii_main,
+                        )
+                    )
+        return result

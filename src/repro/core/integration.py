@@ -1,0 +1,420 @@
+"""System-integration prediction (section 2.5 of the paper).
+
+Given one selected implementation (a :class:`DesignPrediction`) per
+partition and a tentative system initiation interval, :func:`integrate`
+predicts the whole multi-chip system: transfer bandwidths and durations,
+the urgency schedule over shared pins, data-transfer modules and their
+buffers, per-chip area with pin multiplexing, the adjusted clock cycle,
+and the resulting system performance and delay.
+
+Hard impossibilities — data-rate mismatches between pipelined partitions,
+transfers longer than the initiation interval, pins oversubscribed at the
+requested rate, memory bandwidth exceeded — raise
+:class:`~repro.errors.InfeasibleError`.  Soft constraint checking against
+the designer's criteria lives in :mod:`repro.core.feasibility`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.bad.controller import PlaParameters
+from repro.bad.prediction import DesignPrediction
+from repro.bad.styles import ClockScheme
+from repro.chips.chip import PinBudget, pin_budget
+from repro.core.partitioning import Partitioning
+from repro.core.tasks import (
+    TaskGraph,
+    TaskKind,
+    build_task_graph,
+    memory_interfaces,
+)
+from repro.core.transfer import (
+    DataTransferModule,
+    TransferEstimate,
+    data_transfer_module,
+    estimate_transfer,
+)
+from repro.core.urgency import TaskSchedule, urgency_schedule
+from repro.errors import InfeasibleError, PredictionError
+from repro.library.library import ComponentLibrary
+from repro.memory.access import memory_access_profile
+from repro.stats import Triplet
+from repro.units import ceil_div
+
+#: Relative bounds widening the clock-overhead estimate into a triplet.
+_CLOCK_OVERHEAD_REL_LB = 0.92
+_CLOCK_OVERHEAD_REL_UB = 1.15
+
+#: Power of one transfer-module buffer bit switching at transfer rate
+#: and of one driven I/O pad (3-micron, 5 V), in milliwatts.
+_DTM_MW_PER_BUFFER_BIT = 0.004
+_PAD_DRIVER_MW = 0.6
+
+
+@dataclass(frozen=True, slots=True)
+class ChipUsage:
+    """Predicted occupancy of one chip."""
+
+    chip: str
+    partitions: Tuple[str, ...]
+    pu_area: Triplet
+    dtm_area: Triplet
+    pin_mux_area: Triplet
+    memory_area: Triplet
+    usable_area_mil2: float
+    bonded_pins: int
+    #: Delay contribution of this chip to the adjusted clock, in ns.
+    clock_overhead_ns: float
+    #: Predicted average power drawn by the chip, in milliwatts.
+    power_mw: Triplet = Triplet.zero()
+
+    @property
+    def total_area(self) -> Triplet:
+        return Triplet.sum(
+            (self.pu_area, self.dtm_area, self.pin_mux_area, self.memory_area)
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class SystemPrediction:
+    """One predicted implementation of the whole partitioned system."""
+
+    partitioning: Partitioning
+    selection: Mapping[str, DesignPrediction]
+    #: System initiation interval and delay in main-clock cycles.
+    ii_main: int
+    delay_main: int
+    #: Adjusted clock cycle (main cycle plus integration overhead).
+    clock_cycle_ns: Triplet
+    chip_usage: Mapping[str, ChipUsage]
+    transfers: Mapping[str, TransferEstimate]
+    transfer_modules: Tuple[DataTransferModule, ...]
+    schedule: TaskSchedule
+
+    @property
+    def performance_ns(self) -> Triplet:
+        """Predicted initiation interval in nanoseconds."""
+        return self.clock_cycle_ns * self.ii_main
+
+    @property
+    def delay_ns(self) -> Triplet:
+        """Predicted input-to-output delay in nanoseconds."""
+        return self.clock_cycle_ns * self.delay_main
+
+    @property
+    def power_mw(self) -> Triplet:
+        """Predicted system power: the sum over all chips."""
+        return Triplet.sum(
+            usage.power_mw for usage in self.chip_usage.values()
+        )
+
+    def summary_row(self) -> Dict[str, object]:
+        """The columns the paper's Tables 4 and 6 report per design."""
+        return {
+            "initiation_interval": self.ii_main,
+            "delay": self.delay_main,
+            "clock_cycle_ns": round(self.clock_cycle_ns.ml, 1),
+        }
+
+
+def integrate(
+    partitioning: Partitioning,
+    selection: Mapping[str, DesignPrediction],
+    ii_main: int,
+    clocks: ClockScheme,
+    library: ComponentLibrary,
+    task_graph: Optional[TaskGraph] = None,
+    pla_params: PlaParameters = PlaParameters(),
+) -> SystemPrediction:
+    """Predict the integrated system for one selection of implementations.
+
+    ``ii_main`` is the tentative system initiation interval in main-clock
+    cycles; it must be at least every selected implementation's interval
+    and exactly the common rate of all pipelined implementations.
+    ``task_graph`` may be passed in to amortise its construction across
+    the many selections the search heuristics try.
+    """
+    _check_selection(partitioning, selection, ii_main)
+    if task_graph is None:
+        task_graph = build_task_graph(partitioning)
+
+    budgets = _pin_budgets(partitioning, task_graph)
+    capacity = {
+        chip: budgets[chip].data - task_graph.memory_pin_loads.get(chip, 0)
+        for chip in partitioning.chips
+    }
+    for chip, free in capacity.items():
+        if free < 0:
+            raise InfeasibleError(
+                f"chip {chip!r}: memory I/O needs more pins than the "
+                "package provides"
+            )
+
+    _check_memory_bandwidth(partitioning, ii_main, clocks)
+
+    transfers: Dict[str, TransferEstimate] = {}
+    durations: Dict[str, int] = {}
+    pin_needs: Dict[str, int] = {}
+    for name, task in task_graph.tasks.items():
+        if task.kind is TaskKind.PROCESS:
+            assert task.partition is not None
+            durations[name] = selection[task.partition].latency_main
+            continue
+        estimate = estimate_transfer(
+            task, budgets, task_graph.memory_pin_loads, clocks
+        )
+        transfers[name] = estimate
+        durations[name] = estimate.duration_main
+        pin_needs[name] = estimate.pins
+
+    schedule = urgency_schedule(
+        task_graph, durations, pin_needs, capacity, ii_main
+    )
+
+    modules = _transfer_modules(
+        task_graph, transfers, schedule, ii_main, clocks, library, pla_params
+    )
+
+    chip_usage = _chip_usage(
+        partitioning, task_graph, selection, transfers, modules,
+        budgets, clocks, library,
+    )
+
+    overhead = max(
+        (usage.clock_overhead_ns for usage in chip_usage.values()),
+        default=0.0,
+    )
+    clock = Triplet(
+        clocks.main_cycle_ns + overhead * _CLOCK_OVERHEAD_REL_LB,
+        clocks.main_cycle_ns + overhead,
+        clocks.main_cycle_ns + overhead * _CLOCK_OVERHEAD_REL_UB,
+    )
+
+    return SystemPrediction(
+        partitioning=partitioning,
+        selection=dict(selection),
+        ii_main=ii_main,
+        delay_main=schedule.makespan,
+        clock_cycle_ns=clock,
+        chip_usage=chip_usage,
+        transfers=transfers,
+        transfer_modules=tuple(modules),
+        schedule=schedule,
+    )
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def _check_selection(
+    partitioning: Partitioning,
+    selection: Mapping[str, DesignPrediction],
+    ii_main: int,
+) -> None:
+    missing = set(partitioning.partitions) - set(selection)
+    if missing:
+        raise PredictionError(
+            f"selection misses partitions: {sorted(missing)}"
+        )
+    pipelined_rates = {
+        pred.ii_main for pred in selection.values() if pred.pipelined
+    }
+    if len(pipelined_rates) > 1:
+        raise InfeasibleError(
+            "pipelined implementations have different data rates "
+            f"({sorted(pipelined_rates)}); the combination is infeasible "
+            "due to a data rate mismatch"
+        )
+    for name, pred in selection.items():
+        if pred.ii_main > ii_main:
+            raise InfeasibleError(
+                f"partition {name!r} cannot sustain initiation interval "
+                f"{ii_main}: its implementation needs {pred.ii_main}"
+            )
+
+
+def _pin_budgets(
+    partitioning: Partitioning, task_graph: TaskGraph
+) -> Dict[str, PinBudget]:
+    interfaces = memory_interfaces(partitioning)
+    budgets: Dict[str, PinBudget] = {}
+    for chip_name, chip in partitioning.chips.items():
+        budgets[chip_name] = pin_budget(
+            chip.package,
+            communication_links=task_graph.communication_links(chip_name),
+            memory_blocks=len(interfaces.get(chip_name, ())),
+        )
+    return budgets
+
+
+def _check_memory_bandwidth(
+    partitioning: Partitioning, ii_main: int, clocks: ClockScheme
+) -> None:
+    """Every block must serve one iteration's accesses within the interval."""
+    if not partitioning.memories:
+        return
+    accesses: Dict[str, int] = {}
+    profile = memory_access_profile(
+        partitioning.graph, partitioning.graph.operations
+    )
+    for block in profile.blocks:
+        accesses[block] = profile.accesses(block)
+    window = ii_main // clocks.transfer_multiplier
+    for block, count in accesses.items():
+        module = partitioning.memories[block]
+        needed = ceil_div(count, module.ports)
+        if needed > window:
+            raise InfeasibleError(
+                f"memory block {block!r} needs {needed} access cycles per "
+                f"iteration but the initiation interval allows {window}"
+            )
+
+
+def _transfer_modules(
+    task_graph: TaskGraph,
+    transfers: Mapping[str, TransferEstimate],
+    schedule: TaskSchedule,
+    ii_main: int,
+    clocks: ClockScheme,
+    library: ComponentLibrary,
+    pla_params: PlaParameters,
+) -> List[DataTransferModule]:
+    modules: List[DataTransferModule] = []
+    for name, estimate in sorted(transfers.items()):
+        task = task_graph.tasks[name]
+        wait = schedule.wait.get(name, 0)
+        hold = schedule.hold.get(name, 0)
+        if task.kind is TaskKind.TRANSFER:
+            src_chip, dst_chips = task.chips[0], task.chips[1:]
+            modules.append(
+                data_transfer_module(
+                    task, src_chip, "output", estimate, wait, ii_main,
+                    clocks, library.register, pla_params,
+                )
+            )
+            for chip in dst_chips:
+                modules.append(
+                    data_transfer_module(
+                        task, chip, "input", estimate, hold, ii_main,
+                        clocks, library.register, pla_params,
+                    )
+                )
+        elif task.kind is TaskKind.INPUT:
+            modules.append(
+                data_transfer_module(
+                    task, task.chips[0], "input", estimate, hold, ii_main,
+                    clocks, library.register, pla_params,
+                )
+            )
+        else:  # OUTPUT
+            modules.append(
+                data_transfer_module(
+                    task, task.chips[0], "output", estimate, wait, ii_main,
+                    clocks, library.register, pla_params,
+                )
+            )
+    return modules
+
+
+def _chip_usage(
+    partitioning: Partitioning,
+    task_graph: TaskGraph,
+    selection: Mapping[str, DesignPrediction],
+    transfers: Mapping[str, TransferEstimate],
+    modules: List[DataTransferModule],
+    budgets: Mapping[str, PinBudget],
+    clocks: ClockScheme,
+    library: ComponentLibrary,
+) -> Dict[str, ChipUsage]:
+    usage: Dict[str, ChipUsage] = {}
+    for chip_name, chip in partitioning.chips.items():
+        partition_names = tuple(partitioning.partitions_on_chip(chip_name))
+        pu_area = Triplet.sum(
+            selection[p].area_total for p in partition_names
+        )
+        chip_modules = [m for m in modules if m.chip == chip_name]
+        dtm_area = Triplet.sum(m.area_mil2 for m in chip_modules)
+
+        # Pin multiplexing: several data tasks sharing this chip's data
+        # pins need steering on each shared pin.
+        chip_tasks = [
+            transfers[name]
+            for name, task in task_graph.tasks.items()
+            if task.moves_data and chip_name in task.chips
+        ]
+        pin_mux_bits = 0
+        pin_mux_delay = 0.0
+        if len(chip_tasks) > 1:
+            widest = max(t.pins for t in chip_tasks)
+            pin_mux_bits = (len(chip_tasks) - 1) * widest
+            pin_mux_delay = library.mux.delay_ns
+        pin_mux_area = (
+            Triplet.spread(
+                library.mux.area_for_bits(pin_mux_bits), 0.95, 1.10
+            )
+            if pin_mux_bits
+            else Triplet.zero()
+        )
+
+        memory_area_ml = sum(
+            partitioning.memories[block].on_chip_area_mil2()
+            for block in partitioning.memories_on_chip(chip_name)
+        )
+        memory_area = (
+            Triplet.spread(memory_area_ml, 0.95, 1.10)
+            if memory_area_ml
+            else Triplet.zero()
+        )
+
+        # The package's pad ring is fixed: every package pin carries a
+        # bonded pad whether or not the design drives it, so the full
+        # pin count's pad area is subtracted from the die (Table 2 lists
+        # per-pad area alongside fixed pin counts).
+        bonded = chip.package.pin_count
+
+        dp_overhead = max(
+            (selection[p].clock_overhead_ns for p in partition_names),
+            default=0.0,
+        )
+        transfer_overhead = 0.0
+        if chip_tasks:
+            transfer_overhead = chip.package.pad_delay_ns + pin_mux_delay
+            dtm_delays = [m.control_delay_ns for m in chip_modules]
+            if dtm_delays:
+                transfer_overhead += max(dtm_delays)
+        # Transfers synchronize to datapath-cycle boundaries, so the whole
+        # integration overhead is absorbed once per datapath cycle: the
+        # reported main clock stretches by overhead / dp_multiplier.  This
+        # reproduces the paper's adjusted clocks (~310 ns in experiment 1
+        # where dp = 10x main, ~374-400 ns in experiment 2 where dp = main).
+        overhead = (
+            dp_overhead + transfer_overhead
+        ) / clocks.dp_multiplier
+
+        pu_power = Triplet.sum(
+            selection[p].power_mw for p in partition_names
+        )
+        dtm_buffer_bits = sum(m.buffer_bits for m in chip_modules)
+        driven_pads = max((t.pins for t in chip_tasks), default=0)
+        integration_power = Triplet.spread(
+            dtm_buffer_bits * _DTM_MW_PER_BUFFER_BIT
+            + driven_pads * _PAD_DRIVER_MW,
+            0.8,
+            1.3,
+        ) if (dtm_buffer_bits or driven_pads) else Triplet.zero()
+
+        usage[chip_name] = ChipUsage(
+            chip=chip_name,
+            partitions=partition_names,
+            pu_area=pu_area,
+            dtm_area=dtm_area,
+            pin_mux_area=pin_mux_area,
+            memory_area=memory_area,
+            usable_area_mil2=chip.package.usable_area_mil2(bonded),
+            bonded_pins=bonded,
+            clock_overhead_ns=overhead,
+            power_mw=pu_power + integration_power,
+        )
+    return usage

@@ -1,0 +1,69 @@
+"""Partitions of the behavioral specification."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, FrozenSet, Iterable
+
+from repro.errors import PartitioningError
+
+
+@dataclass(frozen=True, slots=True)
+class Partition:
+    """A named, non-empty set of operation ids.
+
+    Partitions are the unit of prediction: BAD predicts implementations
+    per partition, and one processing unit (PU) implements each partition
+    in the final design (Figure 4 of the paper).
+    """
+
+    name: str
+    op_ids: FrozenSet[str]
+
+    @staticmethod
+    def of(name: str, op_ids: Iterable[str]) -> "Partition":
+        ops = frozenset(op_ids)
+        if not ops:
+            raise PartitioningError(f"partition {name!r} must not be empty")
+        return Partition(name=name, op_ids=ops)
+
+    def __post_init__(self) -> None:
+        if not self.op_ids:
+            raise PartitioningError(f"partition {self.name!r} must not be empty")
+        if not self.name:
+            raise PartitioningError("partition name must not be empty")
+
+    def __len__(self) -> int:
+        return len(self.op_ids)
+
+    def __contains__(self, op_id: str) -> bool:
+        return op_id in self.op_ids
+
+    def overlaps(self, other: "Partition") -> bool:
+        return bool(self.op_ids & other.op_ids)
+
+    def migrate(
+        self, to_other: "Partition", op_ids: AbstractSet[str]
+    ) -> tuple["Partition", "Partition"]:
+        """Move operations to another partition (a designer modification).
+
+        Returns the updated ``(self, other)`` pair.  Raises when the
+        migration would empty this partition or names operations this
+        partition does not own.
+        """
+        moved = frozenset(op_ids)
+        if not moved <= self.op_ids:
+            missing = sorted(moved - self.op_ids)
+            raise PartitioningError(
+                f"partition {self.name!r} does not contain {missing}"
+            )
+        remaining = self.op_ids - moved
+        if not remaining:
+            raise PartitioningError(
+                f"migration would leave partition {self.name!r} empty; "
+                "delete the partition instead"
+            )
+        return (
+            Partition(self.name, remaining),
+            Partition(to_other.name, to_other.op_ids | moved),
+        )

@@ -1,0 +1,91 @@
+"""Partition-creation schemes.
+
+The paper's experiments use manual partitionings: "The first partitioning
+had a single partition, the second had two partitions (a horizontal cut
+from the middle of the graph), and the third had three partitions of
+approximately equal size" (section 3).  :func:`horizontal_cut` generalises
+that construction: it slices the graph into ``k`` bands of consecutive
+ASAP levels with approximately equal operation counts.  Because every band
+is downward-closed in level order, data only flows from earlier bands to
+later ones, so the partition-level graph is automatically acyclic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.partition import Partition
+from repro.dfg.graph import DataFlowGraph
+from repro.errors import PartitioningError
+
+
+def single_partition(graph: DataFlowGraph, name: str = "P1") -> Partition:
+    """The whole specification as one partition."""
+    return Partition.of(name, graph.operations.keys())
+
+
+def horizontal_cut(graph: DataFlowGraph, count: int) -> List[Partition]:
+    """Cut the graph into ``count`` level bands of similar size.
+
+    Partitions are named ``P1`` (inputs side) through ``P<count>``
+    (outputs side).  Raises when the graph has fewer levels than requested
+    partitions — a horizontal cut cannot split within a level without
+    risking mutual dependencies.
+    """
+    if count < 1:
+        raise PartitioningError(f"partition count must be >= 1, got {count}")
+    if count == 1:
+        return [single_partition(graph)]
+
+    levels: Dict[str, int] = {}
+    for op_id in graph.topological_order():
+        preds = graph.predecessors(op_id)
+        levels[op_id] = 1 + max((levels[p] for p in preds), default=0)
+    max_level = max(levels.values(), default=0)
+    if max_level < count:
+        raise PartitioningError(
+            f"graph {graph.name!r} has only {max_level} levels; cannot make "
+            f"{count} horizontal bands"
+        )
+
+    by_level: Dict[int, List[str]] = {}
+    for op_id, level in levels.items():
+        by_level.setdefault(level, []).append(op_id)
+
+    total_ops = graph.op_count()
+    target = total_ops / count
+    bands: List[List[str]] = []
+    current: List[str] = []
+    remaining_bands = count
+    for level in range(1, max_level + 1):
+        level_ops = sorted(by_level.get(level, ()))
+        levels_left = max_level - level
+        # Close the band at whichever level boundary lands nearest the
+        # per-band target, as long as enough levels remain to populate
+        # the remaining bands.
+        if (
+            remaining_bands > 1
+            and current
+            and levels_left >= remaining_bands - 1
+        ):
+            done = sum(len(b) for b in bands)
+            goal = target * (len(bands) + 1) - done
+            undershoot = goal - len(current)
+            overshoot = len(current) + len(level_ops) - goal
+            if undershoot <= overshoot:
+                bands.append(current)
+                current = []
+                remaining_bands -= 1
+        current.extend(level_ops)
+    if current:
+        bands.append(current)
+    while len(bands) > count:  # merge any trailing sliver
+        tail = bands.pop()
+        bands[-1].extend(tail)
+    if len(bands) != count or any(not band for band in bands):
+        raise PartitioningError(
+            f"could not form {count} non-empty bands for {graph.name!r}"
+        )
+    return [
+        Partition.of(f"P{i + 1}", band) for i, band in enumerate(bands)
+    ]

@@ -1,0 +1,47 @@
+"""Behavioral specifications as data-flow graphs.
+
+The paper's input is "the behavioral specification in the form of a data
+flow graph (with added control constructs)" (section 2.2), restricted to be
+free of inner loops — loops with determinate counts are unrolled so the
+graph is acyclic (section 2.3).
+
+This package provides:
+
+* :class:`~repro.dfg.graph.DataFlowGraph` with operations and values,
+* :class:`~repro.dfg.builders.GraphBuilder` for programmatic construction,
+* :mod:`~repro.dfg.transforms` for validation and loop unrolling,
+* :mod:`~repro.dfg.benchmarks` with the AR lattice filter of the paper's
+  experiments plus other classic HLS benchmark graphs.
+"""
+
+from repro.dfg.ops import OpType, MEMORY_OP_TYPES, COMPUTE_OP_TYPES
+from repro.dfg.graph import DataFlowGraph, Operation, Value
+from repro.dfg.builders import GraphBuilder
+from repro.dfg.transforms import unroll_loop, validate_graph
+from repro.dfg.benchmarks import (
+    ar_lattice_filter,
+    elliptic_wave_filter,
+    fir_filter,
+    differential_equation,
+)
+from repro.dfg.benchmarks_ext import dct8, fft_graph
+from repro.dfg.parser import parse_spec
+
+__all__ = [
+    "OpType",
+    "MEMORY_OP_TYPES",
+    "COMPUTE_OP_TYPES",
+    "DataFlowGraph",
+    "Operation",
+    "Value",
+    "GraphBuilder",
+    "unroll_loop",
+    "validate_graph",
+    "ar_lattice_filter",
+    "elliptic_wave_filter",
+    "fir_filter",
+    "differential_equation",
+    "dct8",
+    "fft_graph",
+    "parse_spec",
+]

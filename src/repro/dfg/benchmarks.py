@@ -1,0 +1,184 @@
+"""Classic HLS benchmark graphs, including the paper's AR lattice filter.
+
+The paper's experiments use "an AR lattice filter element shown in Figure
+6" — a 28-operation graph with 16 multiplications and 12 additions, the
+standard AR-filter benchmark of the USC/ADAM group.  The figure is a
+drawing, not a netlist, so :func:`ar_lattice_filter` reconstructs the
+lattice topology: four cascaded lattice sections of four multiplications
+and two additions each, followed by a four-addition combining tree.  The
+op mix (16 mul / 12 add), bit width (16) and alternating mul-add critical
+path match the published benchmark; the experiments depend only on these.
+
+The other generators (elliptic wave filter, FIR, HAL differential
+equation) are the usual companions in the scheduling literature and feed
+the extra examples and tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dfg.builders import GraphBuilder
+from repro.dfg.graph import DataFlowGraph
+from repro.dfg.ops import OpType
+from repro.errors import SpecificationError
+
+
+def ar_lattice_filter(width: int = 16) -> DataFlowGraph:
+    """The AR lattice filter element of the paper's Figure 6.
+
+    28 operations: 16 multiplications and 12 additions over ``width``-bit
+    values.  Two sample inputs and sixteen coefficient inputs; two outputs.
+    """
+    b = GraphBuilder("ar-lattice-filter", default_width=width)
+    u = b.input("u")
+    v = b.input("v")
+    coefficients = [b.input(f"k{i}") for i in range(1, 17)]
+
+    section_outputs: List[tuple] = []
+    top, bottom = u, v
+    for section in range(4):
+        k = coefficients[section * 4 : section * 4 + 4]
+        m1 = b.mul(top, k[0])
+        m2 = b.mul(bottom, k[1])
+        m3 = b.mul(top, k[2])
+        m4 = b.mul(bottom, k[3])
+        top = b.add(m1, m2)
+        bottom = b.add(m3, m4)
+        section_outputs.append((top, bottom))
+
+    # Combining tree: blend the last three sections' outputs (4 additions),
+    # completing the 12-addition lattice.
+    t1 = b.add(section_outputs[1][0], section_outputs[3][0])
+    t2 = b.add(section_outputs[1][1], section_outputs[3][1])
+    y1 = b.add(t1, section_outputs[2][0], name="y1")
+    y2 = b.add(t2, section_outputs[2][1], name="y2")
+    b.output(y1)
+    b.output(y2)
+    return b.build()
+
+
+def elliptic_wave_filter(width: int = 16) -> DataFlowGraph:
+    """A fifth-order elliptic wave filter in the style of the classic
+    34-operation benchmark: 26 additions and 8 multiplications.
+
+    The exact published netlist is not reproduced; this generator builds a
+    wave-digital-filter-shaped graph — long addition chains with
+    coefficient multiplications on the adaptor ports — with the benchmark's
+    op mix and a deep (≈14-level) critical path.
+    """
+    b = GraphBuilder("elliptic-wave-filter", default_width=width)
+    x = b.input("x")
+    states = [b.input(f"s{i}") for i in range(1, 8)]
+    coeffs = [b.input(f"c{i}") for i in range(1, 9)]
+
+    # Input adaptor chain.
+    a1 = b.add(x, states[0])
+    a2 = b.add(a1, states[1])
+    m1 = b.mul(a2, coeffs[0])
+    a3 = b.add(m1, states[0])
+    a4 = b.add(m1, states[1])
+
+    # First two-port adaptor pair.
+    a5 = b.add(a3, states[2])
+    m2 = b.mul(a5, coeffs[1])
+    a6 = b.add(m2, a3)
+    a7 = b.add(m2, states[2])
+    a8 = b.add(a6, a4)
+
+    # Central section.
+    a9 = b.add(a8, states[3])
+    m3 = b.mul(a9, coeffs[2])
+    a10 = b.add(m3, a8)
+    a11 = b.add(m3, states[3])
+    a12 = b.add(a10, a7)
+    m4 = b.mul(a12, coeffs[3])
+    a13 = b.add(m4, a12)
+
+    # Second adaptor pair.
+    a14 = b.add(a13, states[4])
+    m5 = b.mul(a14, coeffs[4])
+    a15 = b.add(m5, a13)
+    a16 = b.add(m5, states[4])
+    a17 = b.add(a15, a11)
+
+    # Output section.
+    a18 = b.add(a17, states[5])
+    m6 = b.mul(a18, coeffs[5])
+    a19 = b.add(m6, a17)
+    a20 = b.add(m6, states[5])
+    a21 = b.add(a19, a16)
+    m7 = b.mul(a21, coeffs[6])
+    a22 = b.add(m7, a21)
+    a23 = b.add(a22, states[6])
+    m8 = b.mul(a23, coeffs[7])
+    a24 = b.add(m8, a22)
+    a25 = b.add(a24, a20)
+    y = b.add(a25, a23, name="y")
+
+    b.output(y)
+    b.output(a16)
+    b.output(a20)
+    graph = b.build()
+    counts = graph.op_counts_by_type()
+    assert counts[OpType.ADD] == 26 and counts[OpType.MUL] == 8
+    return graph
+
+
+def fir_filter(taps: int = 8, width: int = 16) -> DataFlowGraph:
+    """An N-tap FIR filter: N multiplications and an (N-1)-addition tree.
+
+    The addition tree is balanced, giving a critical path of
+    ``1 + ceil(log2(N))`` operations — the shallow, multiplier-dominated
+    shape that stresses operator allocation rather than scheduling depth.
+    """
+    if taps < 2:
+        raise SpecificationError(f"FIR filter needs at least 2 taps, got {taps}")
+    b = GraphBuilder(f"fir-{taps}", default_width=width)
+    samples = [b.input(f"x{i}") for i in range(taps)]
+    coeffs = [b.input(f"h{i}") for i in range(taps)]
+    products = [b.mul(samples[i], coeffs[i]) for i in range(taps)]
+    level = products
+    while len(level) > 1:
+        next_level = []
+        for i in range(0, len(level) - 1, 2):
+            next_level.append(b.add(level[i], level[i + 1]))
+        if len(level) % 2 == 1:
+            next_level.append(level[-1])
+        level = next_level
+    b.output(level[0])
+    return b.build()
+
+
+def differential_equation(width: int = 16) -> DataFlowGraph:
+    """The HAL differential-equation benchmark (Paulin & Knight).
+
+    One Euler step of ``y'' + 3xy' + 3y = 0``: six multiplications, two
+    subtractions, two additions and one comparison (11 operations).
+    """
+    b = GraphBuilder("diffeq", default_width=width)
+    x = b.input("x")
+    y = b.input("y")
+    u = b.input("u")
+    dx = b.input("dx")
+    a = b.input("a")
+    three = b.input("three")
+
+    m1 = b.mul(three, x)          # 3x
+    m2 = b.mul(m1, u)             # 3xu
+    m3 = b.mul(m2, dx)            # 3xu*dx
+    m4 = b.mul(three, y)          # 3y
+    m5 = b.mul(m4, dx)            # 3y*dx
+    m6 = b.mul(u, dx)             # u*dx
+
+    s1 = b.sub(u, m3)
+    u1 = b.sub(s1, m5, name="u1")
+    y1 = b.add(y, m6, name="y1")
+    x1 = b.add(x, dx, name="x1")
+    c = b.op(OpType.COMPARE, x1, a, name="c")
+
+    b.output(u1)
+    b.output(y1)
+    b.output(x1)
+    b.output(c)
+    return b.build()

@@ -1,0 +1,126 @@
+"""Additional benchmark graphs: 8-point DCT and radix-2 FFT.
+
+These extend the classic set in :mod:`repro.dfg.benchmarks` with the two
+transform kernels most partitioning papers of the era exercised.  The
+DCT follows the Loeffler factorization's structure (three-multiplier
+rotations; 11 multiplications total); the FFT generator is parametric in
+the transform size and flattens complex butterflies into real
+operations, producing the large regular graphs useful for scaling
+studies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.dfg.builders import GraphBuilder
+from repro.dfg.graph import DataFlowGraph
+from repro.errors import SpecificationError
+
+
+def _rotation(
+    b: GraphBuilder, a: str, c: str, k1: str, k2: str, k3: str
+) -> Tuple[str, str]:
+    """Three-multiplier rotation: (a, c) -> (a', c').
+
+    ``a' = a*k1 + (a+c)*k3`` and ``c' = (a+c)*k3 - c*k2`` — the standard
+    strength-reduced form using 3 multiplications and 3 additions.
+    """
+    m1 = b.mul(a, k1)
+    m2 = b.mul(c, k2)
+    total = b.add(a, c)
+    m3 = b.mul(total, k3)
+    out_a = b.add(m1, m3)
+    out_c = b.sub(m3, m2)
+    return out_a, out_c
+
+
+def dct8(width: int = 16) -> DataFlowGraph:
+    """An 8-point DCT in the Loeffler style: 11 multiplications.
+
+    Eight sample inputs, ten rotation/scale coefficients, eight
+    transform outputs.
+    """
+    b = GraphBuilder("dct8", default_width=width)
+    x = [b.input(f"x{i}") for i in range(8)]
+    k = [b.input(f"k{i}") for i in range(1, 10)]
+    c4 = b.input("c4")
+
+    # Stage 1: input butterflies.
+    s = [b.add(x[i], x[7 - i]) for i in range(4)]
+    d = [b.sub(x[i], x[7 - i]) for i in range(4)]
+
+    # Even part.
+    t0 = b.add(s[0], s[3])
+    t1 = b.add(s[1], s[2])
+    t2 = b.sub(s[1], s[2])
+    t3 = b.sub(s[0], s[3])
+    x0 = b.add(t0, t1, name="X0")
+    x4 = b.sub(t0, t1, name="X4")
+    x2, x6 = _rotation(b, t3, t2, k[0], k[1], k[2])
+
+    # Odd part: two rotations, then combine and scale.
+    o1a, o1b = _rotation(b, d[0], d[3], k[3], k[4], k[5])
+    o2a, o2b = _rotation(b, d[1], d[2], k[6], k[7], k[8])
+    x1 = b.add(o1a, o2a, name="X1")
+    x7 = b.sub(o1b, o2b, name="X7")
+    u = b.sub(o1a, o2a)
+    v = b.add(o1b, o2b)
+    x3 = b.mul(u, c4, name="X3")
+    x5 = b.mul(v, c4, name="X5")
+
+    for out in (x0, x1, x2, x3, x4, x5, x6, x7):
+        b.output(out)
+    return b.build()
+
+
+def fft_graph(points: int = 8, width: int = 16) -> DataFlowGraph:
+    """A radix-2 decimation-in-time FFT flattened to real arithmetic.
+
+    ``points`` must be a power of two (>= 2).  Each complex value is a
+    (re, im) pair of 16-bit values; each butterfly is a complex multiply
+    (4 mul + 2 add/sub) followed by a complex add and subtract (4
+    add/sub), i.e. 10 operations.  The graph has
+    ``points/2 * log2(points)`` butterflies.
+    """
+    if points < 2 or points & (points - 1):
+        raise SpecificationError(
+            f"FFT size must be a power of two >= 2, got {points}"
+        )
+    stages = int(math.log2(points))
+    b = GraphBuilder(f"fft{points}", default_width=width)
+    re = [b.input(f"re{i}") for i in range(points)]
+    im = [b.input(f"im{i}") for i in range(points)]
+    # Twiddle factors as inputs, one (re, im) pair per butterfly column.
+    tw_re = [b.input(f"wr{i}") for i in range(points // 2)]
+    tw_im = [b.input(f"wi{i}") for i in range(points // 2)]
+
+    for stage in range(stages):
+        span = 1 << stage
+        next_re = list(re)
+        next_im = list(im)
+        for group in range(0, points, span * 2):
+            for offset in range(span):
+                top = group + offset
+                bottom = top + span
+                widx = (offset * (points // (span * 2))) % (points // 2)
+                # Complex multiply: w * bottom.
+                pr1 = b.mul(re[bottom], tw_re[widx])
+                pr2 = b.mul(im[bottom], tw_im[widx])
+                pi1 = b.mul(re[bottom], tw_im[widx])
+                pi2 = b.mul(im[bottom], tw_re[widx])
+                prod_re = b.sub(pr1, pr2)
+                prod_im = b.add(pi1, pi2)
+                # Butterfly add/sub.
+                next_re[top] = b.add(re[top], prod_re)
+                next_im[top] = b.add(im[top], prod_im)
+                next_re[bottom] = b.sub(re[top], prod_re)
+                next_im[bottom] = b.sub(im[top], prod_im)
+        re = next_re
+        im = next_im
+
+    for i in range(points):
+        b.output(re[i])
+        b.output(im[i])
+    return b.build()

@@ -1,0 +1,157 @@
+"""Incremental construction of data-flow graphs.
+
+:class:`GraphBuilder` offers a small fluent API::
+
+    b = GraphBuilder("example", default_width=16)
+    x = b.input("x")
+    k = b.input("k")
+    p = b.op(OpType.MUL, x, k)           # auto-named value
+    y = b.op(OpType.ADD, p, x, name="y")
+    b.output(y)
+    graph = b.build()
+
+Each ``op`` call returns the produced value's id, so expressions compose
+naturally.  The builder checks referential integrity as it goes and the
+final :meth:`GraphBuilder.build` validates acyclicity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.dfg.graph import DataFlowGraph, Operation, Value
+from repro.dfg.ops import OpType
+from repro.errors import SpecificationError
+from repro.units import DEFAULT_BIT_WIDTH
+
+
+class GraphBuilder:
+    """Builds a :class:`DataFlowGraph` one operation at a time."""
+
+    def __init__(self, name: str, default_width: int = DEFAULT_BIT_WIDTH) -> None:
+        if default_width <= 0:
+            raise SpecificationError(
+                f"default width must be positive, got {default_width}"
+            )
+        self.name = name
+        self.default_width = default_width
+        self._operations: Dict[str, Operation] = {}
+        self._values: Dict[str, Value] = {}
+        self._op_counter = 0
+        self._built = False
+
+    # ------------------------------------------------------------------
+    # node creation
+    # ------------------------------------------------------------------
+    def input(self, value_id: str, width: Optional[int] = None) -> str:
+        """Declare a primary input value; returns its id."""
+        self._require_open()
+        if value_id in self._values:
+            raise SpecificationError(f"duplicate value id {value_id!r}")
+        self._values[value_id] = Value(
+            id=value_id, width=width or self.default_width
+        )
+        return value_id
+
+    def op(
+        self,
+        op_type: OpType,
+        *inputs: str,
+        name: Optional[str] = None,
+        width: Optional[int] = None,
+        memory_block: Optional[str] = None,
+    ) -> str:
+        """Add an operation consuming ``inputs``; returns the output value id.
+
+        For :data:`OpType.MEM_WRITE` the return value is the operation id
+        (writes produce no value).
+        """
+        self._require_open()
+        for vid in inputs:
+            if vid not in self._values:
+                raise SpecificationError(
+                    f"operation consumes undeclared value {vid!r}"
+                )
+        self._op_counter += 1
+        op_id = f"{op_type.value}{self._op_counter}"
+        if op_id in self._operations:  # defensive; counter makes this unlikely
+            raise SpecificationError(f"duplicate operation id {op_id!r}")
+
+        if op_type is OpType.MEM_WRITE:
+            operation = Operation(
+                id=op_id,
+                op_type=op_type,
+                inputs=tuple(inputs),
+                output=None,
+                memory_block=memory_block,
+            )
+            self._operations[op_id] = operation
+            return op_id
+
+        out_id = name if name is not None else f"v_{op_id}"
+        if out_id in self._values:
+            raise SpecificationError(f"duplicate value id {out_id!r}")
+        operation = Operation(
+            id=op_id,
+            op_type=op_type,
+            inputs=tuple(inputs),
+            output=out_id,
+            memory_block=memory_block,
+        )
+        self._operations[op_id] = operation
+        self._values[out_id] = Value(
+            id=out_id, width=width or self.default_width, producer=op_id
+        )
+        return out_id
+
+    # Convenience wrappers for the common arithmetic types -------------
+    def add(self, a: str, b: str, name: Optional[str] = None) -> str:
+        return self.op(OpType.ADD, a, b, name=name)
+
+    def sub(self, a: str, b: str, name: Optional[str] = None) -> str:
+        return self.op(OpType.SUB, a, b, name=name)
+
+    def mul(self, a: str, b: str, name: Optional[str] = None) -> str:
+        return self.op(OpType.MUL, a, b, name=name)
+
+    def mem_read(
+        self, address: str, memory_block: str, name: Optional[str] = None
+    ) -> str:
+        return self.op(
+            OpType.MEM_READ, address, name=name, memory_block=memory_block
+        )
+
+    def mem_write(self, value: str, memory_block: str) -> str:
+        return self.op(OpType.MEM_WRITE, value, memory_block=memory_block)
+
+    def output(self, value_id: str) -> None:
+        """Mark an existing value as a primary output."""
+        self._require_open()
+        value = self._values.get(value_id)
+        if value is None:
+            raise SpecificationError(
+                f"cannot mark unknown value {value_id!r} as output"
+            )
+        self._values[value_id] = Value(
+            id=value.id,
+            width=value.width,
+            producer=value.producer,
+            is_output=True,
+        )
+
+    # ------------------------------------------------------------------
+    # finalisation
+    # ------------------------------------------------------------------
+    def build(self) -> DataFlowGraph:
+        """Finish construction and validate the graph."""
+        self._require_open()
+        self._built = True
+        graph = DataFlowGraph(self.name, self._operations, self._values)
+        graph.topological_order()  # raises on cycles
+        return graph
+
+    def _require_open(self) -> None:
+        if self._built:
+            raise SpecificationError(
+                "builder already finalised; create a new GraphBuilder"
+            )

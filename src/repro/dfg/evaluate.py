@@ -1,0 +1,117 @@
+"""Reference interpreter for data-flow graphs.
+
+Gives the behavioral specification executable semantics: two's-complement
+fixed-width integer arithmetic, memory blocks as word arrays with
+addressed reads and stream (append-order) writes.  The synthesis
+simulator (:mod:`repro.synth.simulate`) is checked against this
+interpreter — a bound, scheduled netlist must compute exactly what the
+specification computes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, MutableMapping, Optional
+
+from repro.dfg.graph import DataFlowGraph
+from repro.dfg.ops import OpType
+from repro.errors import SpecificationError
+
+
+def _mask(value: int, width: int) -> int:
+    """Two's-complement wrap to ``width`` bits (non-negative residue)."""
+    return value & ((1 << width) - 1)
+
+
+def apply_op(
+    op_type: OpType, operands: List[int], width: int
+) -> int:
+    """One operation's arithmetic on already-masked operands."""
+    if op_type is OpType.ADD:
+        return _mask(operands[0] + operands[1], width)
+    if op_type is OpType.SUB:
+        return _mask(operands[0] - operands[1], width)
+    if op_type is OpType.MUL:
+        return _mask(operands[0] * operands[1], width)
+    if op_type is OpType.DIV:
+        if operands[1] == 0:
+            return _mask(-1, width)  # hardware saturates on div-by-zero
+        return _mask(operands[0] // operands[1], width)
+    if op_type is OpType.COMPARE:
+        return 1 if operands[0] < operands[1] else 0
+    if op_type is OpType.SHIFT:
+        return _mask(operands[0] << (operands[1] % width), width)
+    if op_type is OpType.AND:
+        return operands[0] & operands[1]
+    if op_type is OpType.OR:
+        return operands[0] | operands[1]
+    raise SpecificationError(
+        f"operation type {op_type.value!r} has no arithmetic semantics"
+    )
+
+
+def evaluate(
+    graph: DataFlowGraph,
+    inputs: Mapping[str, int],
+    memories: Optional[MutableMapping[str, List[int]]] = None,
+) -> Dict[str, int]:
+    """Execute the graph; returns every computed value by id.
+
+    ``inputs`` must cover all primary inputs.  ``memories`` maps block
+    names to word lists, mutated in place: reads index by
+    ``address % len(words)``, writes append in topological order (stream
+    semantics — the write operation carries no address).
+    """
+    values: Dict[str, int] = {}
+    for value in graph.primary_inputs():
+        if value.id not in inputs:
+            raise SpecificationError(
+                f"missing input value {value.id!r}"
+            )
+        values[value.id] = _mask(int(inputs[value.id]), value.width)
+
+    memories = memories if memories is not None else {}
+    for op_id in graph.topological_order():
+        op = graph.operation(op_id)
+        operands = [values[vid] for vid in op.inputs]
+        if op.op_type is OpType.MEM_READ:
+            words = _memory(memories, op.memory_block)
+            assert op.output is not None
+            width = graph.value(op.output).width
+            values[op.output] = _mask(
+                words[operands[0] % len(words)], width
+            )
+            continue
+        if op.op_type is OpType.MEM_WRITE:
+            words = _memory(memories, op.memory_block)
+            words.append(operands[0])
+            continue
+        assert op.output is not None
+        width = graph.value(op.output).width
+        values[op.output] = apply_op(op.op_type, operands, width)
+    return values
+
+
+def evaluate_outputs(
+    graph: DataFlowGraph,
+    inputs: Mapping[str, int],
+    memories: Optional[MutableMapping[str, List[int]]] = None,
+) -> Dict[str, int]:
+    """Like :func:`evaluate`, restricted to the primary outputs."""
+    values = evaluate(graph, inputs, memories)
+    return {
+        v.id: values[v.id]
+        for v in graph.primary_outputs()
+        if v.id in values
+    }
+
+
+def _memory(
+    memories: MutableMapping[str, List[int]], block: Optional[str]
+) -> List[int]:
+    assert block is not None
+    words = memories.get(block)
+    if words is None or not words:
+        raise SpecificationError(
+            f"memory block {block!r} has no contents to read"
+        )
+    return words

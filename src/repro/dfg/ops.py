@@ -1,0 +1,51 @@
+"""Operation types recognised by the predictor and partitioner.
+
+The compute types map to library components (Table 1 of the paper has
+addition and multiplication; we add the other types classic HLS libraries
+carry).  The memory types model the paper's memory-mapped I/O: "I/O
+operations are modeled as memory-mapped I/O" (section 2.4), so reads and
+writes against a memory block are first-class operations that consume
+memory bandwidth and chip pins.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpType(enum.Enum):
+    """Kinds of operations a data-flow graph node can perform."""
+
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    COMPARE = "cmp"
+    SHIFT = "shift"
+    AND = "and"
+    OR = "or"
+    #: Read one word from a memory block (memory-mapped I/O included).
+    MEM_READ = "mem_read"
+    #: Write one word to a memory block (memory-mapped I/O included).
+    MEM_WRITE = "mem_write"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Types implemented by datapath components from the library.
+COMPUTE_OP_TYPES = frozenset(
+    {
+        OpType.ADD,
+        OpType.SUB,
+        OpType.MUL,
+        OpType.DIV,
+        OpType.COMPARE,
+        OpType.SHIFT,
+        OpType.AND,
+        OpType.OR,
+    }
+)
+
+#: Types served by memory blocks rather than datapath components.
+MEMORY_OP_TYPES = frozenset({OpType.MEM_READ, OpType.MEM_WRITE})

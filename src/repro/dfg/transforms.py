@@ -1,0 +1,100 @@
+"""Graph validation and loop unrolling.
+
+The paper restricts specifications to be free of inner loops: "Inner loops
+with determinate iteration counts can be unrolled so that the resulting
+data flow graph is acyclic" (section 2.3, citing Park and Paulin/Knight).
+:func:`unroll_loop` implements that preprocessing step; behavioral front
+ends express the loop body as a Python callable over a
+:class:`~repro.dfg.builders.GraphBuilder`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.dfg.builders import GraphBuilder
+from repro.dfg.graph import DataFlowGraph
+from repro.errors import SpecificationError
+
+#: Loop bodies map (builder, iteration index, carried values) -> carried
+#: values for the next iteration.  Carried values are named value ids.
+LoopBody = Callable[[GraphBuilder, int, Dict[str, str]], Dict[str, str]]
+
+
+def unroll_loop(
+    builder: GraphBuilder,
+    iterations: int,
+    initial: Dict[str, str],
+    body: LoopBody,
+) -> Dict[str, str]:
+    """Unroll a determinate-count loop into the builder's graph.
+
+    ``initial`` maps loop-carried variable names to the value ids holding
+    their values before the first iteration.  ``body`` is invoked once per
+    iteration and must return a mapping for exactly the same variable
+    names.  Returns the mapping after the final iteration.
+
+    >>> from repro.dfg import GraphBuilder, OpType
+    >>> b = GraphBuilder("acc")
+    >>> x = b.input("x")
+    >>> acc = b.input("acc0")
+    >>> def body(bld, i, carried):
+    ...     return {"acc": bld.add(carried["acc"], x)}
+    >>> final = unroll_loop(b, 3, {"acc": acc}, body)
+    >>> b.output(final["acc"])
+    >>> b.build().op_count()
+    3
+    """
+    if iterations < 0:
+        raise SpecificationError(
+            f"iteration count must be non-negative, got {iterations}"
+        )
+    carried = dict(initial)
+    names = set(carried)
+    for index in range(iterations):
+        result = body(builder, index, dict(carried))
+        if set(result) != names:
+            raise SpecificationError(
+                f"loop body changed the carried-variable set at iteration "
+                f"{index}: expected {sorted(names)}, got {sorted(result)}"
+            )
+        carried = dict(result)
+    return carried
+
+
+def validate_graph(graph: DataFlowGraph) -> List[str]:
+    """Check the paper's structural restrictions; return problem strings.
+
+    An empty list means the graph is a valid CHOP input: acyclic (checked
+    by construction via the topological order), no value both unproduced
+    and unconsumed, and at least one primary output so the system delay is
+    well defined.
+    """
+    problems: List[str] = []
+    try:
+        graph.topological_order()
+    except SpecificationError as exc:
+        problems.append(str(exc))
+        return problems
+
+    for value in graph.values.values():
+        consumed = bool(graph.consumers(value.id))
+        if value.producer is None and not consumed:
+            problems.append(
+                f"value {value.id!r} is never produced nor consumed"
+            )
+        if value.producer is not None and not consumed and not value.is_output:
+            problems.append(
+                f"value {value.id!r} is computed but never used; mark it as "
+                "an output or remove the operation"
+            )
+    if not graph.primary_outputs():
+        problems.append(
+            f"graph {graph.name!r} has no primary outputs; system delay is "
+            "undefined"
+        )
+    if not graph.primary_inputs():
+        problems.append(
+            f"graph {graph.name!r} has no primary inputs; nothing to compute"
+        )
+    return problems

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the CHOP reproduction.
+
+Every error raised by this library derives from :class:`ChopError`, so
+callers can catch one type at an API boundary.  Subclasses distinguish the
+three broad failure families: malformed inputs (specification, library or
+chip-set data), modelling violations (a request the prediction model cannot
+honour, such as a module that does not fit the datapath clock), and search
+failures (no feasible implementation exists for a partitioning).
+"""
+
+from __future__ import annotations
+
+
+class ChopError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SpecificationError(ChopError):
+    """A behavioral specification (data-flow graph) is malformed.
+
+    Raised for cyclic graphs, dangling value references, duplicate
+    identifiers, unsupported inner loops and similar structural problems.
+    """
+
+
+class LibraryError(ChopError):
+    """A component library is malformed or cannot serve a request.
+
+    Raised when an operation type has no implementing component, when
+    component data is inconsistent (non-positive area/delay), or when a
+    module set omits a required operation type.
+    """
+
+
+class ChipError(ChopError):
+    """A chip package or chip-set description is invalid.
+
+    Raised for non-positive dimensions, pin counts too small to host the
+    mandatory power/ground/control reservations, or assignments that
+    reference unknown chips.
+    """
+
+
+class PartitioningError(ChopError):
+    """A partitioning is structurally invalid.
+
+    Raised when partitions overlap, omit operations, form mutual data
+    dependencies (which the paper's prediction model forbids), or reference
+    unknown chips or memory blocks.
+    """
+
+
+class PredictionError(ChopError):
+    """The prediction model cannot produce an estimate.
+
+    Raised, for example, when no module in the library fits the datapath
+    clock under the single-cycle style, or when a schedule cannot be
+    constructed with the requested resources.
+    """
+
+
+class InfeasibleError(ChopError):
+    """No feasible implementation exists for the request.
+
+    Carries the reason so the designer feedback loop (paper section 2.7)
+    can report *why* the partitioning failed rather than merely that it did.
+    """
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason

@@ -1,0 +1,32 @@
+"""Canonical setups of the paper's experiments.
+
+Benchmarks, examples and tests all build the paper's two experiments from
+these helpers so the settings live in exactly one place:
+
+* **Experiment 1** (section 3.1): single-cycle-operation style, datapath
+  clock 10x the 300 ns main clock, transfer clock = main clock,
+  performance = delay = 30 000 ns, packages 1 (64-pin) and 2 (84-pin),
+  1/2/3 partitions each on its own chip.
+* **Experiment 2** (section 3.2): multi-cycle operations, datapath and
+  transfer clocks = main clock, performance tightened to 20 000 ns.
+"""
+
+from repro.experiments.setups import (
+    EXPERIMENT1_CRITERIA,
+    EXPERIMENT2_CRITERIA,
+    experiment1_clocks,
+    experiment1_session,
+    experiment2_clocks,
+    experiment2_session,
+    experiment_session,
+)
+
+__all__ = [
+    "EXPERIMENT1_CRITERIA",
+    "EXPERIMENT2_CRITERIA",
+    "experiment1_clocks",
+    "experiment1_session",
+    "experiment2_clocks",
+    "experiment2_session",
+    "experiment_session",
+]

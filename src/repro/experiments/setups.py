@@ -1,0 +1,105 @@
+"""Session builders for the paper's experiments."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bad.styles import ArchitectureStyle, ClockScheme, OperationTiming
+from repro.chips.presets import mosis_package
+from repro.core.chop import ChopSession
+from repro.core.feasibility import FeasibilityCriteria
+from repro.core.schemes import horizontal_cut
+from repro.dfg.benchmarks import ar_lattice_filter
+from repro.dfg.graph import DataFlowGraph
+from repro.errors import PartitioningError
+from repro.library.presets import table1_library
+
+#: "The main clock cycle ... was set to 300ns" (section 3).
+MAIN_CLOCK_NS = 300.0
+
+#: "We first set the performance and delay constraints to 30000ns."
+EXPERIMENT1_CRITERIA = FeasibilityCriteria(
+    performance_ns=30_000.0, delay_ns=30_000.0
+)
+
+#: "The performance constraint is tightened to 20,000ns" (section 3.2).
+EXPERIMENT2_CRITERIA = FeasibilityCriteria(
+    performance_ns=20_000.0, delay_ns=30_000.0
+)
+
+
+def experiment1_clocks() -> ClockScheme:
+    """Experiment 1: datapath clock 10x main, transfer clock = main."""
+    return ClockScheme(
+        MAIN_CLOCK_NS, dp_multiplier=10, transfer_multiplier=1
+    )
+
+
+def experiment2_clocks() -> ClockScheme:
+    """Experiment 2: both clocks at main-clock speed."""
+    return ClockScheme(MAIN_CLOCK_NS, dp_multiplier=1, transfer_multiplier=1)
+
+
+def experiment_session(
+    graph: DataFlowGraph,
+    clocks: ClockScheme,
+    style: ArchitectureStyle,
+    criteria: FeasibilityCriteria,
+    package_number: int,
+    partition_count: int,
+) -> ChopSession:
+    """A session with ``partition_count`` horizontal-cut partitions,
+    each manually assigned to its own chip of the given package — the
+    paper's experimental protocol ("in all cases, each partition was
+    manually assigned to a separate chip")."""
+    if partition_count < 1:
+        raise PartitioningError(
+            f"partition count must be >= 1, got {partition_count}"
+        )
+    session = ChopSession(
+        graph=graph,
+        library=table1_library(),
+        clocks=clocks,
+        style=style,
+        criteria=criteria,
+    )
+    partitions = horizontal_cut(graph, partition_count)
+    assignment = {}
+    for index, partition in enumerate(partitions):
+        chip_name = f"chip{index + 1}"
+        session.add_chip(chip_name, mosis_package(package_number))
+        assignment[partition.name] = chip_name
+    session.set_partitions(partitions, assignment)
+    return session
+
+
+def experiment1_session(
+    package_number: int = 2,
+    partition_count: int = 1,
+    graph: Optional[DataFlowGraph] = None,
+) -> ChopSession:
+    """One cell of the paper's experiment 1."""
+    return experiment_session(
+        graph=graph if graph is not None else ar_lattice_filter(),
+        clocks=experiment1_clocks(),
+        style=ArchitectureStyle(OperationTiming.SINGLE_CYCLE),
+        criteria=EXPERIMENT1_CRITERIA,
+        package_number=package_number,
+        partition_count=partition_count,
+    )
+
+
+def experiment2_session(
+    partition_count: int = 1,
+    package_number: int = 2,
+    graph: Optional[DataFlowGraph] = None,
+) -> ChopSession:
+    """One cell of the paper's experiment 2 (package 2 throughout)."""
+    return experiment_session(
+        graph=graph if graph is not None else ar_lattice_filter(),
+        clocks=experiment2_clocks(),
+        style=ArchitectureStyle(OperationTiming.MULTI_CYCLE),
+        criteria=EXPERIMENT2_CRITERIA,
+        package_number=package_number,
+        partition_count=partition_count,
+    )

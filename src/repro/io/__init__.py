@@ -1,0 +1,24 @@
+"""JSON import/export of specifications, libraries, chip sets and
+whole designer projects.
+
+The paper's six input groups (section 2.2) map onto one JSON document —
+see :mod:`repro.io.project` for the schema — so a session can be stored,
+versioned and rerun from the command line (:mod:`repro.cli`).
+"""
+
+from repro.io.graphs import graph_from_dict, graph_to_dict
+from repro.io.project import (
+    load_project,
+    load_project_file,
+    save_project_file,
+    session_to_dict,
+)
+
+__all__ = [
+    "graph_from_dict",
+    "graph_to_dict",
+    "load_project",
+    "load_project_file",
+    "save_project_file",
+    "session_to_dict",
+]

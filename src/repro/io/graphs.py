@@ -1,0 +1,109 @@
+"""Data-flow graph <-> JSON-friendly dictionaries.
+
+Schema::
+
+    {
+      "name": "my-filter",
+      "inputs":     [{"id": "x", "width": 16}, ...],
+      "operations": [{"id": "mul1", "type": "mul",
+                      "inputs": ["x", "k1"], "output": "v1",
+                      "width": 16, "memory_block": null}, ...],
+      "outputs":    ["y"]
+    }
+
+Operation outputs are declared inline; ``mem_write`` operations omit
+``output``.  ``width`` on an operation sizes its output value.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.dfg.graph import DataFlowGraph, Operation, Value
+from repro.dfg.ops import OpType
+from repro.errors import SpecificationError
+from repro.units import DEFAULT_BIT_WIDTH
+
+
+def graph_to_dict(graph: DataFlowGraph) -> Dict[str, Any]:
+    """Serialise a graph into the JSON schema above."""
+    operations: List[Dict[str, Any]] = []
+    for op_id in graph.topological_order():
+        op = graph.operation(op_id)
+        entry: Dict[str, Any] = {
+            "id": op.id,
+            "type": op.op_type.value,
+            "inputs": list(op.inputs),
+        }
+        if op.output is not None:
+            entry["output"] = op.output
+            entry["width"] = graph.value(op.output).width
+        if op.memory_block is not None:
+            entry["memory_block"] = op.memory_block
+        operations.append(entry)
+    return {
+        "name": graph.name,
+        "inputs": [
+            {"id": v.id, "width": v.width}
+            for v in graph.primary_inputs()
+        ],
+        "operations": operations,
+        "outputs": [v.id for v in graph.primary_outputs()],
+    }
+
+
+def graph_from_dict(data: Dict[str, Any]) -> DataFlowGraph:
+    """Rebuild a graph from its dictionary form (inverse of
+    :func:`graph_to_dict`)."""
+    try:
+        name = data["name"]
+        input_entries = data["inputs"]
+        op_entries = data["operations"]
+        output_ids = set(data.get("outputs", ()))
+    except (KeyError, TypeError) as exc:
+        raise SpecificationError(
+            f"malformed graph document: missing {exc}"
+        ) from None
+
+    values: Dict[str, Value] = {}
+    operations: Dict[str, Operation] = {}
+    for entry in input_entries:
+        vid = entry["id"]
+        values[vid] = Value(
+            id=vid,
+            width=int(entry.get("width", DEFAULT_BIT_WIDTH)),
+            is_output=vid in output_ids,
+        )
+    for entry in op_entries:
+        try:
+            op_type = OpType(entry["type"])
+        except ValueError:
+            raise SpecificationError(
+                f"unknown operation type {entry.get('type')!r}"
+            ) from None
+        op_id = entry["id"]
+        output = entry.get("output")
+        operation = Operation(
+            id=op_id,
+            op_type=op_type,
+            inputs=tuple(entry.get("inputs", ())),
+            output=output,
+            memory_block=entry.get("memory_block"),
+        )
+        if op_id in operations:
+            raise SpecificationError(f"duplicate operation id {op_id!r}")
+        operations[op_id] = operation
+        if output is not None:
+            if output in values:
+                raise SpecificationError(
+                    f"duplicate value id {output!r}"
+                )
+            values[output] = Value(
+                id=output,
+                width=int(entry.get("width", DEFAULT_BIT_WIDTH)),
+                producer=op_id,
+                is_output=output in output_ids,
+            )
+    graph = DataFlowGraph(name, operations, values)
+    graph.topological_order()  # raises on cycles
+    return graph

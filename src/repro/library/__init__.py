@@ -1,0 +1,22 @@
+"""Component libraries and module-set enumeration.
+
+The paper's library (Table 1) offers several components per operation type
+with different area/delay trade-offs; BAD "includes all possible
+module-set combinations" when predicting.  A *module set* picks exactly one
+component per operation type used by a partition; with three adders and
+three multipliers that gives the paper's "up to 9 module-set
+configurations".
+"""
+
+from repro.library.component import Cell, Component
+from repro.library.library import ComponentLibrary, ModuleSet
+from repro.library.presets import table1_library, extended_library
+
+__all__ = [
+    "Cell",
+    "Component",
+    "ComponentLibrary",
+    "ModuleSet",
+    "table1_library",
+    "extended_library",
+]

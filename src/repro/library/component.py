@@ -1,0 +1,85 @@
+"""Datapath component descriptions.
+
+A :class:`Component` is one row of the paper's Table 1: a named module
+implementing one operation type at one bit width, with an area in square
+mil and a combinational delay in nanoseconds.  Registers and multiplexers
+are 1-bit components scaled by bit count during allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dfg.ops import OpType
+from repro.errors import LibraryError
+
+
+@dataclass(frozen=True, slots=True)
+class Component:
+    """One library module.
+
+    ``bit_width`` is the native width; area scales linearly when a
+    different width is requested (the standard bit-slice assumption for
+    3-micron standard-cell modules).
+    """
+
+    name: str
+    op_type: OpType
+    bit_width: int
+    area_mil2: float
+    delay_ns: float
+
+    def __post_init__(self) -> None:
+        if self.bit_width <= 0:
+            raise LibraryError(
+                f"component {self.name!r}: bit width must be positive"
+            )
+        if self.area_mil2 <= 0:
+            raise LibraryError(
+                f"component {self.name!r}: area must be positive, got "
+                f"{self.area_mil2}"
+            )
+        if self.delay_ns <= 0:
+            raise LibraryError(
+                f"component {self.name!r}: delay must be positive, got "
+                f"{self.delay_ns}"
+            )
+
+    def area_for_width(self, width: int) -> float:
+        """Area when instantiated at ``width`` bits (bit-slice scaling)."""
+        if width <= 0:
+            raise LibraryError(f"width must be positive, got {width}")
+        return self.area_mil2 * (width / self.bit_width)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.name} ({self.op_type.value}, {self.bit_width}b, "
+            f"{self.area_mil2:g} mil^2, {self.delay_ns:g} ns)"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Cell:
+    """A 1-bit structural cell (register or multiplexer).
+
+    Unlike :class:`Component`, a cell implements no data-flow operation;
+    allocation replicates it per bit.  The paper's Table 1 lists the two
+    cells every design needs: the 1-bit register (31 mil^2, 5 ns) and the
+    1-bit 2:1 multiplexer (18 mil^2, 4 ns).
+    """
+
+    name: str
+    area_mil2: float
+    delay_ns: float
+
+    def __post_init__(self) -> None:
+        if self.area_mil2 <= 0 or self.delay_ns <= 0:
+            raise LibraryError(
+                f"cell {self.name!r}: area and delay must be positive"
+            )
+
+    def area_for_bits(self, bits: int) -> float:
+        """Total area of ``bits`` replicated cells."""
+        if bits < 0:
+            raise LibraryError(f"bit count must be non-negative, got {bits}")
+        return self.area_mil2 * bits

@@ -1,0 +1,146 @@
+"""Component libraries and module sets.
+
+:class:`ComponentLibrary` groups :class:`~repro.library.component.Component`
+instances by operation type and enumerates *module sets* — one choice of
+component per required operation type.  The special roles ``register`` and
+``mux`` (1-bit storage and steering cells used by every design) are held
+separately because every module set shares them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.dfg.ops import COMPUTE_OP_TYPES, OpType
+from repro.errors import LibraryError
+from repro.library.component import Cell, Component
+
+
+@dataclass(frozen=True, slots=True)
+class ModuleSet:
+    """One component chosen for each operation type a partition uses."""
+
+    choices: Tuple[Tuple[OpType, Component], ...]
+
+    @staticmethod
+    def of(mapping: Mapping[OpType, Component]) -> "ModuleSet":
+        ordered = tuple(sorted(mapping.items(), key=lambda kv: kv[0].value))
+        return ModuleSet(choices=ordered)
+
+    def component(self, op_type: OpType) -> Component:
+        for chosen_type, component in self.choices:
+            if chosen_type is op_type:
+                return component
+        raise LibraryError(
+            f"module set has no component for {op_type.value!r}"
+        )
+
+    def op_types(self) -> Tuple[OpType, ...]:
+        return tuple(op_type for op_type, _ in self.choices)
+
+    @property
+    def label(self) -> str:
+        """Compact human-readable name, e.g. ``add2+mul3``."""
+        return "+".join(component.name for _, component in self.choices)
+
+    def max_delay_ns(self) -> float:
+        """Slowest component delay in the set."""
+        return max(component.delay_ns for _, component in self.choices)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.label
+
+
+class ComponentLibrary:
+    """A named collection of datapath components.
+
+    ``register`` and ``mux`` are mandatory 1-bit cells: register and
+    multiplexer allocation (and their clock-cycle delay contributions) use
+    them for every predicted design.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        components: Iterable[Component],
+        register: Cell,
+        mux: Cell,
+    ) -> None:
+        self.name = name
+        self.register = register
+        self.mux = mux
+        self._by_type: Dict[OpType, List[Component]] = {}
+        self._by_name: Dict[str, Component] = {}
+        for component in components:
+            if component.op_type not in COMPUTE_OP_TYPES:
+                raise LibraryError(
+                    f"component {component.name!r} implements "
+                    f"{component.op_type.value!r}, which is not a compute type"
+                )
+            if component.name in self._by_name:
+                raise LibraryError(
+                    f"duplicate component name {component.name!r}"
+                )
+            self._by_name[component.name] = component
+            self._by_type.setdefault(component.op_type, []).append(component)
+        for options in self._by_type.values():
+            options.sort(key=lambda c: c.delay_ns)
+
+    # ------------------------------------------------------------------
+    def components_for(self, op_type: OpType) -> List[Component]:
+        """Components implementing ``op_type``, fastest first."""
+        options = self._by_type.get(op_type)
+        if not options:
+            raise LibraryError(
+                f"library {self.name!r} has no component for "
+                f"{op_type.value!r}"
+            )
+        return list(options)
+
+    def component_named(self, name: str) -> Component:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise LibraryError(
+                f"library {self.name!r} has no component named {name!r}"
+            ) from None
+
+    def supported_op_types(self) -> List[OpType]:
+        return sorted(self._by_type, key=lambda t: t.value)
+
+    def module_sets(
+        self,
+        op_types: Sequence[OpType],
+        max_delay_ns: Optional[float] = None,
+    ) -> List[ModuleSet]:
+        """All module sets covering ``op_types``.
+
+        ``max_delay_ns`` filters out components slower than the datapath
+        clock — the single-cycle-style restriction where every operation
+        must complete within one datapath cycle.  Raises
+        :class:`LibraryError` when some type has no qualifying component.
+        """
+        required = sorted(set(op_types), key=lambda t: t.value)
+        option_lists: List[List[Component]] = []
+        for op_type in required:
+            options = self.components_for(op_type)
+            if max_delay_ns is not None:
+                options = [c for c in options if c.delay_ns <= max_delay_ns]
+            if not options:
+                raise LibraryError(
+                    f"no component for {op_type.value!r} fits within "
+                    f"{max_delay_ns:g} ns"
+                )
+            option_lists.append(options)
+        sets = []
+        for combo in itertools.product(*option_lists):
+            sets.append(ModuleSet.of(dict(zip(required, combo))))
+        return sets
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ComponentLibrary({self.name!r}, {len(self)} components)"

@@ -1,0 +1,70 @@
+"""Preset component libraries.
+
+:func:`table1_library` reproduces the paper's Table 1 verbatim — a
+3-micron library with three adders, three multipliers, a 1-bit register
+and a 1-bit 2:1 multiplexer.  :func:`extended_library` adds the further
+operation types (subtract, compare, shift, logic) used by the non-paper
+benchmark graphs, with area/delay values interpolated in the same
+technology's style.
+"""
+
+from __future__ import annotations
+
+from repro.dfg.ops import OpType
+from repro.library.component import Cell, Component
+from repro.library.library import ComponentLibrary
+
+#: 1-bit register of Table 1: 31 mil^2, 5 ns.
+REGISTER = Cell("register", 31.0, 5.0)
+#: 1-bit 2:1 multiplexer of Table 1: 18 mil^2, 4 ns.
+MUX = Cell("mux", 18.0, 4.0)
+
+
+def table1_library() -> ComponentLibrary:
+    """The paper's Table 1 library (3-micron, 16-bit modules)."""
+    return ComponentLibrary(
+        name="table1-3micron",
+        components=[
+            Component("add1", OpType.ADD, 16, 4200.0, 34.0),
+            Component("add2", OpType.ADD, 16, 2880.0, 53.0),
+            Component("add3", OpType.ADD, 16, 1200.0, 151.0),
+            Component("mul1", OpType.MUL, 16, 49000.0, 375.0),
+            Component("mul2", OpType.MUL, 16, 9800.0, 2950.0),
+            Component("mul3", OpType.MUL, 16, 7100.0, 7370.0),
+        ],
+        register=REGISTER,
+        mux=MUX,
+    )
+
+
+def extended_library() -> ComponentLibrary:
+    """Table 1 plus subtracters, comparators, shifters and logic units.
+
+    Subtraction reuses adder geometry (two's-complement adders subtract at
+    the same cost); comparison is a stripped adder; shift and logic are
+    cheap array cells.  The extra types let the EWF/FIR/diffeq benchmarks
+    run through the same prediction pipeline.
+    """
+    base = table1_library()
+    extra = [
+        Component("sub1", OpType.SUB, 16, 4300.0, 36.0),
+        Component("sub2", OpType.SUB, 16, 2950.0, 56.0),
+        Component("sub3", OpType.SUB, 16, 1250.0, 158.0),
+        Component("cmp1", OpType.COMPARE, 16, 1900.0, 30.0),
+        Component("cmp2", OpType.COMPARE, 16, 800.0, 120.0),
+        Component("shift1", OpType.SHIFT, 16, 1500.0, 20.0),
+        Component("and1", OpType.AND, 16, 400.0, 8.0),
+        Component("or1", OpType.OR, 16, 400.0, 8.0),
+        Component("div1", OpType.DIV, 16, 62000.0, 1100.0),
+        Component("div2", OpType.DIV, 16, 15000.0, 8800.0),
+    ]
+    existing = [
+        base.component_named(name)
+        for name in ("add1", "add2", "add3", "mul1", "mul2", "mul3")
+    ]
+    return ComponentLibrary(
+        name="extended-3micron",
+        components=existing + extra,
+        register=REGISTER,
+        mux=MUX,
+    )

@@ -1,0 +1,23 @@
+"""Memory modules and bandwidth accounting.
+
+The paper's inputs include "on and off chip memory modules to be used and
+assignments of memory modules to chips" (section 2.2); I/O operations are
+modelled as memory-mapped I/O (section 2.4), and bandwidth calculations
+"take the effects of simultaneous memory I/O on pin usage" into account
+(section 2.5).  This package provides the memory-module descriptions and
+the per-block bandwidth/port model the integration predictor consumes.
+"""
+
+from repro.memory.module import MemoryModule
+from repro.memory.access import (
+    MemoryAccessProfile,
+    memory_access_profile,
+    memory_pin_load,
+)
+
+__all__ = [
+    "MemoryModule",
+    "MemoryAccessProfile",
+    "memory_access_profile",
+    "memory_pin_load",
+]

@@ -1,0 +1,24 @@
+"""Rendering of paper-style tables, guidelines and figure series."""
+
+from repro.reporting.tables import (
+    format_table,
+    library_table,
+    package_table,
+    prediction_stats_table,
+    results_table,
+)
+from repro.reporting.guidelines import design_guidelines
+from repro.reporting.markdown import markdown_report
+from repro.reporting.figures import ascii_scatter, scatter_csv
+
+__all__ = [
+    "format_table",
+    "library_table",
+    "package_table",
+    "prediction_stats_table",
+    "results_table",
+    "design_guidelines",
+    "markdown_report",
+    "ascii_scatter",
+    "scatter_csv",
+]

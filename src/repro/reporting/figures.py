@@ -1,0 +1,73 @@
+"""Figure 7/8-style design-space scatter output.
+
+The paper's figures plot every design considered during an unpruned
+search in area-delay space.  :func:`ascii_scatter` renders the cloud in a
+terminal; :func:`scatter_csv` emits the series for external plotting.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def scatter_csv(points: Sequence[Tuple[float, int]]) -> str:
+    """CSV (area_mil2, delay_cycles) series of a design space."""
+    lines = ["area_mil2,delay_cycles"]
+    for area, delay in points:
+        lines.append(f"{area:.1f},{delay}")
+    return "\n".join(lines)
+
+
+def ascii_scatter(
+    points: Sequence[Tuple[float, int]],
+    width: int = 72,
+    height: int = 20,
+) -> str:
+    """A terminal scatter plot of (area, delay) design points.
+
+    The x axis is area, the y axis delay (origin bottom-left, as the
+    paper draws them).  Overlapping designs deepen the glyph:
+    ``. : * #`` for 1 / 2-3 / 4-7 / 8+ designs per cell.
+    """
+    if width < 8 or height < 4:
+        raise ValueError("scatter needs width >= 8 and height >= 4")
+    if not points:
+        return "(empty design space)"
+    areas = [p[0] for p in points]
+    delays = [p[1] for p in points]
+    a_lo, a_hi = min(areas), max(areas)
+    d_lo, d_hi = min(delays), max(delays)
+    a_span = (a_hi - a_lo) or 1.0
+    d_span = (d_hi - d_lo) or 1
+
+    grid = [[0] * width for _ in range(height)]
+    for area, delay in points:
+        x = min(width - 1, int((area - a_lo) / a_span * (width - 1)))
+        y = min(height - 1, int((delay - d_lo) / d_span * (height - 1)))
+        grid[height - 1 - y][x] += 1
+
+    def glyph(count: int) -> str:
+        if count == 0:
+            return " "
+        if count == 1:
+            return "."
+        if count <= 3:
+            return ":"
+        if count <= 7:
+            return "*"
+        return "#"
+
+    lines: List[str] = [
+        f"delay {d_hi:>6} +" + "".join(glyph(c) for c in grid[0])
+    ]
+    for row in grid[1:-1]:
+        lines.append("             |" + "".join(glyph(c) for c in row))
+    lines.append(
+        f"delay {d_lo:>6} +" + "".join(glyph(c) for c in grid[-1])
+    )
+    lines.append(
+        "              " + f"area {a_lo:.0f}".ljust(width // 2)
+        + f"area {a_hi:.0f}".rjust(width - width // 2)
+    )
+    lines.append(f"{len(points)} designs plotted")
+    return "\n".join(lines)

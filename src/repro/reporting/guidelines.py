@@ -1,0 +1,55 @@
+"""Synthesis guidelines for a feasible design (paper section 3.1).
+
+"When CHOP determines the feasibility of an implementation, it outputs
+the design decisions and prediction results.  This provides a guideline
+for the designer to synthesize the predicted implementation."
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.search.results import FeasibleDesign
+
+
+def design_guidelines(design: FeasibleDesign) -> str:
+    """The section-3.1-style report for one feasible design."""
+    system = design.system
+    lines: List[str] = [
+        (
+            f"Predicted initiation interval {system.ii_main}, system delay "
+            f"{system.delay_main} (main clock cycles), clock cycle "
+            f"{system.clock_cycle_ns.ml:.0f} ns."
+        ),
+        "",
+        "CHOP has reached this prediction by selecting:",
+    ]
+    for name in sorted(design.selection):
+        prediction = design.selection[name]
+        lines.append("")
+        lines.append(f"Partition {name}:")
+        for item in prediction.guideline_lines():
+            lines.append(f"  - {item}")
+    if system.transfer_modules:
+        lines.append("")
+        lines.append("Data transfer modules:")
+        for module in system.transfer_modules:
+            lines.append(
+                f"  - {module.task_name} on {module.chip} "
+                f"({module.mode} mode): {module.buffer_bits}-bit buffer, "
+                f"PLA {module.controller.inputs}x"
+                f"{module.controller.product_terms}x"
+                f"{module.controller.outputs}, area "
+                f"{module.area_mil2.ml:.0f} mil^2"
+                + (", always active" if module.always_active else "")
+            )
+    lines.append("")
+    lines.append("Chip occupancy:")
+    for chip_name in sorted(system.chip_usage):
+        usage = system.chip_usage[chip_name]
+        lines.append(
+            f"  - {chip_name}: partitions {', '.join(usage.partitions) or '-'}"
+            f", area {usage.total_area.ml:.0f} of "
+            f"{usage.usable_area_mil2:.0f} mil^2"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,143 @@
+"""Markdown session reports.
+
+One call renders a designer-facing report of a feasibility check: the
+input summary (the paper's six input groups), both heuristics' outcome
+rows, the winning design's guideline list and the per-chip occupancy —
+the artifact a designer would attach to a design review.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping
+
+from repro.core.chop import ChopSession
+from repro.search.results import SearchResult
+
+
+def markdown_report(
+    session: ChopSession,
+    results: Mapping[str, SearchResult],
+    title: str = "CHOP feasibility report",
+) -> str:
+    """Render a markdown report for one partitioning's check results.
+
+    ``results`` maps heuristic names (``iterative`` / ``enumeration``)
+    to their search outcomes.
+    """
+    partitioning = session.partitioning()
+    lines: List[str] = [f"# {title}", ""]
+
+    lines += ["## Inputs", ""]
+    lines.append(
+        f"* specification: `{session.graph.name}` "
+        f"({session.graph.op_count()} operations, depth "
+        f"{session.graph.depth()})"
+    )
+    lines.append(
+        f"* library: `{session.library.name}` "
+        f"({len(session.library)} components)"
+    )
+    lines.append(
+        f"* clocks: main {session.clocks.main_cycle_ns:g} ns, datapath "
+        f"x{session.clocks.dp_multiplier}, transfer "
+        f"x{session.clocks.transfer_multiplier}"
+    )
+    lines.append(
+        f"* style: {session.style.timing.value}"
+        + (", pipelined allowed" if session.style.allow_pipelined else "")
+    )
+    criteria = session.criteria
+    constraint_bits = [
+        f"performance <= {criteria.performance_ns:g} ns",
+        f"delay <= {criteria.delay_ns:g} ns "
+        f"(confidence {criteria.delay_confidence:.0%})",
+    ]
+    if criteria.system_power_mw is not None:
+        constraint_bits.append(
+            f"system power <= {criteria.system_power_mw:g} mW"
+        )
+    if criteria.chip_power_mw is not None:
+        constraint_bits.append(
+            f"chip power <= {criteria.chip_power_mw:g} mW"
+        )
+    lines.append("* constraints: " + "; ".join(constraint_bits))
+    lines.append("")
+
+    lines += ["## Partitioning", ""]
+    for name in sorted(partitioning.partitions):
+        partition = partitioning.partitions[name]
+        lines.append(
+            f"* `{name}`: {len(partition)} operations on "
+            f"`{partitioning.chip_of(name)}`"
+        )
+    for memory in sorted(session.memories):
+        host = session.memory_chip.get(memory, "(off the shelf)")
+        lines.append(f"* memory `{memory}` on `{host}`")
+    lines.append("")
+
+    lines += ["## Search outcomes", ""]
+    lines.append(
+        "| heuristic | trials | feasible | best II | best delay | "
+        "clock ns |"
+    )
+    lines.append("|---|---|---|---|---|---|")
+    best_overall = None
+    for heuristic in sorted(results):
+        result = results[heuristic]
+        best = result.best()
+        if best is not None and (
+            best_overall is None
+            or (best.ii_main, best.delay_main)
+            < (best_overall.ii_main, best_overall.delay_main)
+        ):
+            best_overall = best
+        if best is None:
+            lines.append(
+                f"| {heuristic} | {result.trials} | 0 | - | - | - |"
+            )
+        else:
+            lines.append(
+                f"| {heuristic} | {result.trials} | "
+                f"{result.feasible_trials} | {best.ii_main} | "
+                f"{best.delay_main} | {best.clock_cycle_ns:.0f} |"
+            )
+    lines.append("")
+
+    if best_overall is None:
+        lines.append(
+            "**No feasible implementation** under these constraints."
+        )
+        return "\n".join(lines) + "\n"
+
+    lines += ["## Recommended design", ""]
+    system = best_overall.system
+    lines.append(
+        f"Initiation interval **{system.ii_main}** main cycles, system "
+        f"delay **{system.delay_main}** cycles, adjusted clock "
+        f"**{system.clock_cycle_ns.ml:.0f} ns** "
+        f"(performance {system.performance_ns.ml / 1000:.1f} us, delay "
+        f"{system.delay_ns.ml / 1000:.1f} us, power "
+        f"{system.power_mw.ml:.0f} mW)."
+    )
+    lines.append("")
+    for name in sorted(best_overall.selection):
+        prediction = best_overall.selection[name]
+        lines.append(f"### Partition `{name}`")
+        lines.append("")
+        for item in prediction.guideline_lines():
+            lines.append(f"* {item}")
+        lines.append("")
+
+    lines += ["## Chip occupancy", ""]
+    lines.append("| chip | partitions | area mil^2 | of | power mW |")
+    lines.append("|---|---|---|---|---|")
+    for chip_name in sorted(system.chip_usage):
+        usage = system.chip_usage[chip_name]
+        lines.append(
+            f"| {chip_name} | {', '.join(usage.partitions) or '-'} | "
+            f"{usage.total_area.ml:.0f} | "
+            f"{usage.usable_area_mil2:.0f} | "
+            f"{usage.power_mw.ml:.0f} |"
+        )
+    lines.append("")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,137 @@
+"""Plain-text tables in the layout of the paper's Tables 1-6."""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence, Tuple
+
+from repro.bad.prediction import DesignPrediction
+from repro.chips.package import ChipPackage
+from repro.library.library import ComponentLibrary
+from repro.search.results import SearchResult
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render a fixed-width table with a header separator."""
+    cells = [[str(h) for h in headers]] + [
+        [str(c) for c in row] for row in rows
+    ]
+    widths = [
+        max(len(row[col]) for row in cells) for col in range(len(headers))
+    ]
+    lines = []
+    for index, row in enumerate(cells):
+        line = "  ".join(
+            cell.ljust(width) for cell, width in zip(row, widths)
+        )
+        lines.append(line.rstrip())
+        if index == 0:
+            lines.append("-" * len(line.rstrip()))
+    return "\n".join(lines)
+
+
+def library_table(library: ComponentLibrary) -> str:
+    """The paper's Table 1: the component library."""
+    rows: List[Tuple[object, ...]] = []
+    for op_type in library.supported_op_types():
+        for component in library.components_for(op_type):
+            rows.append(
+                (
+                    component.name,
+                    component.op_type.value,
+                    component.bit_width,
+                    f"{component.area_mil2:g}",
+                    f"{component.delay_ns:g}",
+                )
+            )
+    rows.append(("register", "storage", 1,
+                 f"{library.register.area_mil2:g}",
+                 f"{library.register.delay_ns:g}"))
+    rows.append(("mux", "steering", 1,
+                 f"{library.mux.area_mil2:g}",
+                 f"{library.mux.delay_ns:g}"))
+    return format_table(
+        ("Module", "Type", "Bits", "Area mil^2", "Delay ns"), rows
+    )
+
+
+def package_table(packages: Mapping[int, ChipPackage]) -> str:
+    """The paper's Table 2: the chip packages."""
+    rows = [
+        (
+            number,
+            f"{pkg.width_mil:g}",
+            f"{pkg.height_mil:g}",
+            pkg.pin_count,
+            f"{pkg.pad_delay_ns:g}",
+            f"{pkg.pad_area_mil2:g}",
+        )
+        for number, pkg in sorted(packages.items())
+    ]
+    return format_table(
+        ("No", "Width mil", "Height mil", "Pins", "Pad delay ns",
+         "Pad area mil^2"),
+        rows,
+    )
+
+
+def prediction_stats_table(
+    stats: Mapping[int, Tuple[int, int]]
+) -> str:
+    """The paper's Tables 3 and 5: BAD statistics per partition count.
+
+    ``stats`` maps partition count to (total predictions, feasible
+    predictions after level-1 pruning).
+    """
+    rows = [
+        (count, total, feasible)
+        for count, (total, feasible) in sorted(stats.items())
+    ]
+    return format_table(
+        ("Partition count", "Total predictions", "Feasible predictions"),
+        rows,
+    )
+
+
+def results_table(
+    entries: Sequence[Tuple[int, int, str, SearchResult]]
+) -> str:
+    """The paper's Tables 4 and 6: one block per run, one row per
+    non-inferior feasible design.
+
+    ``entries`` holds (partition count, package number, heuristic letter,
+    search result) tuples.
+    """
+    rows: List[Tuple[object, ...]] = []
+    for count, package, heuristic, result in entries:
+        designs = result.non_inferior()
+        if not designs:
+            rows.append(
+                (count, package, heuristic, f"{result.cpu_seconds:.2f}",
+                 result.trials, 0, "-", "-", "-")
+            )
+            continue
+        for index, design in enumerate(designs):
+            prefix: Tuple[object, ...]
+            if index == 0:
+                prefix = (
+                    count, package, heuristic,
+                    f"{result.cpu_seconds:.2f}", result.trials,
+                    result.feasible_trials,
+                )
+            else:
+                prefix = ("", "", "", "", "", "")
+            rows.append(
+                prefix
+                + (
+                    design.ii_main,
+                    design.delay_main,
+                    f"{design.clock_cycle_ns:.0f}",
+                )
+            )
+    return format_table(
+        ("Partitions", "Package", "H", "CPU s", "Trials", "Feasible",
+         "Initiation interval", "Delay", "Clock ns"),
+        rows,
+    )

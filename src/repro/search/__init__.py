@@ -1,0 +1,38 @@
+"""Search over combinations of per-partition implementations.
+
+"When multiple predicted implementations ... exist for partitions,
+selecting only one implementation for each partition while satisfying
+global design constraints ... is a hard problem" (section 2.4).  The
+paper offers two run-time-selectable heuristics — explicit enumeration
+and the iterative serialize-the-violators algorithm of Figure 5 — plus
+two-level pruning of infeasible/inferior predictions and an optional
+keep-everything mode used to draw the design-space figures.
+"""
+
+from repro.search.pruning import (
+    dominance_filter,
+    level1_prune,
+)
+from repro.search.space import DesignPoint, DesignSpace
+from repro.search.results import FeasibleDesign, SearchResult
+from repro.search.enumeration import enumeration_search
+from repro.search.iterative import iterative_search
+from repro.search.advisor import (
+    Advice,
+    advise_memory_assignment,
+    advise_partition_count,
+)
+
+__all__ = [
+    "Advice",
+    "advise_memory_assignment",
+    "advise_partition_count",
+    "dominance_filter",
+    "level1_prune",
+    "DesignPoint",
+    "DesignSpace",
+    "FeasibleDesign",
+    "SearchResult",
+    "enumeration_search",
+    "iterative_search",
+]

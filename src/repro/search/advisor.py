@@ -1,0 +1,141 @@
+"""System-level advising: automated sweeps over designer decisions.
+
+The paper positions CHOP "as a system-level advisor" (section 4) and
+names two loops it intends to automate: interleaved memory/behavior
+partitioning (section 2.2) and the partitioning-scheme choice itself.
+This module closes both loops with exhaustive-over-small-spaces sweeps
+driven by the ordinary check path:
+
+* :func:`advise_partition_count` — try horizontal cuts of 1..max
+  partitions over a chip-set template and rank the feasible outcomes;
+* :func:`advise_memory_assignment` — try every assignment of the
+  on-chip memory blocks to chips and rank the feasible outcomes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.chop import ChopSession
+from repro.errors import ChopError, PartitioningError
+from repro.search.results import SearchResult
+
+#: Assignment sweeps are exhaustive; bound the product.
+MAX_ASSIGNMENTS = 4096
+
+
+@dataclass(frozen=True, slots=True)
+class Advice:
+    """One ranked option from an advising sweep."""
+
+    label: str
+    feasible: bool
+    ii_main: Optional[int]
+    delay_main: Optional[int]
+    trials: int
+
+    def sort_key(self) -> Tuple[int, int, int]:
+        if not self.feasible:
+            return (1, 0, 0)
+        assert self.ii_main is not None and self.delay_main is not None
+        return (0, self.ii_main, self.delay_main)
+
+
+def _advice_from(label: str, result: Optional[SearchResult]) -> Advice:
+    if result is None or not result.feasible:
+        trials = result.trials if result is not None else 0
+        return Advice(
+            label=label, feasible=False, ii_main=None, delay_main=None,
+            trials=trials,
+        )
+    best = result.best()
+    assert best is not None
+    return Advice(
+        label=label,
+        feasible=True,
+        ii_main=best.ii_main,
+        delay_main=best.delay_main,
+        trials=result.trials,
+    )
+
+
+def advise_partition_count(
+    session_factory: Callable[[int], ChopSession],
+    max_partitions: int,
+    heuristic: str = "iterative",
+) -> List[Advice]:
+    """Rank partition counts 1..max by best feasible (II, delay).
+
+    ``session_factory`` builds a fresh, fully-assigned session for a
+    given partition count (e.g. a wrapper around
+    :func:`repro.experiments.experiment_session`); counts whose sessions
+    cannot be built or checked rank as infeasible.
+    """
+    if max_partitions < 1:
+        raise PartitioningError(
+            f"max partition count must be >= 1, got {max_partitions}"
+        )
+    advice: List[Advice] = []
+    for count in range(1, max_partitions + 1):
+        label = f"{count} partition{'s' if count > 1 else ''}"
+        try:
+            session = session_factory(count)
+            result = session.check(heuristic=heuristic)
+        except ChopError:
+            advice.append(_advice_from(label, None))
+            continue
+        advice.append(_advice_from(label, result))
+    return sorted(advice, key=Advice.sort_key)
+
+
+def advise_memory_assignment(
+    session: ChopSession,
+    heuristic: str = "iterative",
+) -> List[Advice]:
+    """Rank every assignment of on-chip memory blocks to chips.
+
+    Automates the "interleaving memory and behavioral partitioning"
+    step of section 2.2: the behavioral partitioning stays fixed while
+    memory placement sweeps.  Off-the-shelf blocks are not assigned and
+    stay out of the sweep.
+    """
+    blocks = sorted(
+        name
+        for name, module in session.memories.items()
+        if not module.off_the_shelf
+    )
+    chips = sorted(session.chips)
+    if not chips:
+        raise PartitioningError("session has no chips")
+    if not blocks:
+        raise PartitioningError(
+            "session has no assignable (on-chip) memory blocks"
+        )
+    combination_count = len(chips) ** len(blocks)
+    if combination_count > MAX_ASSIGNMENTS:
+        raise PartitioningError(
+            f"{combination_count} assignments exceed the sweep cap of "
+            f"{MAX_ASSIGNMENTS}"
+        )
+
+    original = dict(session.memory_chip)
+    advice: List[Advice] = []
+    try:
+        for combo in itertools.product(chips, repeat=len(blocks)):
+            label = ", ".join(
+                f"{block}->{chip}" for block, chip in zip(blocks, combo)
+            )
+            for block, chip in zip(blocks, combo):
+                session.assign_memory(block, chip)
+            try:
+                result = session.check(heuristic=heuristic)
+            except ChopError:
+                advice.append(_advice_from(label, None))
+                continue
+            advice.append(_advice_from(label, result))
+    finally:
+        session.memory_chip.clear()
+        session.memory_chip.update(original)
+    return sorted(advice, key=Advice.sort_key)

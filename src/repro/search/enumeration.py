@@ -1,0 +1,171 @@
+"""The explicit-enumeration heuristic (paper section 2.4, heuristic E).
+
+"The heuristic searches all possible combinations of implementing the
+global design (partitioning), given the predicted implementations of
+individual partitions ... The heuristic assumes that the performance of
+each combination is upper bounded and set by the slowest partition
+implementation in the combination."
+
+Even this enumeration is a heuristic — "there are multiple ways of
+integrating the partitions considered in each combination, and the
+heuristic does not examine all ways": each combination is integrated once
+at its slowest implementation's rate.
+
+With pruning on, a combination is abandoned on the first violated chip
+area bound before the (more expensive) system integration runs — the
+paper's level-2 pruning.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.bad.prediction import DesignPrediction
+from repro.bad.styles import ClockScheme
+from repro.core.feasibility import FeasibilityCriteria, evaluate_system
+from repro.core.integration import integrate
+from repro.core.partitioning import Partitioning
+from repro.core.tasks import build_task_graph
+from repro.errors import InfeasibleError, PredictionError
+from repro.library.library import ComponentLibrary
+from repro.search.results import FeasibleDesign, SearchResult
+from repro.search.space import DesignPoint, DesignSpace
+
+#: Safety valve: enumeration refuses absurdly large products so a typo in
+#: a prune setting cannot hang a session.
+MAX_COMBINATIONS = 2_000_000
+
+
+def enumeration_search(
+    partitioning: Partitioning,
+    predictions: Mapping[str, Sequence[DesignPrediction]],
+    clocks: ClockScheme,
+    library: ComponentLibrary,
+    criteria: FeasibilityCriteria,
+    prune: bool = True,
+    keep_all: bool = False,
+) -> SearchResult:
+    """Try every combination of per-partition implementations.
+
+    ``predictions`` maps each partition name to its (already level-1
+    pruned, unless the caller kept everything) prediction list.  With
+    ``keep_all`` every visited combination lands in the returned
+    :class:`DesignSpace`.
+    """
+    names = sorted(partitioning.partitions)
+    missing = [n for n in names if not predictions.get(n)]
+    if missing:
+        raise PredictionError(
+            f"no predictions for partitions: {missing}"
+        )
+    lists = [list(predictions[name]) for name in names]
+    combination_count = 1
+    for options in lists:
+        combination_count *= len(options)
+    if combination_count > MAX_COMBINATIONS:
+        raise PredictionError(
+            f"enumeration over {combination_count} combinations exceeds "
+            f"the {MAX_COMBINATIONS} cap; enable level-1 pruning"
+        )
+
+    task_graph = build_task_graph(partitioning)
+    usable = _usable_area_by_chip(partitioning)
+    space = DesignSpace() if keep_all else None
+    feasible: List[FeasibleDesign] = []
+    trials = 0
+    started = time.perf_counter()
+
+    for combo in itertools.product(*lists):
+        trials += 1
+        selection = dict(zip(names, combo))
+        ii_main = max(pred.ii_main for pred in combo)
+
+        if prune and _chip_area_hopeless(partitioning, selection, usable):
+            _record(space, selection, ii_main, feasible_flag=False)
+            continue
+        try:
+            system = integrate(
+                partitioning, selection, ii_main, clocks, library,
+                task_graph=task_graph,
+            )
+        except InfeasibleError:
+            _record(space, selection, ii_main, feasible_flag=False)
+            continue
+        report = evaluate_system(system, criteria)
+        if space is not None:
+            space.record(
+                DesignPoint(
+                    kind="system",
+                    area_mil2=sum(
+                        u.total_area.ml for u in system.chip_usage.values()
+                    ),
+                    delay_cycles=system.delay_main,
+                    ii_cycles=system.ii_main,
+                    feasible=report.feasible,
+                )
+            )
+        if report.feasible:
+            feasible.append(
+                FeasibleDesign(
+                    selection=selection, system=system, report=report
+                )
+            )
+
+    return SearchResult(
+        heuristic="enumeration",
+        trials=trials,
+        feasible=feasible,
+        cpu_seconds=time.perf_counter() - started,
+        space=space,
+    )
+
+
+def _usable_area_by_chip(partitioning: Partitioning) -> Dict[str, float]:
+    """Optimistic usable area per chip (only supply pads bonded)."""
+    from repro.chips.chip import POWER_GROUND_PINS
+
+    return {
+        name: chip.package.usable_area_mil2(POWER_GROUND_PINS)
+        for name, chip in partitioning.chips.items()
+    }
+
+
+def _chip_area_hopeless(
+    partitioning: Partitioning,
+    selection: Mapping[str, DesignPrediction],
+    usable: Mapping[str, float],
+) -> bool:
+    """Level-2 quick check: PU areas alone already overflow some chip.
+
+    Uses the optimistic area lower bounds, so a ``True`` here is a proof
+    of infeasibility — integration overhead only adds area.
+    """
+    for chip_name in partitioning.chips:
+        total_lb = sum(
+            selection[p].area_total.lb
+            for p in partitioning.partitions_on_chip(chip_name)
+        )
+        if total_lb > usable[chip_name]:
+            return True
+    return False
+
+
+def _record(
+    space: Optional[DesignSpace],
+    selection: Mapping[str, DesignPrediction],
+    ii_main: int,
+    feasible_flag: bool,
+) -> None:
+    if space is None:
+        return
+    space.record(
+        DesignPoint(
+            kind="system",
+            area_mil2=sum(p.area_total.ml for p in selection.values()),
+            delay_cycles=max(p.latency_main for p in selection.values()),
+            ii_cycles=ii_main,
+            feasible=feasible_flag,
+        )
+    )

@@ -1,0 +1,95 @@
+"""Search outcomes.
+
+A :class:`SearchResult` carries everything the paper's Tables 4 and 6
+report per run: the heuristic used, CPU time, the number of partitioning
+implementation trials, the feasible trials, and the feasible designs'
+(initiation interval, delay, clock cycle) rows — plus the recorded design
+space when the keep-everything mode was on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from repro.bad.prediction import DesignPrediction
+from repro.core.feasibility import FeasibilityReport
+from repro.core.integration import SystemPrediction
+from repro.search.space import DesignSpace
+
+
+@dataclass(frozen=True, slots=True)
+class FeasibleDesign:
+    """One feasible integrated implementation found by a search."""
+
+    selection: Mapping[str, DesignPrediction]
+    system: SystemPrediction
+    report: FeasibilityReport
+
+    @property
+    def ii_main(self) -> int:
+        return self.system.ii_main
+
+    @property
+    def delay_main(self) -> int:
+        return self.system.delay_main
+
+    @property
+    def clock_cycle_ns(self) -> float:
+        return self.system.clock_cycle_ns.ml
+
+    def row(self) -> Dict[str, object]:
+        """One row of the paper's result tables."""
+        return {
+            "initiation_interval": self.ii_main,
+            "delay": self.delay_main,
+            "clock_cycle_ns": round(self.clock_cycle_ns, 1),
+        }
+
+
+@dataclass(slots=True)
+class SearchResult:
+    """Outcome of one heuristic run over one partitioning."""
+
+    heuristic: str
+    trials: int
+    feasible: List[FeasibleDesign]
+    cpu_seconds: float
+    space: Optional[DesignSpace] = None
+
+    @property
+    def feasible_trials(self) -> int:
+        return len(self.feasible)
+
+    def non_inferior(self) -> List[FeasibleDesign]:
+        """Feasible designs not dominated on (II, delay).
+
+        These are the rows the paper's tables print: "the feasible and
+        non-inferior predicted designs".
+        """
+        designs = self.feasible
+        kept: List[FeasibleDesign] = []
+        for candidate in designs:
+            dominated = any(
+                (other.ii_main <= candidate.ii_main
+                 and other.delay_main <= candidate.delay_main)
+                and (other.ii_main < candidate.ii_main
+                     or other.delay_main < candidate.delay_main)
+                for other in designs
+            )
+            if not dominated:
+                kept.append(candidate)
+        unique: Dict[tuple, FeasibleDesign] = {}
+        for design in kept:
+            unique.setdefault((design.ii_main, design.delay_main), design)
+        return sorted(
+            unique.values(), key=lambda d: (d.ii_main, d.delay_main)
+        )
+
+    def best(self) -> Optional[FeasibleDesign]:
+        """The fastest feasible design (II first, then delay)."""
+        if not self.feasible:
+            return None
+        return min(
+            self.feasible, key=lambda d: (d.ii_main, d.delay_main)
+        )

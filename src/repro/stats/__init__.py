@@ -1,0 +1,35 @@
+"""Statistical environment for prediction triplets.
+
+The paper stores every prediction "in the form of a triplet: a lower bound,
+a most likely and an upper bound value ... in a statistical environment, and
+the feasibility analysis is done with ... probabilistic methods" (section
+2.6).  This package provides that environment:
+
+* :class:`~repro.stats.triplet.Triplet` — an (lb, ml, ub) value with
+  arithmetic that propagates bounds,
+* :func:`~repro.stats.distributions.prob_le` — the probability that a
+  triplet-valued quantity satisfies an upper-bound constraint, using a
+  triangular distribution (or a moment-matched normal for sums),
+* :class:`~repro.stats.distributions.ConstraintCheck` — a named constraint
+  evaluation combining the probability with the required confidence.
+"""
+
+from repro.stats.triplet import Triplet
+from repro.stats.distributions import (
+    ConstraintCheck,
+    prob_le,
+    prob_ge,
+    triangular_cdf,
+    triangular_mean,
+    triangular_variance,
+)
+
+__all__ = [
+    "Triplet",
+    "ConstraintCheck",
+    "prob_le",
+    "prob_ge",
+    "triangular_cdf",
+    "triangular_mean",
+    "triangular_variance",
+]

@@ -1,0 +1,37 @@
+"""A small RT-level synthesis backend for prediction validation.
+
+The paper validates BAD against the ADAM synthesis tools ("the results
+from BAD have been tested using the ADAM Synthesis tools and have been
+very accurate so far", section 2.4) and names "synthesize and layout
+some partitioned designs" as the immediate next task (section 5).  This
+package provides that check without ADAM: it *carries out* the design
+decisions a prediction records — binds operations to units, values to
+registers (left-edge), builds the steering muxes and the FSM control
+words — and prices the resulting netlist exactly from the component
+library.  Comparing the exact structural area against the prediction's
+(lb, ml, ub) triplet measures the predictor the way the paper did.
+"""
+
+from repro.synth.binding import BoundDesign, bind_design
+from repro.synth.modulo import ModuloBinding, modulo_register_bind
+from repro.synth.netlist import Netlist, build_netlist
+from repro.synth.simulate import SimulationError, simulate_netlist
+from repro.synth.validate import (
+    SynthesisComparison,
+    synthesize_prediction,
+    validation_report,
+)
+
+__all__ = [
+    "BoundDesign",
+    "bind_design",
+    "ModuloBinding",
+    "modulo_register_bind",
+    "Netlist",
+    "build_netlist",
+    "SimulationError",
+    "simulate_netlist",
+    "SynthesisComparison",
+    "synthesize_prediction",
+    "validation_report",
+]

@@ -1,0 +1,200 @@
+"""Netlist construction and exact pricing.
+
+Given a bound design, :func:`build_netlist` materialises the structure a
+synthesis tool would emit: unit instances with their library components,
+registers, the steering multiplexers implied by the binding (distinct
+sources per unit port, distinct writers per register), and the FSM's
+control words.  Everything except routing is then priced *exactly* from
+the library — routing stays a model (pre-layout, as in any synthesis
+flow), using the same standard-cell fit the predictor uses so the
+comparison isolates the predictor's allocation estimates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Set, Tuple
+
+from repro.bad.controller import PlaEstimate, PlaParameters, pla_estimate
+from repro.bad.scheduling import Schedule
+from repro.bad.wiring import WiringParameters, wiring_estimate
+from repro.dfg.graph import DataFlowGraph
+from repro.dfg.ops import OpType
+from repro.errors import PredictionError
+from repro.library.library import ComponentLibrary, ModuleSet
+from repro.synth.binding import BoundDesign
+from repro.units import ceil_div
+
+
+@dataclass(frozen=True, slots=True)
+class Netlist:
+    """One synthesized partition, exactly priced."""
+
+    unit_instances: Mapping[str, int]
+    register_count: int
+    register_bits: int
+    mux_count: int
+    fsm: PlaEstimate
+    functional_area_mil2: float
+    register_area_mil2: float
+    mux_area_mil2: float
+    controller_area_mil2: float
+    wiring_area_mil2: float
+    control_words: int
+
+    @property
+    def area_mil2(self) -> float:
+        """Total structural area (wiring included)."""
+        return (
+            self.functional_area_mil2
+            + self.register_area_mil2
+            + self.mux_area_mil2
+            + self.controller_area_mil2
+            + self.wiring_area_mil2
+        )
+
+
+def build_netlist(
+    graph: DataFlowGraph,
+    schedule: Schedule,
+    bound: BoundDesign,
+    module_set: ModuleSet,
+    library: ComponentLibrary,
+    value_width: int,
+    pla_params: PlaParameters = PlaParameters(),
+    wiring_params: WiringParameters = WiringParameters(),
+) -> Netlist:
+    """Materialise and price the bound design."""
+    functional = 0.0
+    for cls, used in bound.units_used.items():
+        if cls.startswith("mem:"):
+            continue  # memory ports live in the memory block
+        component = module_set.component(OpType(cls))
+        functional += used * component.area_for_width(value_width)
+
+    register_bits = bound.register_count * value_width
+    register_area = library.register.area_for_bits(register_bits)
+
+    mux_count = _exact_mux_count(graph, schedule, bound, value_width)
+    mux_area = library.mux.area_for_bits(mux_count)
+
+    control_words = _control_word_count(schedule)
+    fsm = _build_fsm(
+        schedule, bound, mux_count, value_width, control_words,
+        pla_params,
+    )
+
+    active = functional + register_area + mux_area + fsm.area_mil2.ml
+    cells = (
+        sum(bound.units_used.values())
+        + bound.register_count
+        + ceil_div(mux_count, max(1, value_width))
+        + 1
+    )
+    wiring = wiring_estimate(active, cells, wiring_params)
+
+    return Netlist(
+        unit_instances=dict(bound.units_used),
+        register_count=bound.register_count,
+        register_bits=register_bits,
+        mux_count=mux_count,
+        fsm=fsm,
+        functional_area_mil2=functional,
+        register_area_mil2=register_area,
+        mux_area_mil2=mux_area,
+        controller_area_mil2=fsm.area_mil2.ml,
+        wiring_area_mil2=wiring.area_mil2.ml,
+        control_words=control_words,
+    )
+
+
+# ----------------------------------------------------------------------
+# structural details
+# ----------------------------------------------------------------------
+def _source_of(
+    graph: DataFlowGraph,
+    schedule: Schedule,
+    bound: BoundDesign,
+    value_id: str,
+    consumer: str,
+) -> Tuple[str, object]:
+    """What physically drives ``value_id`` at ``consumer``'s read time.
+
+    Chained values come combinationally from the producing unit; stored
+    values come from their register; partition inputs come from the
+    input port (transfer-module bus).
+    """
+    value = graph.value(value_id)
+    if value.producer is None:
+        return ("input", value_id)
+    if value_id in bound.register_of and not schedule.chained(
+        value.producer, consumer
+    ):
+        return ("register", bound.register_of[value_id])
+    return ("unit", bound.unit_of[value.producer])
+
+
+def _exact_mux_count(
+    graph: DataFlowGraph,
+    schedule: Schedule,
+    bound: BoundDesign,
+    value_width: int,
+) -> int:
+    """2:1 mux cells from the actual sharing the binding created."""
+    muxes = 0
+    # Unit input ports: one selector tree per port over its distinct
+    # sources.
+    port_sources: Dict[Tuple[str, int, int], Set] = {}
+    for op_id, (cls, index) in bound.unit_of.items():
+        op = graph.operation(op_id)
+        for port, value_id in enumerate(op.inputs):
+            key = (cls, index, port)
+            port_sources.setdefault(key, set()).add(
+                _source_of(graph, schedule, bound, value_id, op_id)
+            )
+    for sources in port_sources.values():
+        muxes += max(0, len(sources) - 1) * value_width
+
+    # Register write ports: one selector tree over distinct writers.
+    writers: Dict[int, Set] = {}
+    for value_id, register in bound.register_of.items():
+        producer = graph.value(value_id).producer
+        if producer is None:
+            source = ("input", value_id)
+        else:
+            source = ("unit", bound.unit_of[producer])
+        writers.setdefault(register, set()).add(source)
+    for sources in writers.values():
+        muxes += max(0, len(sources) - 1) * value_width
+    return muxes
+
+
+def _control_word_count(schedule: Schedule) -> int:
+    """Distinct control states: one per cycle with activity."""
+    active_cycles = set()
+    for op_id, begin in schedule.start.items():
+        for cycle in range(begin, begin + schedule.duration[op_id]):
+            active_cycles.add(cycle)
+    return max(1, len(active_cycles))
+
+
+def _build_fsm(
+    schedule: Schedule,
+    bound: BoundDesign,
+    mux_count: int,
+    value_width: int,
+    control_words: int,
+    pla_params: PlaParameters,
+) -> PlaEstimate:
+    """The controller PLA sized from the real control requirements."""
+    state_bits = max(1, math.ceil(math.log2(schedule.latency + 1)))
+    inputs = state_bits + 2  # status/handshake, as in the predictor
+    outputs = max(
+        1,
+        sum(bound.units_used.values())
+        + bound.register_count
+        + ceil_div(mux_count, max(1, value_width)),
+    )
+    terms = control_words + max(1, outputs // 2)
+    return pla_estimate(inputs, outputs, terms, pla_params)

@@ -1,0 +1,144 @@
+"""Cycle-accurate simulation of a bound, scheduled netlist.
+
+Executes the structure synthesis produced — units firing per the
+schedule, chained operations reading wires within the cycle, stored
+values living in their bound registers — on concrete integer inputs,
+and checks it against the specification's reference semantics
+(:mod:`repro.dfg.evaluate`).  A wrong binding shows up as a register
+clobbered before its last read, caught here dynamically rather than by
+lifetime bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from repro.bad.scheduling import Schedule
+from repro.dfg.evaluate import apply_op
+from repro.dfg.graph import DataFlowGraph
+from repro.dfg.ops import MEMORY_OP_TYPES
+from repro.errors import ChopError, SpecificationError
+from repro.synth.binding import BoundDesign
+
+
+class SimulationError(ChopError):
+    """The netlist computed something the specification does not."""
+
+
+def simulate_netlist(
+    graph: DataFlowGraph,
+    schedule: Schedule,
+    bound: BoundDesign,
+    inputs: Mapping[str, int],
+) -> Dict[str, int]:
+    """Run the bound design; returns the primary-output values.
+
+    Covers datapath (compute-only) partitions; memory operations need
+    port/stream semantics the structural simulator does not model.
+    """
+    for op in graph:
+        if op.op_type in MEMORY_OP_TYPES:
+            raise SpecificationError(
+                "the netlist simulator covers compute-only partitions; "
+                f"{op.id!r} is a memory operation"
+            )
+    for value in graph.primary_inputs():
+        if value.id not in inputs:
+            raise SpecificationError(f"missing input value {value.id!r}")
+
+    masked_inputs = {
+        v.id: int(inputs[v.id]) & ((1 << v.width) - 1)
+        for v in graph.primary_inputs()
+    }
+    # Register file: index -> (holding value id, contents).
+    registers: Dict[int, Tuple[str, int]] = {}
+    # Values produced this cycle, readable combinationally by chained
+    # consumers.
+    computed: Dict[str, int] = {}
+
+    by_cycle: Dict[int, List[str]] = {}
+    for op_id, begin in schedule.start.items():
+        by_cycle.setdefault(begin, []).append(op_id)
+    # Within a cycle, chained dataflow follows increasing offsets.
+    for ops in by_cycle.values():
+        ops.sort(
+            key=lambda o: (schedule.offset_ns.get(o, 0.0), o)
+        )
+    # Pending register writes land when the producing operation ends.
+    pending_writes: Dict[int, List[Tuple[int, str, int]]] = {}
+
+    def fetch(op_id: str, value_id: str) -> int:
+        value = graph.value(value_id)
+        if value.producer is None:
+            return masked_inputs[value_id]
+        if schedule.chained(value.producer, op_id):
+            if value_id not in computed:
+                raise SimulationError(
+                    f"{op_id!r} chains on {value_id!r} before its "
+                    "producer settled — wrong in-cycle order"
+                )
+            return computed[value_id]
+        register = bound.register_of.get(value_id)
+        if register is None:
+            # Not stored: legal only when read in the producing cycle.
+            if value_id in computed:
+                return computed[value_id]
+            raise SimulationError(
+                f"{op_id!r} reads {value_id!r}, which was neither "
+                "stored in a register nor produced this cycle"
+            )
+        held = registers.get(register)
+        if held is None:
+            raise SimulationError(
+                f"{op_id!r} reads register r{register} before any write"
+            )
+        holder, contents = held
+        if holder != value_id:
+            raise SimulationError(
+                f"register r{register} was clobbered: {op_id!r} expects "
+                f"{value_id!r} but it holds {holder!r}"
+            )
+        return contents
+
+    for cycle in range(schedule.latency + 1):
+        computed = {}
+        for op_id in by_cycle.get(cycle, ()):
+            op = graph.operation(op_id)
+            operands = [fetch(op_id, vid) for vid in op.inputs]
+            assert op.output is not None
+            width = graph.value(op.output).width
+            result = apply_op(op.op_type, operands, width)
+            computed[op.output] = result
+            finish = schedule.finish(op_id)
+            register = bound.register_of.get(op.output)
+            if register is not None:
+                pending_writes.setdefault(finish, []).append(
+                    (register, op.output, result)
+                )
+        # Chained same-cycle readers saw the wires; register writes land
+        # at the producing operation's finishing edge.
+        for register, value_id, result in pending_writes.pop(
+            cycle + 1, ()
+        ):
+            registers[register] = (value_id, result)
+
+    outputs: Dict[str, int] = {}
+    for value in graph.primary_outputs():
+        if value.producer is None:
+            outputs[value.id] = masked_inputs[value.id]
+            continue
+        register = bound.register_of.get(value.id)
+        if register is None:
+            raise SimulationError(
+                f"output {value.id!r} is not held in any register at "
+                "the end of the schedule"
+            )
+        holder, contents = registers.get(register, (None, None))
+        if holder != value.id:
+            raise SimulationError(
+                f"output {value.id!r} lost: register r{register} holds "
+                f"{holder!r}"
+            )
+        assert contents is not None
+        outputs[value.id] = contents
+    return outputs

@@ -1,0 +1,120 @@
+"""Tests for the system-level advising sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bad.styles import ArchitectureStyle, ClockScheme, OperationTiming
+from repro.chips.presets import mosis_package
+from repro.core.chop import ChopSession
+from repro.core.feasibility import FeasibilityCriteria
+from repro.core.partition import Partition
+from repro.dfg.builders import GraphBuilder
+from repro.errors import PartitioningError
+from repro.experiments import experiment1_session
+from repro.library.presets import extended_library
+from repro.memory.module import MemoryModule
+from repro.search.advisor import (
+    advise_memory_assignment,
+    advise_partition_count,
+)
+
+
+class TestPartitionCountAdvice:
+    @pytest.fixture(scope="class")
+    def advice(self):
+        return advise_partition_count(
+            lambda count: experiment1_session(2, count),
+            max_partitions=3,
+        )
+
+    def test_all_counts_ranked(self, advice):
+        assert len(advice) == 3
+        labels = {a.label for a in advice}
+        assert labels == {"1 partition", "2 partitions", "3 partitions"}
+
+    def test_sorted_feasible_first_then_ii(self, advice):
+        keys = [a.sort_key() for a in advice]
+        assert keys == sorted(keys)
+
+    def test_best_is_three_partitions(self, advice):
+        # Experiment 1: more chips -> faster feasible designs.
+        assert advice[0].label == "3 partitions"
+        assert advice[0].feasible
+
+    def test_infeasible_counts_rank_last(self):
+        def factory(count):
+            session = experiment1_session(2, count)
+            if count == 2:
+                # Sabotage: impossible constraints for this count.
+                session.criteria = FeasibilityCriteria(
+                    performance_ns=1.0, delay_ns=1.0
+                )
+            return session
+
+        advice = advise_partition_count(factory, max_partitions=2)
+        assert advice[-1].label == "2 partitions"
+        assert not advice[-1].feasible
+
+    def test_rejects_bad_max(self):
+        with pytest.raises(PartitioningError):
+            advise_partition_count(lambda c: None, max_partitions=0)
+
+
+class TestMemoryAssignmentAdvice:
+    @pytest.fixture
+    def memory_session(self):
+        b = GraphBuilder("mem-advice", default_width=16)
+        addr = b.input("addr")
+        w = b.input("w")
+        r1 = b.mem_read(addr, "M")
+        r2 = b.mem_read(addr, "M")
+        p1 = b.mul(r1, w)
+        p2 = b.mul(r2, w)
+        total = b.add(p1, p2, name="total")
+        b.output(total)
+        graph = b.build()
+
+        session = ChopSession(
+            graph=graph,
+            library=extended_library(),
+            clocks=ClockScheme(300.0),
+            style=ArchitectureStyle(OperationTiming.MULTI_CYCLE),
+            criteria=FeasibilityCriteria(
+                performance_ns=60_000.0, delay_ns=90_000.0
+            ),
+            memories=[MemoryModule("M", 64, 16, access_time_ns=250.0)],
+        )
+        session.add_chip("chip1", mosis_package(2))
+        session.add_chip("chip2", mosis_package(2))
+        session.assign_memory("M", "chip1")
+        front = [op.id for op in graph
+                 if op.op_type.value in ("mem_read", "mul")]
+        back = [op.id for op in graph if op.id not in set(front)]
+        session.set_partitions(
+            [Partition.of("P1", front), Partition.of("P2", back)],
+            {"P1": "chip1", "P2": "chip2"},
+        )
+        return session
+
+    def test_all_assignments_tried(self, memory_session):
+        advice = advise_memory_assignment(memory_session)
+        assert len(advice) == 2  # one block, two chips
+        labels = {a.label for a in advice}
+        assert labels == {"M->chip1", "M->chip2"}
+
+    def test_best_assignment_local_to_reader(self, memory_session):
+        advice = advise_memory_assignment(memory_session)
+        best = advice[0]
+        assert best.feasible
+        assert best.label == "M->chip1"
+
+    def test_original_assignment_restored(self, memory_session):
+        original = dict(memory_session.memory_chip)
+        advise_memory_assignment(memory_session)
+        assert memory_session.memory_chip == original
+
+    def test_no_blocks_rejected(self):
+        session = experiment1_session(2, 1)
+        with pytest.raises(PartitioningError, match="no assignable"):
+            advise_memory_assignment(session)

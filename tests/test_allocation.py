@@ -1,0 +1,199 @@
+"""Tests for operator/register/mux allocation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bad.allocation import (
+    allocation_candidates,
+    mux_requirement,
+    partition_resource_model,
+    register_bits,
+    register_requirement,
+    value_lifetimes,
+)
+from repro.bad.scheduling import list_schedule
+from repro.errors import PredictionError
+from tests.strategies import dags
+
+
+class TestAllocationCandidates:
+    def test_empty(self):
+        assert allocation_candidates({}) == [{}]
+
+    def test_single_class_spans_serial_to_parallel(self):
+        candidates = allocation_candidates({"mul": 16})
+        units = sorted(c["mul"] for c in candidates)
+        assert units[0] == 1
+        assert units[-1] == 16
+
+    def test_vectors_unique(self):
+        candidates = allocation_candidates({"mul": 16, "add": 12})
+        keys = [tuple(sorted(c.items())) for c in candidates]
+        assert len(keys) == len(set(keys))
+
+    def test_includes_skewed_vectors(self):
+        # Multipliers busy 10x longer than adders: the frontier must
+        # contain many-muls/one-adder points.
+        candidates = allocation_candidates(
+            {"mul": 16, "add": 12},
+            busy_cycles={"mul": 160, "add": 12},
+        )
+        assert any(
+            c["mul"] >= 4 and c["add"] == 1 for c in candidates
+        )
+
+    def test_units_never_exceed_op_count(self):
+        for c in allocation_candidates({"mul": 5, "add": 3}):
+            assert 1 <= c["mul"] <= 5
+            assert 1 <= c["add"] <= 3
+
+    def test_max_total_units_cap(self):
+        candidates = allocation_candidates(
+            {"mul": 16, "add": 12}, max_total_units=6
+        )
+        assert candidates
+        assert all(sum(c.values()) <= 6 or sum(c.values()) == 2
+                   for c in candidates)
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(PredictionError):
+            allocation_candidates({"mul": 0})
+
+    def test_rejects_busy_below_count(self):
+        with pytest.raises(PredictionError):
+            allocation_candidates({"mul": 4}, busy_cycles={"mul": 2})
+
+    @given(
+        st.dictionaries(
+            st.sampled_from(["add", "mul", "sub"]),
+            st.integers(min_value=1, max_value=20),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    @settings(max_examples=50)
+    def test_always_contains_serial_and_parallel(self, counts):
+        candidates = allocation_candidates(counts)
+        keys = {tuple(sorted(c.items())) for c in candidates}
+        serial = tuple(sorted((cls, 1) for cls in counts))
+        parallel = tuple(sorted(counts.items()))
+        assert serial in keys
+        assert parallel in keys
+
+
+class TestResourceModel:
+    def test_compute_classes(self, ar_graph):
+        op_class, counts = partition_resource_model(ar_graph)
+        assert counts == {"mul": 16, "add": 12}
+        assert set(op_class) == set(ar_graph.operations)
+
+    def test_memory_classes_per_block(self):
+        from repro.dfg.builders import GraphBuilder
+
+        b = GraphBuilder("m")
+        a = b.input("a")
+        r1 = b.mem_read(a, "M_A")
+        r2 = b.mem_read(a, "M_B")
+        s = b.add(r1, r2, name="s")
+        b.output(s)
+        g = b.build()
+        _cls, counts = partition_resource_model(g)
+        assert counts == {"mem:M_A": 1, "mem:M_B": 1, "add": 1}
+
+
+def _schedule(graph, capacities=None):
+    duration = {op_id: 1 for op_id in graph.operations}
+    op_class, counts = partition_resource_model(graph)
+    return list_schedule(
+        graph, duration, op_class, capacities or counts
+    )
+
+
+class TestRegisterAllocation:
+    def test_inputs_not_charged(self, tiny_graph):
+        schedule = _schedule(tiny_graph)
+        lifetimes = value_lifetimes(tiny_graph, schedule)
+        for value in tiny_graph.primary_inputs():
+            assert value.id not in lifetimes
+
+    def test_output_held_to_end(self, tiny_graph):
+        schedule = _schedule(tiny_graph)
+        lifetimes = value_lifetimes(tiny_graph, schedule)
+        birth, death = lifetimes["y"]
+        assert death >= schedule.latency
+
+    def test_nonpipelined_requirement_is_max_live(self, ar_graph):
+        schedule = _schedule(ar_graph)
+        words = register_requirement(ar_graph, schedule, schedule.latency)
+        assert words >= 1
+        bits = register_bits(ar_graph, schedule, schedule.latency)
+        assert bits == words * 16  # uniform 16-bit graph
+
+    def test_pipelining_needs_more_registers(self, ar_graph):
+        schedule = _schedule(ar_graph, {"add": 12, "mul": 16})
+        non_pipe = register_requirement(
+            ar_graph, schedule, schedule.latency
+        )
+        pipe = register_requirement(ar_graph, schedule, 2)
+        assert pipe >= non_pipe
+
+    def test_bad_interval_rejected(self, ar_graph):
+        schedule = _schedule(ar_graph)
+        with pytest.raises(PredictionError):
+            register_requirement(ar_graph, schedule, 0)
+        with pytest.raises(PredictionError):
+            register_bits(ar_graph, schedule, -1)
+
+    @given(dags())
+    @settings(max_examples=40, deadline=None)
+    def test_register_words_bounded_by_values(self, graph):
+        schedule = _schedule(graph)
+        words = register_requirement(graph, schedule, schedule.latency)
+        internal_values = sum(
+            1 for v in graph.values.values() if v.producer is not None
+        )
+        assert 0 <= words <= internal_values
+
+
+class TestMuxAllocation:
+    def test_no_sharing_no_operator_muxes(self, tiny_graph):
+        op_class, counts = partition_resource_model(tiny_graph)
+        muxes = mux_requirement(
+            tiny_graph, counts, op_class, register_words=10,
+            value_width=16,
+        )
+        # One op per unit: only register steering could remain, and with
+        # 10 registers for 2 writers there is none.
+        assert muxes == 0
+
+    def test_sharing_creates_muxes(self, ar_graph):
+        op_class, _ = partition_resource_model(ar_graph)
+        shared = mux_requirement(
+            ar_graph, {"add": 1, "mul": 1}, op_class,
+            register_words=4, value_width=16,
+        )
+        assert shared > 0
+
+    def test_more_units_fewer_muxes(self, ar_graph):
+        op_class, _ = partition_resource_model(ar_graph)
+        few_units = mux_requirement(
+            ar_graph, {"add": 1, "mul": 2}, op_class, 6, 16
+        )
+        many_units = mux_requirement(
+            ar_graph, {"add": 6, "mul": 8}, op_class, 6, 16
+        )
+        assert many_units < few_units
+
+    def test_missing_class_rejected(self, ar_graph):
+        op_class, _ = partition_resource_model(ar_graph)
+        with pytest.raises(PredictionError):
+            mux_requirement(ar_graph, {"add": 1}, op_class, 4, 16)
+
+    def test_bad_sharing_factor_rejected(self, ar_graph):
+        op_class, counts = partition_resource_model(ar_graph)
+        with pytest.raises(PredictionError):
+            mux_requirement(
+                ar_graph, counts, op_class, 4, 16, sharing_factor=0.0
+            )

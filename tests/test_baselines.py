@@ -1,0 +1,208 @@
+"""Tests for the baseline partitioners."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.exhaustive import exhaustive_bipartitions
+from repro.baselines.kernighan_lin import (
+    cut_bits,
+    kl_bipartition,
+    recursive_bisection,
+)
+from repro.baselines.random_search import random_level_partitions
+from repro.baselines.repair import make_acyclic
+from repro.errors import PartitioningError
+from tests.strategies import dags
+
+
+class TestCutBits:
+    def test_no_cut_when_one_side_everything(self, ar_graph):
+        # cut_bits of a full side counts edges leaving it: none.
+        assert cut_bits(ar_graph, set(ar_graph.operations)) == 0
+
+    def test_counts_widths(self, tiny_graph):
+        (mul_id,) = [
+            o.id for o in tiny_graph if o.op_type.value == "mul"
+        ]
+        assert cut_bits(tiny_graph, {mul_id}) == 16
+
+    def test_unknown_ops_rejected(self, tiny_graph):
+        with pytest.raises(PartitioningError):
+            cut_bits(tiny_graph, {"ghost"})
+
+
+class TestKernighanLin:
+    def test_preserves_sizes(self, ar_graph):
+        side_a, side_b, _cut = kl_bipartition(ar_graph)
+        assert len(side_a) == 14 and len(side_b) == 14
+        assert side_a | side_b == set(ar_graph.operations)
+        assert not side_a & side_b
+
+    def test_never_worse_than_seed(self, ar_graph):
+        ops = sorted(ar_graph.operations)
+        seed = set(ops[: len(ops) // 2])
+        start_cut = cut_bits(ar_graph, seed)
+        _a, _b, final_cut = kl_bipartition(ar_graph, seed)
+        assert final_cut <= start_cut
+
+    def test_deterministic(self, ar_graph):
+        first = kl_bipartition(ar_graph)
+        second = kl_bipartition(ar_graph)
+        assert first == second
+
+    def test_small_graph_reaches_optimum(self, diffeq_graph):
+        ops = sorted(diffeq_graph.operations)
+        # Compare KL against every same-size bipartition.
+        _a, _b, kl_cut = kl_bipartition(diffeq_graph)
+        import itertools
+
+        size = len(ops) // 2
+        best = min(
+            cut_bits(diffeq_graph, set(combo))
+            for combo in itertools.combinations(ops, size)
+        )
+        assert kl_cut <= best * 2  # KL is a heuristic; allow slack
+        assert kl_cut >= best
+
+    def test_rejects_tiny_graph(self):
+        from repro.dfg.builders import GraphBuilder
+
+        b = GraphBuilder("one")
+        x = b.input("x")
+        y = b.add(x, x, name="y")
+        b.output(y)
+        g = b.build()
+        with pytest.raises(PartitioningError):
+            kl_bipartition(g)
+
+    def test_rejects_bad_seed(self, ar_graph):
+        with pytest.raises(PartitioningError):
+            kl_bipartition(ar_graph, set())
+        with pytest.raises(PartitioningError):
+            kl_bipartition(ar_graph, set(ar_graph.operations))
+
+    @given(dags(max_ops=14))
+    @settings(max_examples=30, deadline=None)
+    def test_kl_pass_never_increases_cut(self, graph):
+        if graph.op_count() < 2:
+            return
+        ops = sorted(graph.operations)
+        seed = set(ops[: len(ops) // 2])
+        if not seed or len(seed) == len(ops):
+            return
+        start = cut_bits(graph, seed)
+        _a, _b, final = kl_bipartition(graph, seed)
+        assert final <= start
+
+
+class TestRecursiveBisection:
+    @pytest.mark.parametrize("count", [1, 2, 3, 4])
+    def test_covers_all_ops(self, ar_graph, count):
+        parts = recursive_bisection(ar_graph, count)
+        assert len(parts) == count
+        union = set()
+        for part in parts:
+            assert part
+            assert not (union & part)
+            union |= part
+        assert union == set(ar_graph.operations)
+
+    def test_rejects_bad_count(self, ar_graph):
+        with pytest.raises(PartitioningError):
+            recursive_bisection(ar_graph, 0)
+        with pytest.raises(PartitioningError):
+            recursive_bisection(ar_graph, 1000)
+
+
+class TestRepair:
+    def test_kl_cut_repairable(self, ar_graph):
+        side_a, side_b, _cut = kl_bipartition(ar_graph)
+        new_a, new_b, moved = make_acyclic(ar_graph, side_a, side_b)
+        assert new_a | new_b == set(ar_graph.operations)
+        # After repair, no value flows from B back into A.
+        for op_id in new_a:
+            for pred in ar_graph.predecessors(op_id):
+                assert pred not in new_b
+
+    def test_already_acyclic_untouched(self, ar_graph):
+        order = ar_graph.topological_order()
+        side_a = set(order[:14])
+        side_b = set(order[14:])
+        new_a, new_b, moved = make_acyclic(ar_graph, side_a, side_b)
+        assert moved == 0
+
+    def test_rejects_overlap(self, ar_graph):
+        ops = set(ar_graph.operations)
+        with pytest.raises(PartitioningError):
+            make_acyclic(ar_graph, ops, ops)
+
+    @given(dags(max_ops=16), st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=30, deadline=None)
+    def test_repair_always_one_way(self, graph, seed):
+        ops = sorted(graph.operations)
+        if len(ops) < 3:
+            return
+        rng = random.Random(seed)
+        side_a = set(rng.sample(ops, len(ops) // 2))
+        side_b = set(ops) - side_a
+        if not side_a or not side_b:
+            return
+        try:
+            new_a, new_b, _moved = make_acyclic(graph, side_a, side_b)
+        except PartitioningError:
+            return  # unrepairable cuts are allowed to fail loudly
+        for op_id in new_a:
+            for pred in graph.predecessors(op_id):
+                assert pred not in new_b
+
+
+class TestRandomPartitions:
+    def test_reproducible_with_seed(self, ar_graph):
+        first = random_level_partitions(ar_graph, 3, random.Random(7))
+        second = random_level_partitions(ar_graph, 3, random.Random(7))
+        assert first == second
+
+    def test_partitions_cover(self, ar_graph):
+        parts = random_level_partitions(ar_graph, 4, random.Random(1))
+        union = set()
+        for part in parts:
+            union |= part
+        assert union == set(ar_graph.operations)
+
+    def test_too_many_partitions_rejected(self, tiny_graph):
+        with pytest.raises(PartitioningError):
+            random_level_partitions(tiny_graph, 10, random.Random(0))
+
+
+class TestExhaustive:
+    def test_counts_acyclic_cuts(self, diffeq_graph):
+        cuts = list(exhaustive_bipartitions(diffeq_graph))
+        assert cuts
+        # Every yielded cut is one-way.
+        for side_a, side_b in cuts:
+            for op_id in side_a:
+                for pred in diffeq_graph.predecessors(op_id):
+                    assert pred not in side_b
+
+    def test_symmetry_broken(self, diffeq_graph):
+        first_op = sorted(diffeq_graph.operations)[0]
+        for side_a, _side_b in exhaustive_bipartitions(diffeq_graph):
+            assert first_op in side_a
+
+    def test_all_mode_superset(self, diffeq_graph):
+        acyclic = sum(1 for _ in exhaustive_bipartitions(diffeq_graph))
+        everything = sum(
+            1
+            for _ in exhaustive_bipartitions(
+                diffeq_graph, acyclic_only=False
+            )
+        )
+        assert everything >= acyclic
+
+    def test_size_limit(self, ar_graph):
+        with pytest.raises(PartitioningError):
+            list(exhaustive_bipartitions(ar_graph))

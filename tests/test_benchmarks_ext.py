@@ -1,0 +1,94 @@
+"""Tests for the DCT and FFT benchmark generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dfg.benchmarks_ext import dct8, fft_graph
+from repro.dfg.ops import OpType
+from repro.dfg.transforms import validate_graph
+from repro.errors import SpecificationError
+
+
+class TestDct8:
+    def test_loeffler_multiplication_count(self):
+        counts = dct8().op_counts_by_type()
+        assert counts[OpType.MUL] == 11
+
+    def test_eight_outputs(self):
+        assert len(dct8().primary_outputs()) == 8
+
+    def test_validates(self):
+        assert validate_graph(dct8()) == []
+
+    def test_shallow_critical_path(self):
+        # Fast transforms are shallow: a handful of levels, not O(n).
+        assert dct8().depth() <= 8
+
+    def test_custom_width(self):
+        graph = dct8(width=12)
+        assert all(v.width == 12 for v in graph.values.values())
+
+
+class TestFft:
+    @pytest.mark.parametrize("points", [2, 4, 8, 16])
+    def test_butterfly_count(self, points):
+        import math
+
+        graph = fft_graph(points)
+        butterflies = (points // 2) * int(math.log2(points))
+        # 10 operations per butterfly (4 mul + 6 add/sub).
+        assert graph.op_count() == butterflies * 10
+        counts = graph.op_counts_by_type()
+        assert counts[OpType.MUL] == butterflies * 4
+
+    def test_depth_logarithmic(self):
+        import math
+
+        for points in (4, 8, 16):
+            graph = fft_graph(points)
+            stages = int(math.log2(points))
+            # Three op levels per stage (mul, combine, butterfly).
+            assert graph.depth() == 3 * stages
+
+    def test_output_count(self):
+        graph = fft_graph(8)
+        assert len(graph.primary_outputs()) == 16  # re+im per point
+
+    def test_validates(self):
+        assert validate_graph(fft_graph(8)) == []
+
+    @pytest.mark.parametrize("bad", [0, 1, 3, 6, 12])
+    def test_rejects_non_powers_of_two(self, bad):
+        with pytest.raises(SpecificationError):
+            fft_graph(bad)
+
+    def test_partitionable_through_chop(self):
+        """The FFT runs end-to-end through a session (scaling check)."""
+        from repro.bad.styles import (
+            ArchitectureStyle, ClockScheme, OperationTiming,
+        )
+        from repro.chips.presets import mosis_package
+        from repro.core.chop import ChopSession
+        from repro.core.feasibility import FeasibilityCriteria
+        from repro.core.schemes import horizontal_cut
+        from repro.library.presets import extended_library
+
+        graph = fft_graph(4)
+        session = ChopSession(
+            graph=graph,
+            library=extended_library(),
+            clocks=ClockScheme(300.0),
+            style=ArchitectureStyle(OperationTiming.MULTI_CYCLE),
+            criteria=FeasibilityCriteria(
+                performance_ns=100_000.0, delay_ns=150_000.0
+            ),
+        )
+        parts = horizontal_cut(graph, 2)
+        session.add_chip("chip1", mosis_package(2))
+        session.add_chip("chip2", mosis_package(2))
+        session.set_partitions(
+            parts, {"P1": "chip1", "P2": "chip2"}
+        )
+        result = session.check("iterative")
+        assert result.trials > 0

@@ -1,0 +1,103 @@
+"""Tests for chip packages, chips and pin budgets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chips.chip import (
+    CONTROL_PINS_PER_LINK,
+    DEDICATED_PINS_PER_MEMORY,
+    POWER_GROUND_PINS,
+    Chip,
+    PinBudget,
+    pin_budget,
+)
+from repro.chips.package import ChipPackage
+from repro.chips.presets import mosis_package, mosis_packages
+from repro.errors import ChipError
+
+
+class TestChipPackage:
+    def test_paper_table2_values(self):
+        packages = mosis_packages()
+        assert packages[1].pin_count == 64
+        assert packages[2].pin_count == 84
+        for pkg in packages.values():
+            assert pkg.width_mil == 311.02
+            assert pkg.height_mil == 362.20
+            assert pkg.pad_delay_ns == 25.0
+            assert pkg.pad_area_mil2 == 297.60
+
+    def test_project_area(self):
+        pkg = mosis_package(2)
+        assert pkg.project_area_mil2 == pytest.approx(112651.444)
+
+    def test_usable_area_subtracts_pads(self):
+        pkg = mosis_package(2)
+        assert pkg.usable_area_mil2(84) == pytest.approx(
+            112651.444 - 84 * 297.60
+        )
+
+    def test_more_pins_less_area(self):
+        assert mosis_package(1).usable_area_mil2(64) > mosis_package(
+            2
+        ).usable_area_mil2(84)
+
+    def test_rejects_overbonding(self):
+        with pytest.raises(ChipError):
+            mosis_package(1).usable_area_mil2(65)
+
+    def test_rejects_negative_bonding(self):
+        with pytest.raises(ChipError):
+            mosis_package(1).usable_area_mil2(-1)
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ChipError):
+            ChipPackage("bad", 0.0, 10.0, 10, 1.0, 1.0)
+        with pytest.raises(ChipError):
+            ChipPackage("bad", 10.0, 10.0, 0, 1.0, 1.0)
+        with pytest.raises(ChipError):
+            ChipPackage("bad", 10.0, 10.0, 10, -1.0, 1.0)
+
+    def test_pads_consuming_die_rejected(self):
+        tiny = ChipPackage("tiny", 10.0, 10.0, 10, 1.0, 50.0)
+        with pytest.raises(ChipError):
+            tiny.usable_area_mil2(10)
+
+    def test_unknown_package_number(self):
+        with pytest.raises(ChipError):
+            mosis_package(3)
+
+
+class TestPinBudget:
+    def test_reservation_classes(self, package84):
+        budget = pin_budget(package84, communication_links=2,
+                            memory_blocks=1)
+        assert budget.power_ground == POWER_GROUND_PINS
+        assert budget.control == 2 * CONTROL_PINS_PER_LINK
+        assert budget.memory_dedicated == DEDICATED_PINS_PER_MEMORY
+        assert budget.data == 84 - 4 - 4 - 2
+
+    def test_no_links_no_memory(self, package64):
+        budget = pin_budget(package64, 0, 0)
+        assert budget.data == 64 - POWER_GROUND_PINS
+
+    def test_overreservation_rejected(self, package64):
+        with pytest.raises(ChipError):
+            pin_budget(package64, communication_links=40, memory_blocks=0)
+
+    def test_negative_counts_rejected(self, package64):
+        with pytest.raises(ChipError):
+            pin_budget(package64, -1, 0)
+        with pytest.raises(ChipError):
+            pin_budget(package64, 0, -1)
+
+    def test_direct_construction_validates(self):
+        with pytest.raises(ChipError):
+            PinBudget(total=10, power_ground=8, control=4,
+                      memory_dedicated=0)
+
+    def test_chip_str(self, package84):
+        chip = Chip("chip1", package84)
+        assert "chip1" in str(chip)
+        assert "MOSIS-84" in str(chip)

@@ -1,0 +1,190 @@
+"""Tests for the ChopSession designer API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bad.styles import ArchitectureStyle, ClockScheme, OperationTiming
+from repro.chips.presets import mosis_package
+from repro.core.chop import ChopSession
+from repro.core.feasibility import FeasibilityCriteria
+from repro.core.schemes import horizontal_cut
+from repro.dfg.benchmarks import ar_lattice_filter
+from repro.errors import PartitioningError, PredictionError
+from repro.library.presets import table1_library
+from repro.memory.module import MemoryModule
+
+
+@pytest.fixture
+def session():
+    s = ChopSession(
+        graph=ar_lattice_filter(),
+        library=table1_library(),
+        clocks=ClockScheme(300.0, dp_multiplier=10),
+        style=ArchitectureStyle(OperationTiming.SINGLE_CYCLE),
+        criteria=FeasibilityCriteria(performance_ns=30_000,
+                                     delay_ns=30_000),
+    )
+    s.add_chip("chip1", mosis_package(2))
+    s.add_chip("chip2", mosis_package(2))
+    parts = horizontal_cut(s.graph, 2)
+    s.set_partitions(parts, {"P1": "chip1", "P2": "chip2"})
+    return s
+
+
+class TestSetup:
+    def test_duplicate_chip_rejected(self, session):
+        with pytest.raises(PartitioningError):
+            session.add_chip("chip1", mosis_package(1))
+
+    def test_partitioning_validates(self, session):
+        pt = session.partitioning()
+        assert set(pt.partitions) == {"P1", "P2"}
+
+    def test_no_partitions_raises(self):
+        s = ChopSession(
+            graph=ar_lattice_filter(),
+            library=table1_library(),
+            clocks=ClockScheme(300.0, dp_multiplier=10),
+            style=ArchitectureStyle(OperationTiming.SINGLE_CYCLE),
+            criteria=FeasibilityCriteria(performance_ns=1, delay_ns=1),
+        )
+        with pytest.raises(PartitioningError):
+            s.partitioning()
+
+    def test_memory_assignment(self):
+        s = ChopSession(
+            graph=ar_lattice_filter(),
+            library=table1_library(),
+            clocks=ClockScheme(300.0, dp_multiplier=10),
+            style=ArchitectureStyle(OperationTiming.SINGLE_CYCLE),
+            criteria=FeasibilityCriteria(performance_ns=30_000,
+                                         delay_ns=30_000),
+            memories=[MemoryModule("M", 256, 16)],
+        )
+        s.add_chip("chip1", mosis_package(2))
+        s.assign_memory("M", "chip1")
+        assert s.memory_chip["M"] == "chip1"
+        with pytest.raises(PartitioningError):
+            s.assign_memory("Mx", "chip1")
+        with pytest.raises(PartitioningError):
+            s.assign_memory("M", "chip9")
+
+
+class TestModifications:
+    def test_move_partition(self, session):
+        session.move_partition("P2", "chip1")
+        assert session.partitioning().chip_of("P2") == "chip1"
+
+    def test_move_unknown_rejected(self, session):
+        with pytest.raises(PartitioningError):
+            session.move_partition("P9", "chip1")
+        with pytest.raises(PartitioningError):
+            session.move_partition("P1", "chip9")
+
+    def test_migrate_operations(self, session):
+        pt = session.partitioning()
+        # Move a boundary operation from P2 into P1: pick a P2 op whose
+        # predecessors are all in P1 so the cut stays one-way.
+        graph = session.graph
+        candidates = [
+            op_id
+            for op_id in pt.partitions["P2"].op_ids
+            if all(
+                pred in pt.partitions["P1"].op_ids
+                for pred in graph.predecessors(op_id)
+            )
+            and not graph.successors(op_id)
+        ]
+        if not candidates:
+            candidates = [
+                op_id
+                for op_id in pt.partitions["P2"].op_ids
+                if all(
+                    pred in pt.partitions["P1"].op_ids
+                    for pred in graph.predecessors(op_id)
+                )
+                and all(
+                    succ in pt.partitions["P2"].op_ids
+                    for succ in graph.successors(op_id)
+                )
+            ]
+        op = candidates[0]
+        before = len(session.partitioning().partitions["P1"].op_ids)
+        session.migrate_operations("P2", "P1", [op])
+        after = len(session.partitioning().partitions["P1"].op_ids)
+        assert after == before + 1
+
+    def test_migration_cache_miss_forces_repredict(self, session):
+        preds_before = session.predict("P1")
+        pt = session.partitioning()
+        movable = [
+            op_id
+            for op_id in pt.partitions["P1"].op_ids
+            if all(
+                succ in pt.partitions["P2"].op_ids
+                for succ in session.graph.successors(op_id)
+            )
+        ]
+        session.migrate_operations("P1", "P2", [movable[0]])
+        preds_after = session.predict("P1")
+        assert len(preds_after) != 0
+        # The partition shrank, so the I/O signature changed.
+        assert (
+            preds_after[0].input_bits != preds_before[0].input_bits
+            or preds_after[0].output_bits != preds_before[0].output_bits
+            or len(preds_after) != len(preds_before)
+        )
+
+
+class TestPredictionAndSearch:
+    def test_predict_caches(self, session):
+        first = session.predict("P1")
+        second = session.predict("P1")
+        assert first == second
+
+    def test_unknown_partition_rejected(self, session):
+        with pytest.raises(PartitioningError):
+            session.predict("P9")
+
+    def test_pruned_subset_of_raw(self, session):
+        raw = session.predict_all()
+        pruned = session.pruned_predictions()
+        for name in raw:
+            assert len(pruned[name]) <= len(raw[name])
+            raw_keys = {id(p) for p in raw[name]}
+            assert all(id(p) in raw_keys for p in pruned[name])
+
+    def test_check_both_heuristics_agree_on_best_ii(self, session):
+        enum = session.check("enumeration")
+        iter_ = session.check("iterative")
+        assert enum.feasible and iter_.feasible
+        assert (
+            enum.best().ii_main == iter_.best().ii_main
+        )
+
+    def test_unknown_heuristic_rejected(self, session):
+        with pytest.raises(PredictionError):
+            session.check("magic")
+
+    def test_keep_all_records_space(self, session):
+        result = session.check("enumeration", keep_all=True)
+        assert result.space is not None
+        assert result.space.total >= result.trials
+
+    def test_unprunable_constraints_raise(self):
+        s = ChopSession(
+            graph=ar_lattice_filter(),
+            library=table1_library(),
+            clocks=ClockScheme(300.0, dp_multiplier=10),
+            style=ArchitectureStyle(OperationTiming.SINGLE_CYCLE),
+            criteria=FeasibilityCriteria(performance_ns=1.0, delay_ns=1.0),
+        )
+        s.add_chip("chip1", mosis_package(2))
+        parts = horizontal_cut(s.graph, 1)
+        s.set_partitions(parts, {"P1": "chip1"})
+        with pytest.raises(PredictionError, match="survive"):
+            s.check("iterative")
+
+    def test_max_usable_area(self, session):
+        assert session.max_usable_area_mil2() > 100_000

@@ -1,0 +1,117 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def project_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "project.json"
+    assert main(["export-demo", str(path)]) == 0
+    return path
+
+
+class TestInputs:
+    def test_inputs_prints_tables(self, capsys):
+        assert main(["inputs"]) == 0
+        out = capsys.readouterr().out
+        assert "add1" in out and "mul3" in out
+        assert "311.02" in out  # Table 2 package dimensions
+
+
+class TestDemo:
+    def test_demo_experiment1(self, capsys):
+        assert main(["demo", "--experiment", "1", "--partitions", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Initiation interval" in out
+        assert "Partition P1" in out
+
+    def test_demo_experiment2_enumeration(self, capsys):
+        assert main(
+            [
+                "demo", "--experiment", "2", "--partitions", "3",
+                "--heuristic", "enumeration",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "16" in out  # the Table 6 crossover II
+
+
+class TestProjectCommands:
+    def test_export_demo_writes_valid_json(self, project_file):
+        data = json.loads(project_file.read_text())
+        assert set(data) >= {
+            "graph", "library", "clocks", "criteria", "chips",
+            "partitions",
+        }
+
+    def test_check(self, project_file, capsys):
+        assert main(["check", str(project_file)]) == 0
+        out = capsys.readouterr().out
+        assert "Initiation interval" in out
+        assert "Chip occupancy" in out
+
+    def test_predict(self, project_file, capsys):
+        assert main(
+            ["predict", str(project_file), "--partition", "P1",
+             "--limit", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "predicted implementations" in out
+        assert "mW" in out
+
+    def test_predict_unknown_partition_errors(self, project_file,
+                                              capsys):
+        assert main(
+            ["predict", str(project_file), "--partition", "P9"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "error" in err
+
+    def test_check_missing_file_errors(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        with pytest.raises(FileNotFoundError):
+            main(["check", str(missing)])
+
+
+class TestCompile:
+    def test_compile_example_specs(self, tmp_path, capsys):
+        for spec in ("biquad", "moving_average"):
+            out_path = tmp_path / f"{spec}.json"
+            assert main(
+                ["compile", f"examples/specs/{spec}.chop",
+                 "-o", str(out_path)]
+            ) == 0
+            data = json.loads(out_path.read_text())
+            assert data["operations"]
+
+    def test_compile_to_stdout(self, tmp_path, capsys):
+        spec = tmp_path / "t.chop"
+        spec.write_text("input x\ny = x + x\noutput y\n")
+        assert main(["compile", str(spec)]) == 0
+        out = capsys.readouterr().out
+        document = json.loads(out)
+        assert document["outputs"] == ["y"]
+
+    def test_compiled_spec_loads_as_project_graph(self, tmp_path):
+        spec = tmp_path / "t.chop"
+        spec.write_text(
+            "graph tiny\ninput a, b\ny = a * b\noutput y\n"
+        )
+        out_path = tmp_path / "t.json"
+        assert main(["compile", str(spec), "-o", str(out_path)]) == 0
+        from repro.io.graphs import graph_from_dict
+
+        graph = graph_from_dict(json.loads(out_path.read_text()))
+        assert graph.name == "tiny"
+
+    def test_compile_bad_spec_errors(self, tmp_path, capsys):
+        spec = tmp_path / "bad.chop"
+        spec.write_text("input x\ny = x +\noutput y\n")
+        assert main(["compile", str(spec)]) == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,115 @@
+"""Tests for the PLA controller and wiring models."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bad.controller import (
+    PlaParameters,
+    datapath_controller,
+    pla_estimate,
+)
+from repro.bad.wiring import WiringParameters, wiring_estimate
+from repro.errors import PredictionError
+
+
+class TestPlaEstimate:
+    def test_geometry_scales_area(self):
+        small = pla_estimate(4, 8, 10)
+        large = pla_estimate(8, 16, 40)
+        assert large.area_mil2.ml > small.area_mil2.ml
+
+    def test_known_core_area(self):
+        params = PlaParameters()
+        estimate = pla_estimate(4, 8, 10, params)
+        core = (2 * 4 + 8) * 10 * params.cell_area_mil2
+        assert estimate.area_mil2.ml == pytest.approx(
+            core + params.peripheral_area_mil2
+        )
+
+    def test_delay_grows_with_inputs_and_terms(self):
+        base = pla_estimate(4, 8, 10)
+        more_inputs = pla_estimate(8, 8, 10)
+        more_terms = pla_estimate(4, 8, 100)
+        assert more_inputs.delay_ns > base.delay_ns
+        assert more_terms.delay_ns > base.delay_ns
+
+    def test_bounds_ordered(self):
+        estimate = pla_estimate(5, 10, 20)
+        area = estimate.area_mil2
+        assert area.lb < area.ml < area.ub
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(PredictionError):
+            pla_estimate(-1, 8, 10)
+        with pytest.raises(PredictionError):
+            pla_estimate(4, 0, 10)
+        with pytest.raises(PredictionError):
+            pla_estimate(4, 8, 0)
+
+    @given(
+        st.integers(min_value=0, max_value=64),
+        st.integers(min_value=1, max_value=128),
+        st.integers(min_value=1, max_value=512),
+    )
+    @settings(max_examples=50)
+    def test_always_positive(self, inputs, outputs, terms):
+        estimate = pla_estimate(inputs, outputs, terms)
+        assert estimate.area_mil2.lb > 0
+        assert estimate.delay_ns > 0
+
+
+class TestDatapathController:
+    def test_state_bits_grow_with_latency(self):
+        short = datapath_controller(4, 4, 8, 100, 16)
+        long = datapath_controller(64, 4, 8, 100, 16)
+        assert long.inputs > short.inputs
+        assert long.product_terms > short.product_terms
+
+    def test_outputs_track_resources(self):
+        few = datapath_controller(8, 2, 4, 50, 16)
+        many = datapath_controller(8, 10, 40, 800, 16)
+        assert many.outputs > few.outputs
+
+    def test_rejects_zero_latency(self):
+        with pytest.raises(PredictionError):
+            datapath_controller(0, 4, 8, 100, 16)
+
+
+class TestWiring:
+    def test_fraction_grows_with_cells(self):
+        small = wiring_estimate(10_000.0, 10)
+        large = wiring_estimate(10_000.0, 1000)
+        assert large.fraction > small.fraction
+        assert large.area_mil2.ml > small.area_mil2.ml
+
+    def test_fraction_capped(self):
+        estimate = wiring_estimate(10_000.0, 10**9)
+        assert estimate.fraction <= WiringParameters().max_fraction
+
+    def test_delay_scales_with_die_size(self):
+        small = wiring_estimate(1_000.0, 50)
+        large = wiring_estimate(100_000.0, 50)
+        assert large.delay_ns > small.delay_ns
+
+    def test_zero_area(self):
+        estimate = wiring_estimate(0.0, 0)
+        assert estimate.area_mil2.ml == 0.0
+        assert estimate.delay_ns == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(PredictionError):
+            wiring_estimate(-1.0, 10)
+        with pytest.raises(PredictionError):
+            wiring_estimate(10.0, -1)
+
+    @given(
+        st.floats(min_value=0.0, max_value=1e7, allow_nan=False),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=50)
+    def test_bounds_ordered(self, area, cells):
+        estimate = wiring_estimate(area, cells)
+        assert estimate.area_mil2.lb <= estimate.area_mil2.ml
+        assert estimate.area_mil2.ml <= estimate.area_mil2.ub

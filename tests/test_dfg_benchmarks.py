@@ -1,0 +1,93 @@
+"""Tests for the benchmark graph generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dfg.benchmarks import (
+    ar_lattice_filter,
+    differential_equation,
+    elliptic_wave_filter,
+    fir_filter,
+)
+from repro.dfg.ops import OpType
+from repro.dfg.transforms import validate_graph
+from repro.errors import SpecificationError
+
+
+class TestARLatticeFilter:
+    def test_paper_operation_mix(self, ar_graph):
+        counts = ar_graph.op_counts_by_type()
+        assert counts[OpType.MUL] == 16
+        assert counts[OpType.ADD] == 12
+        assert ar_graph.op_count() == 28
+
+    def test_two_outputs(self, ar_graph):
+        assert len(ar_graph.primary_outputs()) == 2
+
+    def test_eighteen_inputs(self, ar_graph):
+        # Two samples plus sixteen lattice coefficients.
+        assert len(ar_graph.primary_inputs()) == 18
+
+    def test_sixteen_bit_default(self, ar_graph):
+        assert all(v.width == 16 for v in ar_graph.values.values())
+
+    def test_custom_width(self):
+        g = ar_lattice_filter(width=8)
+        assert all(v.width == 8 for v in g.values.values())
+
+    def test_deterministic(self):
+        a = ar_lattice_filter()
+        b = ar_lattice_filter()
+        assert sorted(a.operations) == sorted(b.operations)
+
+    def test_alternating_mul_add_critical_path(self, ar_graph):
+        # Four lattice sections (mul then add) plus the combining tree.
+        assert ar_graph.depth() == 10
+
+
+class TestEllipticWaveFilter:
+    def test_classic_mix(self, ewf_graph):
+        counts = ewf_graph.op_counts_by_type()
+        assert counts[OpType.ADD] == 26
+        assert counts[OpType.MUL] == 8
+        assert ewf_graph.op_count() == 34
+
+    def test_deep_critical_path(self, ewf_graph):
+        assert ewf_graph.depth() >= 14
+
+    def test_validates(self, ewf_graph):
+        assert validate_graph(ewf_graph) == []
+
+
+class TestFirFilter:
+    @pytest.mark.parametrize("taps", [2, 3, 8, 16])
+    def test_op_counts(self, taps):
+        g = fir_filter(taps)
+        counts = g.op_counts_by_type()
+        assert counts[OpType.MUL] == taps
+        assert counts[OpType.ADD] == taps - 1
+
+    def test_balanced_tree_depth(self):
+        g = fir_filter(8)
+        assert g.depth() == 4  # mul + 3 adder levels
+
+    def test_odd_tap_count(self):
+        g = fir_filter(5)
+        assert validate_graph(g) == []
+
+    def test_rejects_single_tap(self):
+        with pytest.raises(SpecificationError):
+            fir_filter(1)
+
+
+class TestDifferentialEquation:
+    def test_hal_mix(self, diffeq_graph):
+        counts = diffeq_graph.op_counts_by_type()
+        assert counts[OpType.MUL] == 6
+        assert counts[OpType.SUB] == 2
+        assert counts[OpType.ADD] == 2
+        assert counts[OpType.COMPARE] == 1
+
+    def test_four_outputs(self, diffeq_graph):
+        assert len(diffeq_graph.primary_outputs()) == 4

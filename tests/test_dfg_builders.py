@@ -1,0 +1,107 @@
+"""Tests for the graph builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dfg.builders import GraphBuilder
+from repro.dfg.ops import OpType
+from repro.errors import SpecificationError
+
+
+class TestInputs:
+    def test_duplicate_input_rejected(self):
+        b = GraphBuilder("g")
+        b.input("x")
+        with pytest.raises(SpecificationError):
+            b.input("x")
+
+    def test_custom_width(self):
+        b = GraphBuilder("g", default_width=16)
+        b.input("x", width=8)
+        y = b.add("x", "x", name="y")
+        b.output(y)
+        g = b.build()
+        assert g.value("x").width == 8
+        assert g.value("y").width == 16
+
+    def test_rejects_non_positive_default_width(self):
+        with pytest.raises(SpecificationError):
+            GraphBuilder("g", default_width=0)
+
+
+class TestOps:
+    def test_undeclared_operand_rejected(self):
+        b = GraphBuilder("g")
+        with pytest.raises(SpecificationError):
+            b.add("ghost", "ghost")
+
+    def test_auto_names_are_unique(self):
+        b = GraphBuilder("g")
+        x = b.input("x")
+        v1 = b.add(x, x)
+        v2 = b.add(x, x)
+        assert v1 != v2
+
+    def test_named_output_value(self):
+        b = GraphBuilder("g")
+        x = b.input("x")
+        y = b.mul(x, x, name="y")
+        assert y == "y"
+
+    def test_duplicate_value_name_rejected(self):
+        b = GraphBuilder("g")
+        x = b.input("x")
+        b.mul(x, x, name="y")
+        with pytest.raises(SpecificationError):
+            b.add(x, x, name="y")
+
+    def test_mem_ops(self):
+        b = GraphBuilder("g")
+        addr = b.input("addr")
+        word = b.mem_read(addr, "M1")
+        write_id = b.mem_write(word, "M1")
+        y = b.add(word, word, name="y")
+        b.output(y)
+        g = b.build()
+        read_op = [o for o in g if o.op_type is OpType.MEM_READ][0]
+        write_op = [o for o in g if o.op_type is OpType.MEM_WRITE][0]
+        assert read_op.memory_block == "M1"
+        assert write_op.output is None
+        assert write_op.id == write_id
+
+    def test_sub_wrapper(self):
+        b = GraphBuilder("g")
+        x = b.input("x")
+        y = b.sub(x, x, name="y")
+        b.output(y)
+        g = b.build()
+        assert g.op_counts_by_type()[OpType.SUB] == 1
+
+
+class TestFinalisation:
+    def test_output_of_unknown_value_rejected(self):
+        b = GraphBuilder("g")
+        with pytest.raises(SpecificationError):
+            b.output("ghost")
+
+    def test_builder_single_use(self):
+        b = GraphBuilder("g")
+        x = b.input("x")
+        y = b.add(x, x, name="y")
+        b.output(y)
+        b.build()
+        with pytest.raises(SpecificationError):
+            b.add(x, x)
+        with pytest.raises(SpecificationError):
+            b.build()
+
+    def test_expression_composition(self):
+        b = GraphBuilder("g")
+        x = b.input("x")
+        k = b.input("k")
+        y = b.add(b.mul(x, k), b.mul(k, k), name="y")
+        b.output(y)
+        g = b.build()
+        assert g.op_count() == 3
+        assert g.depth() == 2

@@ -1,0 +1,66 @@
+"""Property-based tests on random data-flow graphs."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.dfg.transforms import validate_graph
+from tests.strategies import dags
+
+
+@given(dags())
+@settings(max_examples=60)
+def test_random_dags_have_valid_topological_order(graph):
+    order = graph.topological_order()
+    assert sorted(order) == sorted(graph.operations)
+    position = {op_id: i for i, op_id in enumerate(order)}
+    for op_id in order:
+        for pred in graph.predecessors(op_id):
+            assert position[pred] < position[op_id]
+
+
+@given(dags())
+@settings(max_examples=60)
+def test_random_dags_validate(graph):
+    problems = validate_graph(graph)
+    # The strategy marks every leaf as an output, so only dangling-input
+    # problems may remain (an input can legitimately go unused when ops
+    # happen to never draw it).
+    assert all("never produced nor consumed" in p for p in problems)
+
+
+@given(dags())
+@settings(max_examples=60)
+def test_depth_bounded_by_op_count(graph):
+    assert 1 <= graph.depth() <= graph.op_count()
+
+
+@given(dags())
+@settings(max_examples=60)
+def test_subgraph_of_half_is_consistent(graph):
+    ops = sorted(graph.operations)
+    half = ops[: max(1, len(ops) // 2)]
+    sub = graph.subgraph_ops(half)
+    assert sub.op_count() == len(half)
+    # Every subgraph input is either a graph input or produced outside.
+    for value in sub.primary_inputs():
+        original = graph.value(value.id)
+        assert original.producer is None or original.producer not in half
+
+
+@given(dags())
+@settings(max_examples=60)
+def test_cut_values_cover_cross_partition_edges(graph):
+    ops = graph.topological_order()
+    half = len(ops) // 2 or 1
+    mapping = {
+        op_id: ("P1" if i < half else "P2") for i, op_id in enumerate(ops)
+    }
+    cuts = {vid for vid, _src, _dests in graph.cut_values(mapping)}
+    for op_id in ops:
+        for vid in graph.operation(op_id).inputs:
+            producer = graph.value(vid).producer
+            if producer is None:
+                continue
+            if mapping[producer] != mapping[op_id]:
+                assert vid in cuts

@@ -1,0 +1,112 @@
+"""Tests for validation and loop unrolling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dfg.builders import GraphBuilder
+from repro.dfg.transforms import unroll_loop, validate_graph
+from repro.errors import SpecificationError
+
+
+class TestUnrollLoop:
+    def test_unrolls_requested_count(self):
+        b = GraphBuilder("acc")
+        x = b.input("x")
+        acc0 = b.input("acc0")
+
+        def body(bld, i, carried):
+            return {"acc": bld.add(carried["acc"], x)}
+
+        final = unroll_loop(b, 5, {"acc": acc0}, body)
+        b.output(final["acc"])
+        g = b.build()
+        assert g.op_count() == 5
+        assert g.depth() == 5
+
+    def test_zero_iterations_is_identity(self):
+        b = GraphBuilder("acc")
+        x = b.input("x")
+        final = unroll_loop(b, 0, {"acc": x}, lambda *_: {})
+        assert final == {"acc": x}
+
+    def test_rejects_negative_count(self):
+        b = GraphBuilder("acc")
+        x = b.input("x")
+        with pytest.raises(SpecificationError):
+            unroll_loop(b, -1, {"acc": x}, lambda *_: {})
+
+    def test_rejects_changed_variable_set(self):
+        b = GraphBuilder("acc")
+        x = b.input("x")
+
+        def bad_body(bld, i, carried):
+            return {"other": x}
+
+        with pytest.raises(SpecificationError, match="carried-variable"):
+            unroll_loop(b, 2, {"acc": x}, bad_body)
+
+    def test_body_sees_iteration_index(self):
+        b = GraphBuilder("acc")
+        x = b.input("x")
+        seen = []
+
+        def body(bld, i, carried):
+            seen.append(i)
+            return {"acc": bld.add(carried["acc"], x)}
+
+        unroll_loop(b, 3, {"acc": x}, body)
+        assert seen == [0, 1, 2]
+
+    def test_multiple_carried_variables(self):
+        b = GraphBuilder("fib-ish")
+        a0 = b.input("a0")
+        b0 = b.input("b0")
+
+        def body(bld, i, carried):
+            return {
+                "a": carried["b"],
+                "b": bld.add(carried["a"], carried["b"]),
+            }
+
+        final = unroll_loop(b, 4, {"a": a0, "b": b0}, body)
+        b.output(final["b"])
+        g = b.build()
+        assert g.op_count() == 4
+
+
+class TestValidateGraph:
+    def test_clean_benchmarks_validate(self, ar_graph, ewf_graph,
+                                        fir_graph, diffeq_graph):
+        for g in (ar_graph, ewf_graph, fir_graph, diffeq_graph):
+            assert validate_graph(g) == []
+
+    def test_dangling_input_reported(self):
+        b = GraphBuilder("g")
+        b.input("unused")
+        x = b.input("x")
+        y = b.add(x, x, name="y")
+        b.output(y)
+        problems = validate_graph(b.build())
+        assert any("unused" in p for p in problems)
+
+    def test_dead_value_reported(self):
+        b = GraphBuilder("g")
+        x = b.input("x")
+        b.add(x, x, name="dead")
+        y = b.mul(x, x, name="y")
+        b.output(y)
+        problems = validate_graph(b.build())
+        assert any("dead" in p for p in problems)
+
+    def test_missing_outputs_reported(self):
+        b = GraphBuilder("g")
+        x = b.input("x")
+        v = b.add(x, x)
+        b2 = GraphBuilder("consume")
+        # Build a graph where the only value is consumed internally and
+        # nothing is an output.
+        y = b.mul(v, x)  # y unconsumed and not marked output
+        g = b.build()
+        problems = validate_graph(g)
+        assert any("no primary outputs" in p for p in problems)

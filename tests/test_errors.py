@@ -1,0 +1,41 @@
+"""The exception hierarchy contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    ChipError,
+    ChopError,
+    InfeasibleError,
+    LibraryError,
+    PartitioningError,
+    PredictionError,
+    SpecificationError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc_type",
+    [
+        SpecificationError,
+        LibraryError,
+        ChipError,
+        PartitioningError,
+        PredictionError,
+        InfeasibleError,
+    ],
+)
+def test_all_derive_from_chop_error(exc_type):
+    assert issubclass(exc_type, ChopError)
+
+
+def test_infeasible_error_carries_reason():
+    error = InfeasibleError("pins oversubscribed")
+    assert error.reason == "pins oversubscribed"
+    assert "pins oversubscribed" in str(error)
+
+
+def test_catching_base_catches_all():
+    with pytest.raises(ChopError):
+        raise LibraryError("x")

@@ -1,0 +1,211 @@
+"""Functional-equivalence tests: specification vs synthesized netlist."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bad.allocation import partition_resource_model
+from repro.bad.scheduling import list_schedule
+from repro.dfg.builders import GraphBuilder
+from repro.dfg.evaluate import apply_op, evaluate, evaluate_outputs
+from repro.dfg.ops import OpType
+from repro.errors import SpecificationError
+from repro.synth.binding import bind_design
+from repro.synth.simulate import SimulationError, simulate_netlist
+from tests.strategies import dags
+
+
+class TestEvaluate:
+    def test_tiny_graph(self, tiny_graph):
+        outputs = evaluate_outputs(
+            tiny_graph, {"a": 3, "b": 5, "c": 7}
+        )
+        assert outputs == {"y": 3 * 5 + 7}
+
+    def test_wraparound(self, tiny_graph):
+        outputs = evaluate_outputs(
+            tiny_graph, {"a": 60000, "b": 3, "c": 1}
+        )
+        assert outputs["y"] == (60000 * 3 + 1) % 65536
+
+    def test_missing_input_rejected(self, tiny_graph):
+        with pytest.raises(SpecificationError, match="missing input"):
+            evaluate(tiny_graph, {"a": 1, "b": 2})
+
+    def test_memory_read_write(self):
+        b = GraphBuilder("mem")
+        addr = b.input("addr")
+        r = b.mem_read(addr, "M")
+        doubled = b.add(r, r, name="doubled")
+        b.mem_write(doubled, "M")
+        b.output(doubled)
+        graph = b.build()
+        memory = {"M": [10, 20, 30]}
+        outputs = evaluate_outputs(graph, {"addr": 1}, memory)
+        assert outputs == {"doubled": 40}
+        assert memory["M"] == [10, 20, 30, 40]
+
+    def test_memory_without_contents_rejected(self):
+        b = GraphBuilder("mem")
+        addr = b.input("addr")
+        r = b.mem_read(addr, "M")
+        s = b.add(r, r, name="s")
+        b.output(s)
+        graph = b.build()
+        with pytest.raises(SpecificationError, match="no contents"):
+            evaluate(graph, {"addr": 0}, {})
+
+    def test_division_semantics(self):
+        assert apply_op(OpType.DIV, [7, 2], 16) == 3
+        assert apply_op(OpType.DIV, [7, 0], 16) == 0xFFFF
+
+    def test_compare_semantics(self):
+        assert apply_op(OpType.COMPARE, [1, 2], 16) == 1
+        assert apply_op(OpType.COMPARE, [2, 2], 16) == 0
+
+    def test_logic_and_shift(self):
+        assert apply_op(OpType.AND, [0b1100, 0b1010], 16) == 0b1000
+        assert apply_op(OpType.OR, [0b1100, 0b1010], 16) == 0b1110
+        assert apply_op(OpType.SHIFT, [1, 4], 16) == 16
+
+    def test_ar_filter_is_deterministic(self, ar_graph):
+        inputs = {
+            v.id: i * 17 + 3
+            for i, v in enumerate(ar_graph.primary_inputs())
+        }
+        first = evaluate_outputs(ar_graph, inputs)
+        second = evaluate_outputs(ar_graph, inputs)
+        assert first == second
+
+
+def _simulate_with(graph, capacities, inputs, delays=None, cycle=None):
+    duration = {op_id: 1 for op_id in graph.operations}
+    op_class, counts = partition_resource_model(graph)
+    schedule = list_schedule(
+        graph, duration, op_class, capacities or counts,
+        delay_ns=delays, cycle_ns=cycle,
+    )
+    bound = bind_design(graph, schedule)
+    return simulate_netlist(graph, schedule, bound, inputs)
+
+
+class TestSimulateNetlist:
+    def test_matches_reference_parallel(self, ar_graph):
+        inputs = {
+            v.id: i * 31 + 7
+            for i, v in enumerate(ar_graph.primary_inputs())
+        }
+        reference = evaluate_outputs(ar_graph, inputs)
+        simulated = _simulate_with(ar_graph, None, inputs)
+        assert simulated == reference
+
+    def test_matches_reference_serial(self, ar_graph):
+        inputs = {
+            v.id: i * 13 + 1
+            for i, v in enumerate(ar_graph.primary_inputs())
+        }
+        reference = evaluate_outputs(ar_graph, inputs)
+        simulated = _simulate_with(
+            ar_graph, {"add": 1, "mul": 1}, inputs
+        )
+        assert simulated == reference
+
+    def test_matches_reference_with_chaining(self, ar_graph):
+        inputs = {
+            v.id: i + 2 for i, v in enumerate(ar_graph.primary_inputs())
+        }
+        delays = {
+            op.id: (375.0 if op.op_type is OpType.MUL else 34.0)
+            for op in ar_graph
+        }
+        reference = evaluate_outputs(ar_graph, inputs)
+        simulated = _simulate_with(
+            ar_graph, {"add": 4, "mul": 6}, inputs,
+            delays=delays, cycle=3000.0,
+        )
+        assert simulated == reference
+
+    def test_memory_partitions_rejected(self):
+        b = GraphBuilder("mem")
+        addr = b.input("addr")
+        r = b.mem_read(addr, "M")
+        s = b.add(r, r, name="s")
+        b.output(s)
+        graph = b.build()
+        with pytest.raises(SpecificationError, match="compute-only"):
+            _simulate_with(graph, None, {"addr": 0})
+
+    def test_clobber_detected(self, tiny_graph):
+        """A deliberately broken binding trips the dynamic check."""
+        from repro.synth.binding import BoundDesign
+
+        duration = {op_id: 1 for op_id in tiny_graph.operations}
+        op_class, counts = partition_resource_model(tiny_graph)
+        schedule = list_schedule(
+            tiny_graph, duration, op_class, counts
+        )
+        good = bind_design(tiny_graph, schedule)
+        # Force both stored values into the same register even though
+        # their lifetimes say otherwise is fine here (v_mul1 dies when y
+        # is born) — instead break it by dropping the output's register.
+        broken = BoundDesign(
+            unit_of=good.unit_of,
+            units_used=good.units_used,
+            register_of={
+                vid: 0 for vid in good.register_of
+            },
+            register_count=1,
+        )
+        inputs = {"a": 2, "b": 3, "c": 4}
+        # v_mul1 and y share r0 legally (non-overlapping lifetimes), so
+        # this still works; drop y's register to break it.
+        really_broken = BoundDesign(
+            unit_of=good.unit_of,
+            units_used=good.units_used,
+            register_of={
+                vid: reg
+                for vid, reg in good.register_of.items()
+                if vid != "y"
+            },
+            register_count=good.register_count,
+        )
+        with pytest.raises(SimulationError):
+            simulate_netlist(
+                tiny_graph, schedule, really_broken, inputs
+            )
+
+
+class TestSimulationProperties:
+    @given(dags(max_ops=16), st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_netlist_equals_specification(self, graph, seed):
+        rng = random.Random(seed)
+        inputs = {
+            v.id: rng.randrange(0, 1 << 16)
+            for v in graph.primary_inputs()
+        }
+        op_class, counts = partition_resource_model(graph)
+        capacities = {
+            cls: rng.randint(1, count) for cls, count in counts.items()
+        }
+        reference = evaluate_outputs(graph, inputs)
+        simulated = _simulate_with(graph, capacities, inputs)
+        assert simulated == reference
+
+    @given(dags(max_ops=14), st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=30, deadline=None)
+    def test_chained_netlist_equals_specification(self, graph, seed):
+        rng = random.Random(seed)
+        inputs = {
+            v.id: rng.randrange(0, 1 << 16)
+            for v in graph.primary_inputs()
+        }
+        delays = {op_id: 100.0 for op_id in graph.operations}
+        reference = evaluate_outputs(graph, inputs)
+        simulated = _simulate_with(
+            graph, None, inputs, delays=delays, cycle=1000.0
+        )
+        assert simulated == reference

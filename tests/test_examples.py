@@ -1,0 +1,55 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples are documentation; these tests keep them honest against
+API drift.  Each main() is executed in-process with stdout captured.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+
+import pytest
+
+sys.path.insert(0, "examples")
+
+EXAMPLES = [
+    "quickstart",
+    "design_space_exploration",
+    "chip_set_tradeoff",
+    "memory_partitioning",
+    "auto_partition_kl",
+    "advisor_and_power",
+    "figure2_scenario",
+]
+
+
+@pytest.mark.parametrize("module_name", EXAMPLES)
+def test_example_runs(module_name, capsys):
+    module = importlib.import_module(module_name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{module_name} printed nothing"
+
+
+def test_quickstart_reports_feasible_design(capsys):
+    module = importlib.import_module("quickstart")
+    module.main()
+    out = capsys.readouterr().out
+    assert "Feasible, non-inferior designs" in out
+    assert "CHOP has reached this prediction" in out
+
+
+def test_figure2_scenario_builds_task_graph(capsys):
+    module = importlib.import_module("figure2_scenario")
+    module.main()
+    out = capsys.readouterr().out
+    assert "xfer:P1->P2" in out
+    assert "Feasible" in out
+
+
+def test_memory_example_shows_pin_effect(capsys):
+    module = importlib.import_module("memory_partitioning")
+    module.main()
+    out = capsys.readouterr().out
+    assert "memory pin load" in out

@@ -1,0 +1,141 @@
+"""End-to-end reproduction checks: the paper's qualitative results.
+
+These tests assert the *shape* of the paper's evaluation (who wins, by
+roughly what factor, where the crossovers fall) — not the absolute
+numbers, which depended on the authors' predictor calibration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENT1_CRITERIA,
+    EXPERIMENT2_CRITERIA,
+    experiment1_session,
+    experiment2_session,
+)
+
+
+@pytest.fixture(scope="module")
+def exp1_results():
+    results = {}
+    for n in (1, 2, 3):
+        session = experiment1_session(package_number=2, partition_count=n)
+        results[n] = session.check("enumeration")
+    return results
+
+
+@pytest.fixture(scope="module")
+def exp2_results():
+    results = {}
+    for n in (1, 2, 3):
+        session = experiment2_session(partition_count=n)
+        results[n] = session.check("enumeration")
+    return results
+
+
+class TestExperiment1Shape:
+    def test_every_cell_feasible(self, exp1_results):
+        for n, result in exp1_results.items():
+            assert result.feasible_trials > 0, f"{n} partitions infeasible"
+
+    def test_more_chips_higher_performance(self, exp1_results):
+        best = {n: r.best().ii_main for n, r in exp1_results.items()}
+        # Paper: 2x speedup from 1->2 chips, up to 3x overall.
+        assert best[2] < best[1]
+        assert best[3] <= best[2]
+        assert best[1] / best[2] >= 1.5
+        assert best[1] / best[3] >= 2.0
+
+    def test_feasible_designs_meet_constraints(self, exp1_results):
+        for result in exp1_results.values():
+            for design in result.feasible:
+                perf = design.system.performance_ns
+                assert perf.ub <= EXPERIMENT1_CRITERIA.performance_ns
+
+    def test_clock_near_main_clock(self, exp1_results):
+        # Paper reports 308-312 ns adjusted clocks (300 ns main).
+        for result in exp1_results.values():
+            clock = result.best().clock_cycle_ns
+            assert 300.0 < clock < 330.0
+
+    def test_fewer_pins_same_ii_worse_delay(self):
+        wide = experiment1_session(2, 3).check("enumeration").best()
+        narrow = experiment1_session(1, 3).check("enumeration").best()
+        assert narrow.ii_main == wide.ii_main
+        assert narrow.delay_main >= wide.delay_main
+
+
+class TestExperiment2Shape:
+    def test_every_cell_feasible(self, exp2_results):
+        for n, result in exp2_results.items():
+            assert result.feasible_trials > 0
+
+    def test_multi_cycle_beats_single_cycle(self, exp1_results,
+                                            exp2_results):
+        """Paper section 3.2: the multi-cycle style's faster clock gives
+        higher-performance designs."""
+        best1 = exp1_results[3].best()
+        best2 = exp2_results[3].best()
+        perf1 = best1.ii_main * best1.clock_cycle_ns
+        perf2 = best2.ii_main * best2.clock_cycle_ns
+        assert perf2 < perf1
+
+    def test_higher_clock_overhead_than_exp1(self, exp1_results,
+                                             exp2_results):
+        # Paper: exp2 clocks 374-400 ns vs exp1's 308-312 ns.
+        clock1 = exp1_results[2].best().clock_cycle_ns
+        clock2 = exp2_results[2].best().clock_cycle_ns
+        assert clock2 > clock1 + 30
+
+    def test_design_space_larger_than_exp1(self):
+        s1 = experiment1_session(2, 1)
+        s2 = experiment2_session(1)
+        raw1 = sum(len(v) for v in s1.predict_all().values())
+        raw2 = sum(len(v) for v in s2.predict_all().values())
+        assert raw2 > raw1  # paper: 656 vs 111 predictions
+
+    def test_enumeration_beats_iterative_at_three_partitions(self):
+        """Table 6's signature: E finds II 16 where I stops at II 20."""
+        session = experiment2_session(partition_count=3)
+        enum_best = session.check("enumeration").best()
+        iter_best = session.check("iterative").best()
+        assert enum_best.ii_main < iter_best.ii_main
+
+
+class TestPruningEffect:
+    def test_pruning_orders_of_magnitude(self):
+        """Paper section 3.1: pruning keeps runs sub-second where the
+        keep-all run took 61.4 s; the retained-design ratio shows the
+        same orders-of-magnitude contrast."""
+        session = experiment1_session(2, 2)
+        raw = sum(len(v) for v in session.predict_all().values())
+        pruned = sum(
+            len(v) for v in session.pruned_predictions().values()
+        )
+        assert pruned * 5 <= raw
+
+    def test_keep_all_design_space_has_duplicates(self):
+        session = experiment1_session(2, 2)
+        result = session.check(
+            "enumeration", prune=False, keep_all=True
+        )
+        assert result.space is not None
+        assert result.space.total > result.space.unique
+
+
+class TestGuidelineReproduction:
+    def test_section31_style_output(self):
+        """The 2-partition feasible design reports the same kinds of
+        decisions the paper's section 3.1 lists."""
+        session = experiment1_session(2, 2)
+        best = session.check("iterative").best()
+        from repro.reporting import design_guidelines
+
+        text = design_guidelines(best)
+        for fragment in (
+            "design style", "stages", "module library",
+            "bits of registers", "2-to-1 multiplexers",
+        ):
+            assert fragment in text

@@ -1,0 +1,106 @@
+"""Tests for feasibility criteria and level-1 pruning predicate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bad.styles import ClockScheme
+from repro.core.feasibility import (
+    FeasibilityCriteria,
+    prediction_possibly_feasible,
+)
+from repro.errors import PredictionError
+
+
+class TestCriteria:
+    def test_paper_defaults(self):
+        c = FeasibilityCriteria(performance_ns=30_000, delay_ns=30_000)
+        assert c.performance_confidence == 1.0
+        assert c.area_confidence == 1.0
+        assert c.delay_confidence == 0.8
+
+    def test_rejects_non_positive_constraints(self):
+        with pytest.raises(PredictionError):
+            FeasibilityCriteria(performance_ns=0, delay_ns=1)
+        with pytest.raises(PredictionError):
+            FeasibilityCriteria(performance_ns=1, delay_ns=-5)
+
+    def test_rejects_bad_confidence(self):
+        with pytest.raises(PredictionError):
+            FeasibilityCriteria(
+                performance_ns=1, delay_ns=1, delay_confidence=0.0
+            )
+        with pytest.raises(PredictionError):
+            FeasibilityCriteria(
+                performance_ns=1, delay_ns=1, area_confidence=1.5
+            )
+
+
+class TestLevel1Predicate:
+    def test_discards_oversized(self, exp1_predictor, ar_graph,
+                                exp1_clocks, exp1_criteria):
+        preds = exp1_predictor.predict_partition(ar_graph)
+        huge = max(preds, key=lambda p: p.area_total.ub)
+        assert not prediction_possibly_feasible(
+            huge, exp1_criteria, exp1_clocks,
+            max_usable_area_mil2=huge.area_total.ub - 1,
+        )
+
+    def test_keeps_fitting_designs(self, exp1_predictor, ar_graph,
+                                   exp1_clocks):
+        preds = exp1_predictor.predict_partition(ar_graph)
+        generous = FeasibilityCriteria(
+            performance_ns=10**9, delay_ns=10**9
+        )
+        small = min(preds, key=lambda p: p.area_total.ub)
+        assert prediction_possibly_feasible(
+            small, generous, exp1_clocks,
+            max_usable_area_mil2=small.area_total.ub + 1,
+        )
+
+    def test_discards_slow_initiation(self, exp1_predictor, ar_graph,
+                                      exp1_clocks):
+        preds = exp1_predictor.predict_partition(ar_graph)
+        slow = max(preds, key=lambda p: p.ii_main)
+        tight = FeasibilityCriteria(
+            performance_ns=slow.ii_main
+            * exp1_clocks.main_cycle_ns
+            - 1.0,
+            delay_ns=10**9,
+        )
+        assert not prediction_possibly_feasible(
+            slow, tight, exp1_clocks, max_usable_area_mil2=10**9
+        )
+
+    def test_discards_slow_latency(self, exp1_predictor, ar_graph,
+                                   exp1_clocks):
+        preds = exp1_predictor.predict_partition(ar_graph)
+        slow = max(preds, key=lambda p: p.latency_main)
+        tight = FeasibilityCriteria(
+            performance_ns=10**9,
+            delay_ns=slow.latency_main * exp1_clocks.main_cycle_ns - 1.0,
+        )
+        assert not prediction_possibly_feasible(
+            slow, tight, exp1_clocks, max_usable_area_mil2=10**9
+        )
+
+    def test_relaxed_area_confidence_uses_lower_bound(
+        self, exp1_predictor, ar_graph, exp1_clocks
+    ):
+        preds = exp1_predictor.predict_partition(ar_graph)
+        pred = preds[len(preds) // 2]
+        relaxed = FeasibilityCriteria(
+            performance_ns=10**9, delay_ns=10**9, area_confidence=0.5
+        )
+        # Between lb and ub, the relaxed criterion keeps what the strict
+        # one would discard.
+        between = (pred.area_total.lb + pred.area_total.ub) / 2
+        strict = FeasibilityCriteria(
+            performance_ns=10**9, delay_ns=10**9
+        )
+        assert prediction_possibly_feasible(
+            pred, relaxed, exp1_clocks, between
+        )
+        assert not prediction_possibly_feasible(
+            pred, strict, exp1_clocks, between
+        )

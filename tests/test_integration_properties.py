@@ -1,0 +1,107 @@
+"""End-to-end property tests over random specifications.
+
+Each random DAG is pushed through the whole CHOP pipeline — prediction,
+level-1 pruning, search, integration, feasibility — and structural
+invariants of the result are checked.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.bad.styles import ArchitectureStyle, ClockScheme, OperationTiming
+from repro.chips.presets import mosis_package
+from repro.core.chop import ChopSession
+from repro.core.feasibility import FeasibilityCriteria
+from repro.core.schemes import horizontal_cut
+from repro.errors import ChopError, PartitioningError
+from repro.library.presets import extended_library
+from tests.strategies import dags
+
+_RELAXED = FeasibilityCriteria(performance_ns=1e9, delay_ns=1e9)
+
+
+def _session_for(graph, count=2):
+    session = ChopSession(
+        graph=graph,
+        library=extended_library(),
+        clocks=ClockScheme(300.0),
+        style=ArchitectureStyle(OperationTiming.MULTI_CYCLE),
+        criteria=_RELAXED,
+    )
+    partitions = horizontal_cut(graph, count)
+    for index, partition in enumerate(partitions):
+        session.add_chip(f"chip{index + 1}", mosis_package(2))
+    session.set_partitions(
+        partitions,
+        {p.name: f"chip{i + 1}" for i, p in enumerate(partitions)},
+    )
+    return session
+
+
+@given(dags(max_ops=14))
+@settings(
+    max_examples=25, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_single_partition_pipeline_invariants(graph):
+    session = _session_for(graph, count=1)
+    result = session.check("iterative")
+    assert result.trials >= 1
+    for design in result.feasible:
+        system = design.system
+        selected = design.selection["P1"]
+        # The system can never beat its only partition.
+        assert system.ii_main >= selected.ii_main
+        assert system.delay_main >= selected.latency_main
+        # The adjusted clock includes overhead.
+        assert system.clock_cycle_ns.ml >= 300.0
+        # Chip accounting covers the PU.
+        usage = system.chip_usage["chip1"]
+        assert usage.total_area.ml >= selected.area_total.ml
+        assert usage.power_mw.ml >= selected.power_mw.ml
+
+
+@given(dags(max_ops=18))
+@settings(
+    max_examples=20, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_two_partition_pipeline_invariants(graph):
+    try:
+        session = _session_for(graph, count=2)
+    except PartitioningError:
+        return  # too shallow to cut in two — fine
+    result = session.check("iterative")
+    for design in result.feasible:
+        system = design.system
+        # Rate compatibility held for every selected implementation.
+        for prediction in design.selection.values():
+            assert prediction.ii_main <= system.ii_main
+            if prediction.pipelined:
+                assert prediction.ii_main == system.ii_main
+        # Transfers never exceed the initiation interval (no clashes).
+        for estimate in system.transfers.values():
+            assert estimate.duration_main <= system.ii_main
+        # The urgency schedule respects the task graph.
+        schedule = design.system.schedule
+        assert schedule.makespan == system.delay_main
+
+
+@given(dags(max_ops=14))
+@settings(
+    max_examples=15, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_heuristics_agree_on_feasibility(graph):
+    session = _session_for(graph, count=1)
+    enum_result = session.check("enumeration")
+    iter_result = session.check("iterative")
+    # Under relaxed criteria both heuristics either find designs or
+    # neither does.
+    assert bool(enum_result.feasible) == bool(iter_result.feasible)
+    if enum_result.feasible:
+        assert (
+            iter_result.best().ii_main == enum_result.best().ii_main
+        )

@@ -1,0 +1,151 @@
+"""Tests for JSON import/export of graphs and projects."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.dfg.benchmarks import ar_lattice_filter
+from repro.errors import SpecificationError
+from repro.experiments import experiment1_session
+from repro.io.graphs import graph_from_dict, graph_to_dict
+from repro.io.project import (
+    load_project,
+    load_project_file,
+    save_project_file,
+    session_to_dict,
+)
+
+
+class TestGraphRoundTrip:
+    @pytest.mark.parametrize(
+        "factory",
+        ["ar", "ewf", "fir", "diffeq", "dct", "fft"],
+    )
+    def test_round_trip_preserves_structure(self, factory, ar_graph,
+                                            ewf_graph, fir_graph,
+                                            diffeq_graph):
+        from repro.dfg import dct8, fft_graph
+
+        graph = {
+            "ar": ar_graph,
+            "ewf": ewf_graph,
+            "fir": fir_graph,
+            "diffeq": diffeq_graph,
+            "dct": dct8(),
+            "fft": fft_graph(4),
+        }[factory]
+        rebuilt = graph_from_dict(graph_to_dict(graph))
+        assert rebuilt.name == graph.name
+        assert sorted(rebuilt.operations) == sorted(graph.operations)
+        assert sorted(rebuilt.values) == sorted(graph.values)
+        assert rebuilt.op_counts_by_type() == graph.op_counts_by_type()
+        assert [v.id for v in rebuilt.primary_outputs()] == [
+            v.id for v in graph.primary_outputs()
+        ]
+        assert rebuilt.depth() == graph.depth()
+
+    def test_memory_ops_round_trip(self):
+        from repro.dfg.builders import GraphBuilder
+
+        b = GraphBuilder("mem")
+        a = b.input("a")
+        r = b.mem_read(a, "M")
+        s = b.add(r, r, name="s")
+        b.mem_write(s, "M")
+        b.output(s)
+        graph = b.build()
+        rebuilt = graph_from_dict(graph_to_dict(graph))
+        writes = [
+            op for op in rebuilt if op.op_type.value == "mem_write"
+        ]
+        assert len(writes) == 1
+        assert writes[0].memory_block == "M"
+        assert writes[0].output is None
+
+    def test_document_is_json_serialisable(self, ar_graph):
+        text = json.dumps(graph_to_dict(ar_graph))
+        assert "ar-lattice-filter" in text
+
+    def test_malformed_document_rejected(self):
+        with pytest.raises(SpecificationError):
+            graph_from_dict({"name": "x"})
+
+    def test_unknown_op_type_rejected(self, ar_graph):
+        doc = graph_to_dict(ar_graph)
+        doc["operations"][0]["type"] = "teleport"
+        with pytest.raises(SpecificationError, match="unknown operation"):
+            graph_from_dict(doc)
+
+    def test_duplicate_ids_rejected(self, ar_graph):
+        doc = graph_to_dict(ar_graph)
+        doc["operations"].append(dict(doc["operations"][0]))
+        with pytest.raises(SpecificationError, match="duplicate"):
+            graph_from_dict(doc)
+
+
+class TestProjectRoundTrip:
+    @pytest.fixture(scope="class")
+    def session(self):
+        return experiment1_session(package_number=2, partition_count=2)
+
+    def test_session_round_trip(self, session, tmp_path):
+        path = tmp_path / "project.json"
+        save_project_file(session, path)
+        loaded = load_project_file(path)
+        assert sorted(loaded.partitioning().partitions) == ["P1", "P2"]
+        assert loaded.clocks == session.clocks
+        assert loaded.criteria.performance_ns == 30_000.0
+        assert len(loaded.library) == len(session.library)
+
+    def test_loaded_session_reproduces_results(self, session, tmp_path):
+        path = tmp_path / "project.json"
+        save_project_file(session, path)
+        loaded = load_project_file(path)
+        original = session.check("iterative").best()
+        rerun = loaded.check("iterative").best()
+        assert original.ii_main == rerun.ii_main
+        assert original.delay_main == rerun.delay_main
+
+    def test_named_library_shortcuts(self, session):
+        doc = session_to_dict(session)
+        doc["library"] = "extended"
+        loaded = load_project(doc)
+        assert len(loaded.library) > len(session.library)
+
+    def test_package_by_number(self, session):
+        doc = session_to_dict(session)
+        for chip_doc in doc["chips"]:
+            chip_doc["package"] = 1
+        loaded = load_project(doc)
+        assert all(
+            chip.package.pin_count == 64
+            for chip in loaded.chips.values()
+        )
+
+    def test_missing_sections_rejected(self):
+        with pytest.raises(SpecificationError, match="malformed"):
+            load_project({"graph": graph_to_dict(ar_lattice_filter())})
+
+    def test_invalid_json_file_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(SpecificationError, match="invalid"):
+            load_project_file(path)
+
+    def test_memories_round_trip(self, tmp_path):
+        import sys
+
+        sys.path.insert(0, "examples")
+        try:
+            from memory_partitioning import build_session
+        finally:
+            sys.path.pop(0)
+        session = build_session("chip1")
+        path = tmp_path / "mem.json"
+        save_project_file(session, path)
+        loaded = load_project_file(path)
+        assert set(loaded.memories) == {"M_IN", "M_OUT"}
+        assert loaded.memory_chip["M_IN"] == "chip1"
+        assert loaded.check("iterative").feasible

@@ -1,0 +1,58 @@
+"""Property-based round-trip tests for the JSON layer."""
+
+from __future__ import annotations
+
+import json
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dfg.evaluate import evaluate_outputs
+from repro.io.graphs import graph_from_dict, graph_to_dict
+from tests.strategies import dags
+
+
+@given(dags())
+@settings(max_examples=50, deadline=None)
+def test_graph_round_trip_structure(graph):
+    rebuilt = graph_from_dict(graph_to_dict(graph))
+    assert sorted(rebuilt.operations) == sorted(graph.operations)
+    assert rebuilt.op_counts_by_type() == graph.op_counts_by_type()
+    assert {v.id for v in rebuilt.primary_inputs()} == {
+        v.id for v in graph.primary_inputs()
+    }
+    assert {v.id for v in rebuilt.primary_outputs()} == {
+        v.id for v in graph.primary_outputs()
+    }
+
+
+@given(dags(), st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=40, deadline=None)
+def test_graph_round_trip_semantics(graph, seed):
+    """Serialisation must not change what the graph computes."""
+    rng = random.Random(seed)
+    inputs = {
+        v.id: rng.randrange(0, 1 << 16)
+        for v in graph.primary_inputs()
+    }
+    rebuilt = graph_from_dict(graph_to_dict(graph))
+    assert evaluate_outputs(rebuilt, inputs) == evaluate_outputs(
+        graph, inputs
+    )
+
+
+@given(dags())
+@settings(max_examples=30, deadline=None)
+def test_document_survives_json_text(graph):
+    """The dictionary form is genuinely JSON (no exotic objects)."""
+    text = json.dumps(graph_to_dict(graph))
+    rebuilt = graph_from_dict(json.loads(text))
+    assert rebuilt.op_count() == graph.op_count()
+
+
+@given(dags())
+@settings(max_examples=25, deadline=None)
+def test_double_round_trip_is_stable(graph):
+    once = graph_to_dict(graph)
+    twice = graph_to_dict(graph_from_dict(once))
+    assert once == twice

@@ -1,0 +1,144 @@
+"""Tests for components, cells and libraries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dfg.ops import OpType
+from repro.errors import LibraryError
+from repro.library.component import Cell, Component
+from repro.library.library import ComponentLibrary, ModuleSet
+from repro.library.presets import extended_library, table1_library
+
+
+class TestComponent:
+    def test_area_scaling(self):
+        c = Component("add1", OpType.ADD, 16, 4200.0, 34.0)
+        assert c.area_for_width(8) == pytest.approx(2100.0)
+        assert c.area_for_width(32) == pytest.approx(8400.0)
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(LibraryError):
+            Component("x", OpType.ADD, 0, 1.0, 1.0)
+        with pytest.raises(LibraryError):
+            Component("x", OpType.ADD, 16, -1.0, 1.0)
+        with pytest.raises(LibraryError):
+            Component("x", OpType.ADD, 16, 1.0, 0.0)
+
+    def test_rejects_bad_width_request(self):
+        c = Component("add1", OpType.ADD, 16, 4200.0, 34.0)
+        with pytest.raises(LibraryError):
+            c.area_for_width(0)
+
+
+class TestCell:
+    def test_area_for_bits(self):
+        register = Cell("register", 31.0, 5.0)
+        assert register.area_for_bits(104) == pytest.approx(3224.0)
+        assert register.area_for_bits(0) == 0.0
+
+    def test_rejects_negative_bits(self):
+        with pytest.raises(LibraryError):
+            Cell("register", 31.0, 5.0).area_for_bits(-1)
+
+    def test_rejects_bad_cell(self):
+        with pytest.raises(LibraryError):
+            Cell("bad", 0.0, 5.0)
+
+
+class TestTable1Library:
+    def test_exact_paper_values(self, library):
+        assert library.component_named("add1").area_mil2 == 4200.0
+        assert library.component_named("add2").delay_ns == 53.0
+        assert library.component_named("add3").area_mil2 == 1200.0
+        assert library.component_named("mul1").area_mil2 == 49000.0
+        assert library.component_named("mul2").delay_ns == 2950.0
+        assert library.component_named("mul3").delay_ns == 7370.0
+        assert library.register.area_mil2 == 31.0
+        assert library.register.delay_ns == 5.0
+        assert library.mux.area_mil2 == 18.0
+        assert library.mux.delay_ns == 4.0
+
+    def test_components_sorted_fastest_first(self, library):
+        adders = library.components_for(OpType.ADD)
+        delays = [c.delay_ns for c in adders]
+        assert delays == sorted(delays)
+
+    def test_unknown_type_raises(self, library):
+        with pytest.raises(LibraryError):
+            library.components_for(OpType.DIV)
+
+    def test_unknown_name_raises(self, library):
+        with pytest.raises(LibraryError):
+            library.component_named("add99")
+
+    def test_len(self, library):
+        assert len(library) == 6
+
+
+class TestModuleSets:
+    def test_nine_sets_for_add_and_mul(self, library):
+        sets = library.module_sets([OpType.ADD, OpType.MUL])
+        assert len(sets) == 9  # the paper's "up to 9 module-set configs"
+
+    def test_delay_filter_excludes_slow_modules(self, library):
+        # At a 3000 ns datapath cycle, mul3 (7370 ns) cannot be used
+        # single-cycle.
+        sets = library.module_sets(
+            [OpType.ADD, OpType.MUL], max_delay_ns=3000.0
+        )
+        assert len(sets) == 6
+        assert all(
+            s.component(OpType.MUL).name != "mul3" for s in sets
+        )
+
+    def test_delay_filter_all_excluded_raises(self, library):
+        with pytest.raises(LibraryError):
+            library.module_sets([OpType.MUL], max_delay_ns=100.0)
+
+    def test_module_set_label(self, library):
+        sets = library.module_sets([OpType.ADD])
+        assert {s.label for s in sets} == {"add1", "add2", "add3"}
+
+    def test_module_set_missing_type(self, library):
+        (s,) = library.module_sets([OpType.ADD], max_delay_ns=40.0)
+        with pytest.raises(LibraryError):
+            s.component(OpType.MUL)
+
+    def test_max_delay_property(self, library):
+        sets = library.module_sets([OpType.ADD, OpType.MUL])
+        for s in sets:
+            assert s.max_delay_ns() == max(
+                s.component(OpType.ADD).delay_ns,
+                s.component(OpType.MUL).delay_ns,
+            )
+
+
+class TestExtendedLibrary:
+    def test_has_all_table1_components(self, big_library, library):
+        for name in ("add1", "add2", "add3", "mul1", "mul2", "mul3"):
+            assert (
+                big_library.component_named(name)
+                == library.component_named(name)
+            )
+
+    def test_supports_benchmark_types(self, big_library):
+        for op_type in (OpType.SUB, OpType.COMPARE, OpType.SHIFT,
+                        OpType.AND, OpType.OR, OpType.DIV):
+            assert big_library.components_for(op_type)
+
+    def test_duplicate_name_rejected(self, library):
+        c = library.component_named("add1")
+        with pytest.raises(LibraryError):
+            ComponentLibrary(
+                "dup", [c, c], library.register, library.mux
+            )
+
+    def test_non_compute_component_rejected(self, library):
+        from repro.library.component import Component
+
+        bad = Component("rd", OpType.MEM_READ, 16, 10.0, 10.0)
+        with pytest.raises(LibraryError):
+            ComponentLibrary(
+                "bad", [bad], library.register, library.mux
+            )

@@ -1,0 +1,74 @@
+"""Tests for the markdown session report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.core.feasibility import FeasibilityCriteria
+from repro.experiments import experiment1_session
+from repro.reporting.markdown import markdown_report
+
+
+@pytest.fixture(scope="module")
+def session_and_results():
+    session = experiment1_session(2, 2)
+    results = {
+        "iterative": session.check("iterative"),
+        "enumeration": session.check("enumeration"),
+    }
+    return session, results
+
+
+class TestMarkdownReport:
+    def test_sections_present(self, session_and_results):
+        session, results = session_and_results
+        text = markdown_report(session, results)
+        for heading in (
+            "# CHOP feasibility report",
+            "## Inputs",
+            "## Partitioning",
+            "## Search outcomes",
+            "## Recommended design",
+            "## Chip occupancy",
+        ):
+            assert heading in text
+
+    def test_both_heuristics_tabulated(self, session_and_results):
+        session, results = session_and_results
+        text = markdown_report(session, results)
+        assert "| iterative |" in text
+        assert "| enumeration |" in text
+
+    def test_guidelines_embedded(self, session_and_results):
+        session, results = session_and_results
+        text = markdown_report(session, results)
+        assert "module library of" in text
+        assert "bits of registers" in text
+
+    def test_infeasible_report(self):
+        session = experiment1_session(2, 2)
+        # A budget every partition passes alone (level-1 prune keeps
+        # candidates) but the integrated system cannot meet.
+        session.criteria = FeasibilityCriteria(
+            performance_ns=30_000.0,
+            delay_ns=30_000.0,
+            system_power_mw=100.0,
+        )
+        results = {"iterative": session.check("iterative")}
+        text = markdown_report(session, results)
+        assert "No feasible implementation" in text
+        assert "system power <= 100 mW" in text
+
+    def test_custom_title(self, session_and_results):
+        session, results = session_and_results
+        text = markdown_report(session, results, title="My review")
+        assert text.startswith("# My review")
+
+    def test_cli_report_roundtrip(self, tmp_path, capsys):
+        project = tmp_path / "p.json"
+        assert main(["export-demo", str(project)]) == 0
+        report = tmp_path / "report.md"
+        assert main(["report", str(project), "-o", str(report)]) == 0
+        text = report.read_text()
+        assert "## Recommended design" in text

@@ -1,0 +1,176 @@
+"""Integration-level tests of the memory substrate's constraints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bad.styles import ArchitectureStyle, ClockScheme, OperationTiming
+from repro.chips.presets import mosis_package
+from repro.core.chop import ChopSession
+from repro.core.feasibility import FeasibilityCriteria
+from repro.core.integration import integrate
+from repro.core.partition import Partition
+from repro.dfg.builders import GraphBuilder
+from repro.errors import InfeasibleError
+from repro.library.presets import extended_library
+from repro.memory.module import MemoryModule
+
+
+def _burst_graph(reads: int):
+    """``reads`` independent reads from M, summed pairwise."""
+    b = GraphBuilder(f"burst{reads}", default_width=16)
+    addresses = [b.input(f"a{i}") for i in range(reads)]
+    values = [b.mem_read(addresses[i], "M") for i in range(reads)]
+    total = values[0]
+    for value in values[1:]:
+        total = b.add(total, value)
+    b.output(total)
+    return b.build()
+
+
+def _session(graph, ports: int, performance_ns: float = 120_000.0):
+    session = ChopSession(
+        graph=graph,
+        library=extended_library(),
+        clocks=ClockScheme(300.0),
+        style=ArchitectureStyle(OperationTiming.MULTI_CYCLE),
+        criteria=FeasibilityCriteria(
+            performance_ns=performance_ns, delay_ns=240_000.0
+        ),
+        memories=[
+            MemoryModule("M", 64, 16, ports=ports, access_time_ns=250.0)
+        ],
+    )
+    session.add_chip("chip1", mosis_package(2))
+    session.assign_memory("M", "chip1")
+    session.set_partitions(
+        [Partition.of("P1", graph.operations.keys())],
+        {"P1": "chip1"},
+    )
+    return session
+
+
+class TestMemoryPortPressure:
+    def test_single_port_serializes_accesses(self):
+        graph = _burst_graph(8)
+        one_port = _session(graph, ports=1)
+        two_ports = _session(graph, ports=2)
+        best_one = one_port.check("iterative").best()
+        best_two = two_ports.check("iterative").best()
+        assert best_one is not None and best_two is not None
+        # More ports never hurt, and here they strictly help.
+        assert best_two.ii_main <= best_one.ii_main
+
+    def test_bandwidth_check_rejects_shared_block_pressure(self):
+        """Two partitions each fit the interval alone, but their
+        combined accesses against the single-ported block do not."""
+        b = GraphBuilder("shared", default_width=16)
+        addresses = [b.input(f"a{i}") for i in range(8)]
+        reads = [b.mem_read(addresses[i], "M") for i in range(8)]
+        left = b.add(reads[0], reads[1])
+        left = b.add(left, reads[2])
+        left = b.add(left, reads[3], name="left")
+        right = b.add(reads[4], reads[5])
+        right = b.add(right, reads[6])
+        right = b.add(right, reads[7], name="right")
+        b.output(left)
+        b.output(right)
+        graph = b.build()
+
+        session = ChopSession(
+            graph=graph,
+            library=extended_library(),
+            clocks=ClockScheme(300.0),
+            style=ArchitectureStyle(OperationTiming.MULTI_CYCLE),
+            criteria=FeasibilityCriteria(
+                performance_ns=120_000.0, delay_ns=240_000.0
+            ),
+            memories=[
+                MemoryModule("M", 64, 16, ports=1, access_time_ns=250.0)
+            ],
+        )
+        session.add_chip("chip1", mosis_package(2))
+        session.add_chip("chip2", mosis_package(2))
+        session.assign_memory("M", "chip1")
+
+        # Partition by output cone: P1 computes 'left', P2 'right'.
+        def cone(output_id):
+            producer = graph.value(output_id).producer
+            seen = set()
+            stack = [producer]
+            while stack:
+                current = stack.pop()
+                if current is None or current in seen:
+                    continue
+                seen.add(current)
+                stack.extend(graph.predecessors(current))
+            return seen
+
+        p1_ops = cone("left")
+        p2_ops = cone("right")
+        session.set_partitions(
+            [
+                Partition.of("P1", p1_ops),
+                Partition.of("P2", p2_ops),
+            ],
+            {"P1": "chip1", "P2": "chip2"},
+        )
+        partitioning = session.partitioning()
+        pruned = session.pruned_predictions()
+        selection = {"P1": pruned["P1"][0], "P2": pruned["P2"][0]}
+        tight = max(p.ii_main for p in selection.values())
+        # Each partition alone fits (its own 4 accesses <= interval),
+        # but 8 combined accesses against one port cannot.
+        if tight < 8:
+            with pytest.raises(InfeasibleError, match="access cycles"):
+                integrate(
+                    partitioning, selection, tight, session.clocks,
+                    session.library,
+                )
+
+    def test_feasible_interval_accepted(self):
+        graph = _burst_graph(4)
+        session = _session(graph, ports=2)
+        partitioning = session.partitioning()
+        prediction = session.pruned_predictions()["P1"][0]
+        system = integrate(
+            partitioning, {"P1": prediction},
+            max(prediction.ii_main, 8), session.clocks, session.library,
+        )
+        assert system.ii_main >= prediction.ii_main
+
+
+class TestMemoryAreaAccounting:
+    def test_resident_block_consumes_die(self):
+        graph = _burst_graph(2)
+        session = _session(graph, ports=1)
+        best = session.check("iterative").best()
+        assert best is not None
+        usage = best.system.chip_usage["chip1"]
+        module = session.memories["M"]
+        assert usage.memory_area.ml >= module.on_chip_area_mil2() * 0.9
+
+    def test_off_the_shelf_block_is_free_area(self):
+        graph = _burst_graph(2)
+        session = ChopSession(
+            graph=graph,
+            library=extended_library(),
+            clocks=ClockScheme(300.0),
+            style=ArchitectureStyle(OperationTiming.MULTI_CYCLE),
+            criteria=FeasibilityCriteria(
+                performance_ns=120_000.0, delay_ns=240_000.0
+            ),
+            memories=[
+                MemoryModule("M", 64, 16, access_time_ns=250.0,
+                             off_the_shelf=True)
+            ],
+        )
+        session.add_chip("chip1", mosis_package(2))
+        session.set_partitions(
+            [Partition.of("P1", graph.operations.keys())],
+            {"P1": "chip1"},
+        )
+        best = session.check("iterative").best()
+        assert best is not None
+        usage = best.system.chip_usage["chip1"]
+        assert usage.memory_area.ml == 0.0

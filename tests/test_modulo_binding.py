@@ -1,0 +1,107 @@
+"""Tests for modulo register binding of pipelined designs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bad.allocation import (
+    partition_resource_model,
+    register_requirement,
+    value_lifetimes,
+)
+from repro.bad.scheduling import list_schedule
+from repro.errors import PredictionError
+from repro.synth.modulo import modulo_register_bind
+from tests.strategies import dags
+
+
+def _schedule(graph, capacities=None):
+    duration = {op_id: 1 for op_id in graph.operations}
+    op_class, counts = partition_resource_model(graph)
+    return list_schedule(graph, duration, op_class, capacities or counts)
+
+
+def _assert_no_collisions(graph, schedule, binding):
+    """No register holds two live instances in the same modulo slot."""
+    ii = binding.initiation_interval
+    lifetimes = value_lifetimes(graph, schedule)
+    per_register = {}
+    for value_id, registers in binding.registers_of.items():
+        birth, death = lifetimes[value_id]
+        slots = [0] * ii
+        for cycle in range(birth, death):
+            slots[cycle % ii] += 1
+        # Instance k of the value covers the slots where coverage > k.
+        for instance, register in enumerate(registers):
+            for slot in range(ii):
+                if slots[slot] > instance:
+                    key = (register, slot)
+                    assert key not in per_register, (
+                        f"register {register} slot {slot} used by both "
+                        f"{per_register.get(key)} and {value_id}"
+                    )
+                    per_register[key] = value_id
+
+
+class TestModuloBinding:
+    def test_matches_predictor_lower_bound(self, ar_graph):
+        schedule = _schedule(ar_graph, {"add": 6, "mul": 8})
+        for ii in (2, 3, 5, schedule.latency):
+            binding = modulo_register_bind(ar_graph, schedule, ii)
+            lower = register_requirement(ar_graph, schedule, ii)
+            assert binding.register_count >= lower
+            # First-fit should stay close to the bound.
+            assert binding.register_count <= max(lower * 2, lower + 4)
+
+    def test_nonpipelined_interval_equals_left_edge(self, ar_graph):
+        from repro.synth.binding import bind_design
+
+        schedule = _schedule(ar_graph, {"add": 2, "mul": 2})
+        binding = modulo_register_bind(
+            ar_graph, schedule, schedule.latency
+        )
+        left_edge = bind_design(ar_graph, schedule)
+        # At II = latency nothing overlaps; the modulo binder needs no
+        # more than a small constant over the optimal left edge.
+        assert binding.register_count >= left_edge.register_count
+        assert binding.register_count <= left_edge.register_count + 3
+
+    def test_no_slot_collisions(self, ar_graph):
+        schedule = _schedule(ar_graph, {"add": 6, "mul": 8})
+        for ii in (2, 4, 7):
+            binding = modulo_register_bind(ar_graph, schedule, ii)
+            _assert_no_collisions(ar_graph, schedule, binding)
+
+    def test_long_lived_values_get_multiple_registers(self, ar_graph):
+        schedule = _schedule(ar_graph, {"add": 6, "mul": 8})
+        binding = modulo_register_bind(ar_graph, schedule, 2)
+        lifetimes = value_lifetimes(ar_graph, schedule)
+        for value_id, registers in binding.registers_of.items():
+            birth, death = lifetimes[value_id]
+            slots = [0] * 2
+            for cycle in range(birth, death):
+                slots[cycle % 2] += 1
+            assert len(registers) == max(slots)
+
+    def test_smaller_interval_needs_more_registers(self, ar_graph):
+        schedule = _schedule(ar_graph, {"add": 6, "mul": 8})
+        tight = modulo_register_bind(ar_graph, schedule, 2)
+        loose = modulo_register_bind(
+            ar_graph, schedule, schedule.latency
+        )
+        assert tight.register_count >= loose.register_count
+
+    def test_rejects_bad_interval(self, ar_graph):
+        schedule = _schedule(ar_graph)
+        with pytest.raises(PredictionError):
+            modulo_register_bind(ar_graph, schedule, 0)
+
+    @given(dags(max_ops=14), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=30, deadline=None)
+    def test_random_graphs_collision_free(self, graph, ii):
+        schedule = _schedule(graph)
+        binding = modulo_register_bind(graph, schedule, ii)
+        _assert_no_collisions(graph, schedule, binding)
+        lower = register_requirement(graph, schedule, ii)
+        assert binding.register_count >= lower

@@ -1,0 +1,272 @@
+"""Tests for the behavioral specification language."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dfg.evaluate import evaluate_outputs
+from repro.dfg.ops import OpType
+from repro.dfg.parser import parse_spec
+from repro.errors import SpecificationError
+
+
+class TestBasics:
+    def test_minimal_spec(self):
+        graph = parse_spec(
+            """
+            input x, k
+            y = x * k
+            output y
+            """
+        )
+        assert graph.op_count() == 1
+        assert [v.id for v in graph.primary_outputs()] == ["y"]
+
+    def test_header_sets_name_and_width(self):
+        graph = parse_spec(
+            """
+            graph myfilter width 8
+            input x
+            y = x + x
+            output y
+            """
+        )
+        assert graph.name == "myfilter"
+        assert graph.value("x").width == 8
+
+    def test_input_width_override(self):
+        graph = parse_spec(
+            """
+            input a, b width 4
+            y = a + b
+            output y
+            """
+        )
+        assert graph.value("a").width == 4
+        assert graph.value("b").width == 4
+
+    def test_comments_and_blank_lines(self):
+        graph = parse_spec(
+            """
+            # a comment
+            input x   # trailing comment
+
+            y = x + x
+            output y
+            """
+        )
+        assert graph.op_count() == 1
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(SpecificationError, match="empty"):
+            parse_spec("   \n# only a comment\n")
+
+
+class TestExpressions:
+    def test_precedence(self):
+        graph = parse_spec(
+            """
+            input a, b, c
+            y = a + b * c
+            output y
+            """
+        )
+        outputs = evaluate_outputs(graph, {"a": 1, "b": 2, "c": 3})
+        assert outputs["y"] == 7  # not (1+2)*3
+
+    def test_parentheses(self):
+        graph = parse_spec(
+            """
+            input a, b, c
+            y = (a + b) * c
+            output y
+            """
+        )
+        outputs = evaluate_outputs(graph, {"a": 1, "b": 2, "c": 3})
+        assert outputs["y"] == 9
+
+    def test_all_operators(self):
+        graph = parse_spec(
+            """
+            input a, b
+            s = a + b
+            d = a - b
+            p = a * b
+            q = a / b
+            c = a < b
+            sh = a << b
+            an = a & b
+            o = a | b
+            output s, d, p, q, c, sh, an, o
+            """
+        )
+        counts = graph.op_counts_by_type()
+        assert counts[OpType.ADD] == 1
+        assert counts[OpType.DIV] == 1
+        assert counts[OpType.SHIFT] == 1
+        outputs = evaluate_outputs(graph, {"a": 12, "b": 3})
+        assert outputs["s"] == 15 and outputs["q"] == 4
+        assert outputs["c"] == 0 and outputs["an"] == 0
+
+    def test_constants_become_inputs(self):
+        graph = parse_spec(
+            """
+            input x
+            y = x * 3
+            output y
+            """
+        )
+        assert any(
+            v.id == "const_3" for v in graph.primary_inputs()
+        )
+        outputs = evaluate_outputs(graph, {"x": 5, "const_3": 3})
+        assert outputs["y"] == 15
+
+    def test_undefined_name_rejected(self):
+        with pytest.raises(SpecificationError, match="undefined"):
+            parse_spec("input x\ny = x + ghost\noutput y")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(SpecificationError, match="trailing"):
+            parse_spec("input x\ny = x + x x\noutput y")
+
+
+class TestSsaShadowing:
+    def test_reassignment_shadows(self):
+        graph = parse_spec(
+            """
+            input x
+            acc = x + x
+            acc = acc * x
+            output acc
+            """
+        )
+        outputs = evaluate_outputs(graph, {"x": 3})
+        assert outputs[
+            [v.id for v in graph.primary_outputs()][0]
+        ] == (3 + 3) * 3
+
+
+class TestMemory:
+    def test_read_and_write(self):
+        graph = parse_spec(
+            """
+            input addr
+            memory M
+            v = read M[addr]
+            doubled = v + v
+            write M, doubled
+            output doubled
+            """
+        )
+        counts = graph.op_counts_by_type()
+        assert counts[OpType.MEM_READ] == 1
+        assert counts[OpType.MEM_WRITE] == 1
+        memory = {"M": [5, 6, 7]}
+        outputs = evaluate_outputs(graph, {"addr": 2}, memory)
+        assert outputs["doubled"] == 14
+        assert memory["M"][-1] == 14
+
+    def test_undeclared_memory_rejected(self):
+        with pytest.raises(SpecificationError, match="undeclared"):
+            parse_spec("input a\nv = read M[a]\noutput v")
+        with pytest.raises(SpecificationError, match="undeclared"):
+            parse_spec("input a\nwrite M, a\noutput a")
+
+
+class TestRepeat:
+    def test_unrolls_accumulator(self):
+        graph = parse_spec(
+            """
+            input x, acc
+            repeat 4 as i:
+                acc = acc + x
+            end
+            output acc
+            """
+        )
+        assert graph.op_counts_by_type()[OpType.ADD] == 4
+        outputs = evaluate_outputs(graph, {"x": 2, "acc": 1})
+        assert list(outputs.values())[0] == 9
+
+    def test_index_substitution(self):
+        graph = parse_spec(
+            """
+            input x0, x1, x2, acc
+            repeat 3 as i:
+                acc = acc + x$i
+            end
+            output acc
+            """
+        )
+        outputs = evaluate_outputs(
+            graph, {"x0": 1, "x1": 2, "x2": 4, "acc": 0}
+        )
+        assert list(outputs.values())[0] == 7
+
+    def test_nested_repeat(self):
+        graph = parse_spec(
+            """
+            input x, acc
+            repeat 2 as i:
+                repeat 2 as j:
+                    acc = acc + x
+                end
+            end
+            output acc
+            """
+        )
+        assert graph.op_counts_by_type()[OpType.ADD] == 4
+
+    def test_unterminated_repeat_rejected(self):
+        with pytest.raises(SpecificationError, match="without 'end'"):
+            parse_spec(
+                "input x\nrepeat 2 as i:\n x = x + x\noutput x"
+            )
+
+    def test_stray_end_rejected(self):
+        with pytest.raises(SpecificationError, match="without matching"):
+            parse_spec("input x\nend\noutput x")
+
+
+class TestFullPipeline:
+    def test_spec_through_chop(self):
+        """A parsed spec drives the whole partitioner."""
+        from repro.bad.styles import (
+            ArchitectureStyle, ClockScheme, OperationTiming,
+        )
+        from repro.chips.presets import mosis_package
+        from repro.core.chop import ChopSession
+        from repro.core.feasibility import FeasibilityCriteria
+        from repro.core.schemes import horizontal_cut
+        from repro.library.presets import extended_library
+
+        graph = parse_spec(
+            """
+            graph fir4
+            input x0, x1, x2, x3, h0, h1, h2, h3
+            p0 = x0 * h0
+            p1 = x1 * h1
+            p2 = x2 * h2
+            p3 = x3 * h3
+            y = (p0 + p1) + (p2 + p3)
+            output y
+            """
+        )
+        session = ChopSession(
+            graph=graph,
+            library=extended_library(),
+            clocks=ClockScheme(300.0),
+            style=ArchitectureStyle(OperationTiming.MULTI_CYCLE),
+            criteria=FeasibilityCriteria(
+                performance_ns=60_000.0, delay_ns=60_000.0
+            ),
+        )
+        parts = horizontal_cut(graph, 2)
+        session.add_chip("chip1", mosis_package(2))
+        session.add_chip("chip2", mosis_package(2))
+        session.set_partitions(
+            parts, {"P1": "chip1", "P2": "chip2"}
+        )
+        result = session.check("iterative")
+        assert result.feasible

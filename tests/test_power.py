@@ -1,0 +1,139 @@
+"""Tests for the power-prediction extension (paper section 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bad.power import PowerParameters, power_estimate
+from repro.core.feasibility import FeasibilityCriteria, evaluate_system
+from repro.core.integration import integrate
+from repro.errors import PredictionError
+from repro.experiments import experiment1_session
+from repro.stats import Triplet
+
+
+class TestPowerModel:
+    def test_more_activity_more_power(self):
+        low = power_estimate(
+            {"mul": 9800.0}, {"mul": 4}, ii_dp=10, dp_cycle_ns=300.0,
+            register_bits=64, mux_count=32, controller_terms=12,
+            active_area_mil2=20_000.0,
+        )
+        high = power_estimate(
+            {"mul": 9800.0}, {"mul": 16}, ii_dp=10, dp_cycle_ns=300.0,
+            register_bits=64, mux_count=32, controller_terms=12,
+            active_area_mil2=20_000.0,
+        )
+        assert high.total_mw.ml > low.total_mw.ml
+
+    def test_slower_rate_less_power(self):
+        fast = power_estimate(
+            {"mul": 9800.0}, {"mul": 8}, ii_dp=4, dp_cycle_ns=300.0,
+            register_bits=64, mux_count=0, controller_terms=8,
+            active_area_mil2=15_000.0,
+        )
+        slow = power_estimate(
+            {"mul": 9800.0}, {"mul": 8}, ii_dp=16, dp_cycle_ns=300.0,
+            register_bits=64, mux_count=0, controller_terms=8,
+            active_area_mil2=15_000.0,
+        )
+        assert slow.dynamic_mw < fast.dynamic_mw
+
+    def test_static_floor(self):
+        estimate = power_estimate(
+            {}, {}, ii_dp=10, dp_cycle_ns=300.0,
+            register_bits=0, mux_count=0, controller_terms=1,
+            active_area_mil2=50_000.0,
+        )
+        assert estimate.static_mw > 0
+        assert estimate.total_mw.ml >= estimate.static_mw
+
+    def test_bounds_ordered(self):
+        estimate = power_estimate(
+            {"add": 1200.0}, {"add": 3}, ii_dp=5, dp_cycle_ns=300.0,
+            register_bits=32, mux_count=16, controller_terms=6,
+            active_area_mil2=5_000.0,
+        )
+        t = estimate.total_mw
+        assert t.lb <= t.ml <= t.ub
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(PredictionError):
+            power_estimate({}, {}, ii_dp=0, dp_cycle_ns=300.0,
+                           register_bits=0, mux_count=0,
+                           controller_terms=0, active_area_mil2=0.0)
+        with pytest.raises(PredictionError):
+            power_estimate({}, {}, ii_dp=1, dp_cycle_ns=300.0,
+                           register_bits=-1, mux_count=0,
+                           controller_terms=0, active_area_mil2=0.0)
+
+
+class TestPredictionPower:
+    def test_every_prediction_carries_power(self, exp1_predictor,
+                                            ar_graph):
+        for pred in exp1_predictor.predict_partition(ar_graph)[:20]:
+            assert pred.power_mw.ml > 0
+
+    def test_parallel_designs_burn_more(self, exp1_predictor, ar_graph):
+        preds = exp1_predictor.predict_partition(ar_graph)
+        fastest = min(preds, key=lambda p: p.ii_main)
+        slowest = max(preds, key=lambda p: p.ii_main)
+        assert fastest.power_mw.ml > slowest.power_mw.ml
+
+
+class TestSystemPower:
+    @pytest.fixture(scope="class")
+    def feasible_design(self):
+        session = experiment1_session(2, 2)
+        return session.check("iterative").best()
+
+    def test_chip_and_system_power(self, feasible_design):
+        system = feasible_design.system
+        total = sum(
+            u.power_mw.ml for u in system.chip_usage.values()
+        )
+        assert system.power_mw.ml == pytest.approx(total)
+        assert system.power_mw.ml > 0
+
+    def test_power_constraint_violation_detected(self, feasible_design):
+        criteria = FeasibilityCriteria(
+            performance_ns=1e9, delay_ns=1e9,
+            system_power_mw=feasible_design.system.power_mw.lb / 2,
+        )
+        report = evaluate_system(feasible_design.system, criteria)
+        assert not report.feasible
+        assert any(c.name == "power" for c in report.violations())
+
+    def test_chip_power_constraint(self, feasible_design):
+        worst_chip = max(
+            feasible_design.system.chip_usage.values(),
+            key=lambda u: u.power_mw.ml,
+        )
+        criteria = FeasibilityCriteria(
+            performance_ns=1e9, delay_ns=1e9,
+            chip_power_mw=worst_chip.power_mw.lb / 2,
+        )
+        report = evaluate_system(feasible_design.system, criteria)
+        assert not report.feasible
+        assert any(
+            c.name.startswith("power:") for c in report.violations()
+        )
+
+    def test_generous_power_constraint_passes(self, feasible_design):
+        criteria = FeasibilityCriteria(
+            performance_ns=1e9, delay_ns=1e9,
+            system_power_mw=feasible_design.system.power_mw.ub * 2,
+            chip_power_mw=feasible_design.system.power_mw.ub * 2,
+        )
+        report = evaluate_system(feasible_design.system, criteria)
+        assert report.feasible
+
+    def test_criteria_validation(self):
+        with pytest.raises(PredictionError):
+            FeasibilityCriteria(
+                performance_ns=1, delay_ns=1, system_power_mw=0.0
+            )
+        with pytest.raises(PredictionError):
+            FeasibilityCriteria(
+                performance_ns=1, delay_ns=1, power_confidence=1.5
+            )

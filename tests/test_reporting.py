@@ -1,0 +1,109 @@
+"""Tests for table/figure/guideline rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chips.presets import mosis_packages
+from repro.experiments import experiment1_session
+from repro.reporting.figures import ascii_scatter, scatter_csv
+from repro.reporting.guidelines import design_guidelines
+from repro.reporting.tables import (
+    format_table,
+    library_table,
+    package_table,
+    prediction_stats_table,
+    results_table,
+)
+
+
+@pytest.fixture(scope="module")
+def search_result():
+    session = experiment1_session(2, 2)
+    return session.check("iterative")
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(("A", "Long header"), [(1, 2), (333, 4)])
+        lines = text.splitlines()
+        assert lines[0].startswith("A")
+        assert set(lines[1]) == {"-"}
+        assert len(lines) == 4
+
+    def test_empty_rows(self):
+        text = format_table(("A",), [])
+        assert "A" in text
+
+
+class TestPaperTables:
+    def test_library_table_lists_all_modules(self, library):
+        text = library_table(library)
+        for name in ("add1", "add2", "add3", "mul1", "mul2", "mul3",
+                     "register", "mux"):
+            assert name in text
+        assert "4200" in text and "7370" in text
+
+    def test_package_table(self):
+        text = package_table(mosis_packages())
+        assert "64" in text and "84" in text
+        assert "311.02" in text
+        assert "297.6" in text
+
+    def test_prediction_stats_table(self):
+        text = prediction_stats_table({1: (111, 5), 2: (207, 25)})
+        assert "111" in text and "25" in text
+
+    def test_results_table(self, search_result):
+        text = results_table([(2, 2, "I", search_result)])
+        assert "I" in text
+        assert "Initiation interval" in text
+        best = search_result.best()
+        assert str(best.ii_main) in text
+
+    def test_results_table_empty_run(self):
+        from repro.search.results import SearchResult
+
+        empty = SearchResult("iterative", 5, [], 0.01)
+        text = results_table([(1, 2, "I", empty)])
+        assert "-" in text
+
+
+class TestGuidelines:
+    def test_mentions_all_partitions(self, search_result):
+        text = design_guidelines(search_result.best())
+        assert "Partition P1" in text
+        assert "Partition P2" in text
+        assert "design style" in text
+        assert "Data transfer modules" in text
+        assert "Chip occupancy" in text
+
+
+class TestFigures:
+    def test_csv(self):
+        text = scatter_csv([(1000.0, 50), (2000.5, 70)])
+        lines = text.splitlines()
+        assert lines[0] == "area_mil2,delay_cycles"
+        assert lines[1] == "1000.0,50"
+
+    def test_ascii_scatter_renders(self):
+        points = [(float(i * 100), i) for i in range(1, 30)]
+        text = ascii_scatter(points)
+        assert "designs plotted" in text
+        assert "area" in text and "delay" in text
+
+    def test_ascii_scatter_empty(self):
+        assert "empty" in ascii_scatter([])
+
+    def test_ascii_scatter_single_point(self):
+        text = ascii_scatter([(100.0, 5)])
+        assert "1 designs plotted" in text
+
+    def test_ascii_scatter_rejects_tiny_canvas(self):
+        with pytest.raises(ValueError):
+            ascii_scatter([(1.0, 1)], width=2, height=2)
+
+    def test_density_glyphs(self):
+        points = [(100.0, 5)] * 10 + [(200.0, 6)]
+        text = ascii_scatter(points, width=20, height=5)
+        assert "#" in text  # 10 overlapping designs

@@ -1,0 +1,68 @@
+"""Property-based tests for the scheduler on random graphs."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bad.allocation import partition_resource_model
+from repro.bad.scheduling import critical_path_cycles, list_schedule
+from tests.strategies import dags
+
+
+@given(dags(), st.integers(min_value=1, max_value=4))
+@settings(max_examples=50, deadline=None)
+def test_schedule_valid_under_any_allocation(graph, units):
+    duration = {op_id: 1 for op_id in graph.operations}
+    op_class, counts = partition_resource_model(graph)
+    capacities = {cls: min(units, count) for cls, count in counts.items()}
+    schedule = list_schedule(graph, duration, op_class, capacities)
+    schedule.verify(graph)  # raises on precedence/resource violations
+
+
+@given(dags())
+@settings(max_examples=50, deadline=None)
+def test_latency_bounds(graph):
+    duration = {op_id: 1 for op_id in graph.operations}
+    op_class, counts = partition_resource_model(graph)
+    schedule = list_schedule(graph, duration, op_class, counts)
+    cp = critical_path_cycles(graph, duration)
+    assert cp <= schedule.latency <= sum(duration.values())
+    # Unconstrained resources: latency equals the critical path.
+    assert schedule.latency == cp
+
+
+@given(dags(), st.integers(min_value=1, max_value=3))
+@settings(max_examples=50, deadline=None)
+def test_serialization_never_beats_critical_path(graph, units):
+    duration = {op_id: 1 for op_id in graph.operations}
+    op_class, counts = partition_resource_model(graph)
+    capacities = {cls: min(units, count) for cls, count in counts.items()}
+    constrained = list_schedule(graph, duration, op_class, capacities)
+    unconstrained = list_schedule(graph, duration, op_class, counts)
+    assert constrained.latency >= unconstrained.latency
+
+
+@given(dags())
+@settings(max_examples=40, deadline=None)
+def test_chaining_never_increases_latency(graph):
+    duration = {op_id: 1 for op_id in graph.operations}
+    op_class, counts = partition_resource_model(graph)
+    delays = {op_id: 50.0 for op_id in graph.operations}
+    plain = list_schedule(graph, duration, op_class, counts)
+    chained = list_schedule(
+        graph, duration, op_class, counts,
+        delay_ns=delays, cycle_ns=3000.0,
+    )
+    assert chained.latency <= plain.latency
+    chained.verify(graph)
+
+
+@given(dags(), st.integers(min_value=1, max_value=8))
+@settings(max_examples=50, deadline=None)
+def test_modulo_usage_conserves_work(graph, ii):
+    duration = {op_id: 1 for op_id in graph.operations}
+    op_class, counts = partition_resource_model(graph)
+    schedule = list_schedule(graph, duration, op_class, counts)
+    usage = schedule.modulo_usage(ii)
+    for cls, slots in usage.items():
+        assert sum(slots) == counts[cls]

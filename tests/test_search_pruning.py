@@ -1,0 +1,100 @@
+"""Tests for pruning, the design space recorder and search results."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.feasibility import FeasibilityCriteria
+from repro.search.pruning import dominance_filter, level1_prune
+from repro.search.space import DesignPoint, DesignSpace
+
+
+class TestDominanceFilter:
+    def test_keeps_pareto_front(self, exp1_predictor, ar_graph):
+        preds = exp1_predictor.predict_partition(ar_graph)
+        front = dominance_filter(preds)
+        assert front
+        # No member of the front dominates another member.
+        for a in front:
+            for b in front:
+                assert not a.dominates(b)
+
+    def test_dominated_are_dropped(self, exp1_predictor, ar_graph):
+        preds = exp1_predictor.predict_partition(ar_graph)
+        front = dominance_filter(preds)
+        dropped = [p for p in preds if p not in front]
+        for victim in dropped:
+            assert any(p.dominates(victim) for p in preds)
+
+    def test_empty_input(self):
+        assert dominance_filter([]) == []
+
+
+class TestLevel1Prune:
+    def test_prune_reduces_and_sorts(self, exp1_predictor, ar_graph,
+                                     exp1_clocks, exp1_criteria):
+        preds = exp1_predictor.predict_partition(ar_graph)
+        pruned = level1_prune(
+            preds, exp1_criteria, exp1_clocks, 111_000.0
+        )
+        assert len(pruned) < len(preds)
+        keys = [p.sort_key() for p in pruned]
+        assert keys == sorted(keys)
+
+    def test_without_dominance_keeps_more(self, exp1_predictor, ar_graph,
+                                          exp1_clocks, exp1_criteria):
+        preds = exp1_predictor.predict_partition(ar_graph)
+        with_dom = level1_prune(
+            preds, exp1_criteria, exp1_clocks, 111_000.0
+        )
+        without_dom = level1_prune(
+            preds, exp1_criteria, exp1_clocks, 111_000.0,
+            drop_inferior=False,
+        )
+        assert len(without_dom) >= len(with_dom)
+
+    def test_generous_criteria_keep_everything_feasible(
+        self, exp1_predictor, ar_graph, exp1_clocks
+    ):
+        preds = exp1_predictor.predict_partition(ar_graph)
+        generous = FeasibilityCriteria(
+            performance_ns=1e12, delay_ns=1e12
+        )
+        kept = level1_prune(
+            preds, generous, exp1_clocks, 1e12, drop_inferior=False
+        )
+        assert len(kept) == len(preds)
+
+
+class TestDesignSpace:
+    def test_total_counts_revisits(self):
+        space = DesignSpace()
+        point = DesignPoint("system", 1000.0, 50, 20)
+        space.record(point)
+        space.record(point)
+        assert space.total == 2
+        assert space.unique == 1
+
+    def test_distinct_points(self):
+        space = DesignSpace()
+        space.record(DesignPoint("system", 1000.0, 50, 20))
+        space.record(DesignPoint("system", 2000.0, 50, 20))
+        space.record(DesignPoint("partition", 1000.0, 50, 20))
+        assert space.unique == 3
+
+    def test_scatter_series_deduplicates(self):
+        space = DesignSpace()
+        for _ in range(5):
+            space.record(DesignPoint("system", 1000.0, 50, 20))
+        space.record(DesignPoint("system", 3000.0, 70, 20))
+        series = space.scatter_series()
+        assert len(series) == 2
+        assert (1000.0, 50) in series
+
+    def test_kind_filter(self):
+        space = DesignSpace()
+        space.record(DesignPoint("system", 1.0, 1, 1))
+        space.record(DesignPoint("partition", 2.0, 2, 2))
+        assert len(space.points("system")) == 1
+        assert len(space.scatter_series("partition")) == 1
+        assert len(space.points()) == 2

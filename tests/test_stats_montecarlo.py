@@ -1,0 +1,99 @@
+"""Monte Carlo validation of the statistical environment.
+
+The triangular CDF, moments and constraint probabilities are checked
+against empirical sampling — the feasibility analysis rests on these
+being right.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats import (
+    ConstraintCheck,
+    Triplet,
+    prob_le,
+    triangular_cdf,
+    triangular_mean,
+    triangular_variance,
+)
+
+RNG = np.random.default_rng(1991)
+SAMPLES = 200_000
+
+
+def _sample(lb, ml, ub, size=SAMPLES):
+    return RNG.triangular(lb, ml, ub, size)
+
+
+class TestAgainstSampling:
+    @pytest.mark.parametrize(
+        "lb,ml,ub",
+        [
+            (0.0, 1.0, 2.0),
+            (10.0, 12.0, 30.0),
+            (-5.0, 0.0, 1.0),
+            (0.0, 0.0, 4.0),   # mode at the lower edge
+            (0.0, 4.0, 4.0),   # mode at the upper edge
+        ],
+    )
+    def test_cdf_matches_empirical(self, lb, ml, ub):
+        samples = _sample(lb, ml, ub)
+        for q in (0.1, 0.25, 0.5, 0.75, 0.9):
+            x = lb + (ub - lb) * q
+            analytic = triangular_cdf(x, lb, ml, ub)
+            empirical = float(np.mean(samples <= x))
+            assert analytic == pytest.approx(empirical, abs=0.01)
+
+    @pytest.mark.parametrize(
+        "lb,ml,ub",
+        [(0.0, 1.0, 2.0), (10.0, 12.0, 30.0), (-5.0, 0.0, 1.0)],
+    )
+    def test_moments_match_empirical(self, lb, ml, ub):
+        samples = _sample(lb, ml, ub)
+        assert triangular_mean(lb, ml, ub) == pytest.approx(
+            float(np.mean(samples)), abs=0.02 * (ub - lb)
+        )
+        assert triangular_variance(lb, ml, ub) == pytest.approx(
+            float(np.var(samples)), rel=0.05
+        )
+
+    def test_prob_le_matches_empirical(self):
+        value = Triplet(80.0, 95.0, 130.0)
+        samples = _sample(value.lb, value.ml, value.ub)
+        for limit in (85.0, 100.0, 120.0):
+            assert prob_le(value, limit) == pytest.approx(
+                float(np.mean(samples <= limit)), abs=0.01
+            )
+
+    def test_constraint_confidence_semantics(self):
+        """An 80%-confidence check passes iff at least 80% of sampled
+        realizations satisfy the constraint."""
+        value = Triplet(80.0, 95.0, 130.0)
+        samples = _sample(value.lb, value.ml, value.ub)
+        for limit in np.linspace(85.0, 128.0, 10):
+            check = ConstraintCheck.upper_bound(
+                "delay", value, float(limit), confidence=0.8
+            )
+            empirical = float(np.mean(samples <= limit))
+            if abs(empirical - 0.8) > 0.01:  # away from the boundary
+                assert check.passed == (empirical >= 0.8)
+
+
+class TestSumApproximation:
+    def test_boundwise_sum_brackets_true_sum(self):
+        """The bound-wise triplet sum is conservative: the true sum
+        distribution's support is inside the summed bounds, and the
+        summed most-likely tracks the mean of sums to within the
+        asymmetry of the parts."""
+        parts = [
+            Triplet(10.0, 14.0, 25.0),
+            Triplet(5.0, 6.0, 9.0),
+            Triplet(100.0, 120.0, 160.0),
+        ]
+        total = Triplet.sum(parts)
+        sampled = sum(_sample(p.lb, p.ml, p.ub) for p in parts)
+        assert float(sampled.min()) >= total.lb - 1e-9
+        assert float(sampled.max()) <= total.ub + 1e-9
+        assert total.lb <= float(np.mean(sampled)) <= total.ub

@@ -1,0 +1,217 @@
+"""Tests for urgency scheduling of tasks over shared pins."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tasks import TaskGraph, TaskKind, TransferTask
+from repro.core.urgency import urgency_schedule
+from repro.errors import InfeasibleError, PredictionError
+
+
+def _pu(name, partition):
+    return TransferTask(
+        name=name, kind=TaskKind.PROCESS, bits=0, chips=(),
+        partition=partition,
+    )
+
+
+def _xfer(name, bits, chips):
+    return TransferTask(
+        name=name, kind=TaskKind.TRANSFER, bits=bits, chips=chips,
+        partition=None,
+    )
+
+
+def _io(name, kind, bits, chip):
+    return TransferTask(
+        name=name, kind=kind, bits=bits, chips=(chip,), partition=None
+    )
+
+
+@pytest.fixture
+def linear_graph():
+    """in -> pu:A -> xfer -> pu:B -> out across two chips."""
+    tasks = {
+        "in:A": _io("in:A", TaskKind.INPUT, 64, "chip1"),
+        "pu:A": _pu("pu:A", "A"),
+        "xfer:A->B": _xfer("xfer:A->B", 64, ("chip1", "chip2")),
+        "pu:B": _pu("pu:B", "B"),
+        "out:B": _io("out:B", TaskKind.OUTPUT, 32, "chip2"),
+    }
+    edges = [
+        ("in:A", "pu:A"),
+        ("pu:A", "xfer:A->B"),
+        ("xfer:A->B", "pu:B"),
+        ("pu:B", "out:B"),
+    ]
+    return TaskGraph(tasks, edges, {"chip1": 0, "chip2": 0})
+
+
+class TestBasicScheduling:
+    def test_chain_makespan(self, linear_graph):
+        durations = {"in:A": 2, "pu:A": 10, "xfer:A->B": 2, "pu:B": 8,
+                     "out:B": 1}
+        pins = {"in:A": 32, "xfer:A->B": 32, "out:B": 32}
+        schedule = urgency_schedule(
+            linear_graph, durations, pins,
+            {"chip1": 64, "chip2": 64}, ii_main=30,
+        )
+        assert schedule.makespan == 23
+        assert schedule.start["in:A"] == 0
+        assert schedule.finish["out:B"] == 23
+
+    def test_precedence_respected(self, linear_graph):
+        durations = {"in:A": 2, "pu:A": 10, "xfer:A->B": 2, "pu:B": 8,
+                     "out:B": 1}
+        pins = {"in:A": 32, "xfer:A->B": 32, "out:B": 32}
+        schedule = urgency_schedule(
+            linear_graph, durations, pins,
+            {"chip1": 64, "chip2": 64}, ii_main=30,
+        )
+        for src, dst in linear_graph.edges:
+            assert schedule.finish[src] <= schedule.start[dst]
+
+    def test_waits_zero_in_unconstrained_chain(self, linear_graph):
+        durations = {"in:A": 2, "pu:A": 10, "xfer:A->B": 2, "pu:B": 8,
+                     "out:B": 1}
+        pins = {"in:A": 1, "xfer:A->B": 1, "out:B": 1}
+        schedule = urgency_schedule(
+            linear_graph, durations, pins,
+            {"chip1": 64, "chip2": 64}, ii_main=30,
+        )
+        assert schedule.wait["xfer:A->B"] == 0
+        assert schedule.hold["xfer:A->B"] == 0
+
+
+class TestPinContention:
+    @pytest.fixture
+    def contended_graph(self):
+        """Two transfers out of the same chip competing for pins."""
+        tasks = {
+            "pu:A": _pu("pu:A", "A"),
+            "xfer:A->B": _xfer("xfer:A->B", 64, ("chip1", "chip2")),
+            "xfer:A->C": _xfer("xfer:A->C", 64, ("chip1", "chip3")),
+            "pu:B": _pu("pu:B", "B"),
+            "pu:C": _pu("pu:C", "C"),
+        }
+        edges = [
+            ("pu:A", "xfer:A->B"),
+            ("pu:A", "xfer:A->C"),
+            ("xfer:A->B", "pu:B"),
+            ("xfer:A->C", "pu:C"),
+        ]
+        return TaskGraph(
+            tasks, edges, {"chip1": 0, "chip2": 0, "chip3": 0}
+        )
+
+    def test_contention_serializes_transfers(self, contended_graph):
+        durations = {"pu:A": 4, "xfer:A->B": 3, "xfer:A->C": 3,
+                     "pu:B": 4, "pu:C": 4}
+        pins = {"xfer:A->B": 40, "xfer:A->C": 40}
+        schedule = urgency_schedule(
+            contended_graph, durations, pins,
+            {"chip1": 60, "chip2": 60, "chip3": 60}, ii_main=20,
+        )
+        # Both transfers need 40 of chip1's 60 pins: they cannot overlap.
+        b, c = schedule.start["xfer:A->B"], schedule.start["xfer:A->C"]
+        assert abs(b - c) >= 3
+        # The later one waited.
+        assert max(
+            schedule.wait["xfer:A->B"], schedule.wait["xfer:A->C"]
+        ) >= 3
+
+    def test_enough_pins_allows_overlap(self, contended_graph):
+        durations = {"pu:A": 4, "xfer:A->B": 3, "xfer:A->C": 3,
+                     "pu:B": 4, "pu:C": 4}
+        pins = {"xfer:A->B": 20, "xfer:A->C": 20}
+        schedule = urgency_schedule(
+            contended_graph, durations, pins,
+            {"chip1": 60, "chip2": 60, "chip3": 60}, ii_main=20,
+        )
+        assert schedule.start["xfer:A->B"] == schedule.start["xfer:A->C"]
+
+    def test_modulo_occupancy_with_tight_interval(self, contended_graph):
+        # With ii=6 and two 3-cycle transfers each needing all pins,
+        # the modulo window is exactly full -> still schedulable.
+        durations = {"pu:A": 4, "xfer:A->B": 3, "xfer:A->C": 3,
+                     "pu:B": 4, "pu:C": 4}
+        pins = {"xfer:A->B": 60, "xfer:A->C": 60}
+        schedule = urgency_schedule(
+            contended_graph, durations, pins,
+            {"chip1": 60, "chip2": 60, "chip3": 60}, ii_main=6,
+        )
+        assert schedule.makespan >= 10
+
+    def test_oversubscribed_interval_infeasible(self, contended_graph):
+        # ii=5 cannot hold 2 x 3 cycles of full-pin transfers.
+        durations = {"pu:A": 4, "xfer:A->B": 3, "xfer:A->C": 3,
+                     "pu:B": 4, "pu:C": 4}
+        pins = {"xfer:A->B": 60, "xfer:A->C": 60}
+        with pytest.raises(InfeasibleError, match="oversubscribed"):
+            urgency_schedule(
+                contended_graph, durations, pins,
+                {"chip1": 60, "chip2": 60, "chip3": 60}, ii_main=5,
+            )
+
+
+class TestHardRules:
+    def test_transfer_longer_than_interval_rejected(self, linear_graph):
+        durations = {"in:A": 2, "pu:A": 10, "xfer:A->B": 31, "pu:B": 8,
+                     "out:B": 1}
+        pins = {"in:A": 1, "xfer:A->B": 1, "out:B": 1}
+        with pytest.raises(InfeasibleError, match="data clash"):
+            urgency_schedule(
+                linear_graph, durations, pins,
+                {"chip1": 64, "chip2": 64}, ii_main=30,
+            )
+
+    def test_process_task_may_exceed_interval(self, linear_graph):
+        # A pipelined PU with latency above the interval is fine.
+        durations = {"in:A": 2, "pu:A": 50, "xfer:A->B": 2, "pu:B": 8,
+                     "out:B": 1}
+        pins = {"in:A": 1, "xfer:A->B": 1, "out:B": 1}
+        schedule = urgency_schedule(
+            linear_graph, durations, pins,
+            {"chip1": 64, "chip2": 64}, ii_main=30,
+        )
+        assert schedule.makespan == 63
+
+    def test_bad_interval_rejected(self, linear_graph):
+        with pytest.raises(PredictionError):
+            urgency_schedule(linear_graph, {}, {}, {}, ii_main=0)
+
+    def test_missing_duration_rejected(self, linear_graph):
+        with pytest.raises(PredictionError):
+            urgency_schedule(
+                linear_graph, {"pu:A": 1}, {}, {"chip1": 64, "chip2": 64},
+                ii_main=10,
+            )
+
+
+class TestUrgencyOrdering:
+    def test_critical_chain_scheduled_first(self):
+        """Two transfers compete; the one feeding the longer chain wins."""
+        tasks = {
+            "pu:A": _pu("pu:A", "A"),
+            "xfer:A->B": _xfer("xfer:A->B", 64, ("chip1", "chip2")),
+            "xfer:A->C": _xfer("xfer:A->C", 64, ("chip1", "chip3")),
+            "pu:B": _pu("pu:B", "B"),      # long downstream work
+            "pu:C": _pu("pu:C", "C"),      # short downstream work
+        }
+        edges = [
+            ("pu:A", "xfer:A->B"),
+            ("pu:A", "xfer:A->C"),
+            ("xfer:A->B", "pu:B"),
+            ("xfer:A->C", "pu:C"),
+        ]
+        tg = TaskGraph(tasks, edges, {})
+        durations = {"pu:A": 2, "xfer:A->B": 3, "xfer:A->C": 3,
+                     "pu:B": 30, "pu:C": 2}
+        pins = {"xfer:A->B": 50, "xfer:A->C": 50}
+        schedule = urgency_schedule(
+            tg, durations, pins,
+            {"chip1": 60, "chip2": 60, "chip3": 60}, ii_main=20,
+        )
+        # The urgent (long-chain) transfer goes first.
+        assert schedule.start["xfer:A->B"] < schedule.start["xfer:A->C"]
