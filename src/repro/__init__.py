@@ -35,6 +35,7 @@ from repro.errors import (
     LibraryError,
     PartitioningError,
     PredictionError,
+    SearchCancelled,
     SpecificationError,
 )
 from repro.stats import ConstraintCheck, Triplet
@@ -113,6 +114,7 @@ __all__ = [
     "ChipError",
     "PartitioningError",
     "PredictionError",
+    "SearchCancelled",
     "InfeasibleError",
     # stats
     "Triplet",

@@ -7,10 +7,16 @@ Usage::
     python -m repro.cli check project.json --heuristic iterative
     python -m repro.cli predict project.json --partition P1
     python -m repro.cli export-demo project.json
+    python -m repro.cli serve --port 8080 --workers 4
 
 ``check`` loads a project document (see :mod:`repro.io.project`), runs
 the chosen heuristic, and prints the paper-style result rows plus the
-synthesis guidelines for the best design.
+synthesis guidelines for the best design.  ``serve`` runs the HTTP/JSON
+partitioning server (:mod:`repro.service`).
+
+Exit statuses: 0 success, 1 no feasible implementation, 2 library error
+(infeasible model request, unknown partition, ...), 3 malformed or
+unreadable input (bad project JSON, missing file, bad spec).
 """
 
 from __future__ import annotations
@@ -23,10 +29,15 @@ import json as _json
 
 from repro.chips.presets import mosis_packages
 from repro.dfg.parser import parse_spec
-from repro.errors import ChopError
+from repro.errors import ChopError, SpecificationError
 from repro.io.graphs import graph_to_dict
 from repro.experiments import experiment1_session, experiment2_session
-from repro.io.project import load_project_file, save_project_file
+from repro.io.project import (
+    load_project_file,
+    project_fingerprint,
+    save_project_file,
+    session_to_dict,
+)
 from repro.library.presets import table1_library
 from repro.reporting.guidelines import design_guidelines
 from repro.reporting.markdown import markdown_report
@@ -141,7 +152,35 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 def _cmd_export_demo(args: argparse.Namespace) -> int:
     session = experiment1_session(package_number=2, partition_count=2)
     save_project_file(session, args.output)
+    fingerprint = project_fingerprint(session_to_dict(session))
     print(f"Wrote the experiment-1 two-partition project to {args.output}")
+    print(f"fingerprint sha256:{fingerprint}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ChopService, make_server
+
+    service = ChopService(
+        cache_size=args.cache_size,
+        max_sessions=args.max_sessions,
+        workers=args.workers,
+        job_timeout_s=args.job_timeout,
+    )
+    server = make_server(service, host=args.host, port=args.port)
+    print(
+        f"chop-repro serving on http://{args.host}:{args.port} "
+        f"({args.workers} job workers, cache {args.cache_size}, "
+        f"max {args.max_sessions} sessions)"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
     return 0
 
 
@@ -209,6 +248,30 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("output")
     export.set_defaults(func=_cmd_export_demo)
 
+    serve_ = sub.add_parser(
+        "serve", help="run the HTTP/JSON partitioning server"
+    )
+    serve_.add_argument("--host", default="127.0.0.1")
+    serve_.add_argument("--port", type=int, default=8080)
+    serve_.add_argument(
+        "--workers", type=int, default=4,
+        help="background job worker threads (default 4)",
+    )
+    serve_.add_argument(
+        "--cache-size", type=int, default=256,
+        help="check-verdict cache entries (default 256)",
+    )
+    serve_.add_argument(
+        "--max-sessions", type=int, default=32,
+        help="resident designer sessions before LRU eviction",
+    )
+    serve_.add_argument(
+        "--job-timeout", type=float, default=300.0,
+        help="default wall-clock budget per background job in seconds; "
+        "0 disables (default 300)",
+    )
+    serve_.set_defaults(func=_cmd_serve)
+
     return parser
 
 
@@ -217,12 +280,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except SpecificationError as exc:
+        # Malformed input (project JSON, spec text) gets its own status
+        # so scripts can tell "fix your file" from model infeasibility.
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
     except ChopError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except BrokenPipeError:
         # Output was piped into a pager/head that closed early.
         return 0
+    except OSError as exc:
+        # Unreadable/missing input files: clean one-liner, no traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
 
 
 if __name__ == "__main__":

@@ -14,7 +14,15 @@ run, never synthesis.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+)
 
 from repro.bad.prediction import DesignPrediction
 from repro.bad.predictor import BADPredictor, PredictorParameters
@@ -183,6 +191,7 @@ class ChopSession:
         heuristic: str = "iterative",
         prune: bool = True,
         keep_all: bool = False,
+        cancel: Optional[Callable[[], bool]] = None,
     ):
         """Search for feasible implementations of the current partitioning.
 
@@ -190,6 +199,10 @@ class ChopSession:
         ``prune=False`` with ``keep_all=True`` reproduces the paper's
         design-space figures, at the cost the paper measured (section 3.1:
         61.4 s unpruned vs under a second pruned).
+        ``cancel`` is a cooperative cancellation hook polled by the
+        heuristics between candidates; when it returns ``True`` the check
+        raises :class:`repro.errors.SearchCancelled` — this is how the
+        serving layer aborts long enumerations and enforces job timeouts.
         Returns a :class:`repro.search.results.SearchResult`.
         """
         from repro.search.enumeration import enumeration_search
@@ -210,11 +223,12 @@ class ChopSession:
             result = enumeration_search(
                 partitioning, predictions, self.clocks, self.library,
                 self.criteria, prune=prune, keep_all=keep_all,
+                cancel=cancel,
             )
         elif heuristic == "iterative":
             result = iterative_search(
                 partitioning, predictions, self.clocks, self.library,
-                self.criteria, keep_all=keep_all,
+                self.criteria, keep_all=keep_all, cancel=cancel,
             )
         else:
             raise PredictionError(

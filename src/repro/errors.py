@@ -59,6 +59,15 @@ class PredictionError(ChopError):
     """
 
 
+class SearchCancelled(ChopError):
+    """A search was cancelled cooperatively before completion.
+
+    Raised from a search heuristic's cancellation hook (checked between
+    candidate combinations) when the caller — typically the serving
+    layer's job queue — asks a long-running enumeration to stop.
+    """
+
+
 class InfeasibleError(ChopError):
     """No feasible implementation exists for the request.
 

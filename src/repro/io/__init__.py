@@ -8,17 +8,21 @@ versioned and rerun from the command line (:mod:`repro.cli`).
 
 from repro.io.graphs import graph_from_dict, graph_to_dict
 from repro.io.project import (
+    canonical_project_bytes,
     load_project,
     load_project_file,
+    project_fingerprint,
     save_project_file,
     session_to_dict,
 )
 
 __all__ = [
+    "canonical_project_bytes",
     "graph_from_dict",
     "graph_to_dict",
     "load_project",
     "load_project_file",
+    "project_fingerprint",
     "save_project_file",
     "session_to_dict",
 ]

@@ -26,6 +26,7 @@ A *project* document carries the paper's six input groups:
 
 from __future__ import annotations
 
+import hashlib
 import json
 import pathlib
 from typing import Any, Dict, List, Union
@@ -49,17 +50,32 @@ from repro.memory.module import MemoryModule
 # loading
 # ----------------------------------------------------------------------
 def load_project(data: Dict[str, Any]) -> ChopSession:
-    """Build a ready-to-check session from a project document."""
-    try:
-        graph = graph_from_dict(data["graph"])
-        clocks_doc = data["clocks"]
-        criteria_doc = data["criteria"]
-        chip_docs = data["chips"]
-        partition_docs = data["partitions"]
-    except (KeyError, TypeError) as exc:
+    """Build a ready-to-check session from a project document.
+
+    Any structural problem — a missing key, a wrong type, an unparsable
+    number — raises :class:`SpecificationError`, so callers (the CLI and
+    the serving layer) can map every bad document to one clean error.
+    """
+    if not isinstance(data, dict):
         raise SpecificationError(
-            f"malformed project document: missing {exc}"
+            f"malformed project document: expected an object, got "
+            f"{type(data).__name__}"
+        )
+    try:
+        return _load_project_strict(data)
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise SpecificationError(
+            f"malformed project document: "
+            f"{type(exc).__name__}: {exc}"
         ) from None
+
+
+def _load_project_strict(data: Dict[str, Any]) -> ChopSession:
+    graph = graph_from_dict(data["graph"])
+    clocks_doc = data["clocks"]
+    criteria_doc = data["criteria"]
+    chip_docs = data["chips"]
+    partition_docs = data["partitions"]
 
     session = ChopSession(
         graph=graph,
@@ -100,6 +116,39 @@ def load_project_file(path: Union[str, pathlib.Path]) -> ChopSession:
     except json.JSONDecodeError as exc:
         raise SpecificationError(f"invalid project JSON: {exc}") from None
     return load_project(data)
+
+
+# ----------------------------------------------------------------------
+# fingerprinting
+# ----------------------------------------------------------------------
+def canonical_project_bytes(data: Dict[str, Any]) -> bytes:
+    """Canonical byte encoding of a project document.
+
+    Key order, whitespace and (for partitions) operation-list order are
+    normalized so that two documents describing the same session encode
+    identically regardless of how they were written.
+    """
+    normalized = dict(data)
+    partitions = normalized.get("partitions")
+    if isinstance(partitions, list):
+        normalized["partitions"] = [
+            {**doc, "ops": sorted(doc["ops"])}
+            if isinstance(doc, dict) and isinstance(doc.get("ops"), list)
+            else doc
+            for doc in partitions
+        ]
+    return json.dumps(
+        normalized, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def project_fingerprint(data: Dict[str, Any]) -> str:
+    """Stable SHA-256 hex digest of the canonicalized document.
+
+    The serving layer keys its prediction/verdict caches on this, and
+    ``export-demo`` stamps it on its output for provenance.
+    """
+    return hashlib.sha256(canonical_project_bytes(data)).hexdigest()
 
 
 # ----------------------------------------------------------------------

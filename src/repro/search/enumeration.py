@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import itertools
 import time
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.bad.prediction import DesignPrediction
 from repro.bad.styles import ClockScheme
@@ -28,7 +28,7 @@ from repro.core.feasibility import FeasibilityCriteria, evaluate_system
 from repro.core.integration import integrate
 from repro.core.partitioning import Partitioning
 from repro.core.tasks import build_task_graph
-from repro.errors import InfeasibleError, PredictionError
+from repro.errors import InfeasibleError, PredictionError, SearchCancelled
 from repro.library.library import ComponentLibrary
 from repro.search.results import FeasibleDesign, SearchResult
 from repro.search.space import DesignPoint, DesignSpace
@@ -46,13 +46,16 @@ def enumeration_search(
     criteria: FeasibilityCriteria,
     prune: bool = True,
     keep_all: bool = False,
+    cancel: Optional[Callable[[], bool]] = None,
 ) -> SearchResult:
     """Try every combination of per-partition implementations.
 
     ``predictions`` maps each partition name to its (already level-1
     pruned, unless the caller kept everything) prediction list.  With
     ``keep_all`` every visited combination lands in the returned
-    :class:`DesignSpace`.
+    :class:`DesignSpace`.  ``cancel`` is a cooperative cancellation hook
+    polled between candidate combinations; when it returns ``True`` the
+    search raises :class:`repro.errors.SearchCancelled`.
     """
     names = sorted(partitioning.partitions)
     missing = [n for n in names if not predictions.get(n)]
@@ -78,6 +81,11 @@ def enumeration_search(
     started = time.perf_counter()
 
     for combo in itertools.product(*lists):
+        if cancel is not None and cancel():
+            raise SearchCancelled(
+                f"enumeration cancelled after {trials} of "
+                f"{combination_count} combinations"
+            )
         trials += 1
         selection = dict(zip(names, combo))
         ii_main = max(pred.ii_main for pred in combo)

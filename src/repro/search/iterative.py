@@ -27,7 +27,7 @@ Implementation notes mapping to the pseudocode:
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.bad.prediction import DesignPrediction
 from repro.bad.styles import ClockScheme
@@ -35,7 +35,7 @@ from repro.core.feasibility import FeasibilityCriteria, evaluate_system
 from repro.core.integration import integrate
 from repro.core.partitioning import Partitioning
 from repro.core.tasks import TaskGraph, build_task_graph
-from repro.errors import InfeasibleError, PredictionError
+from repro.errors import InfeasibleError, PredictionError, SearchCancelled
 from repro.library.library import ComponentLibrary
 from repro.search.results import FeasibleDesign, SearchResult
 from repro.search.space import DesignPoint, DesignSpace
@@ -53,8 +53,14 @@ def iterative_search(
     library: ComponentLibrary,
     criteria: FeasibilityCriteria,
     keep_all: bool = False,
+    cancel: Optional[Callable[[], bool]] = None,
 ) -> SearchResult:
-    """Run the Figure 5 algorithm over every feasible initiation interval."""
+    """Run the Figure 5 algorithm over every feasible initiation interval.
+
+    ``cancel`` is a cooperative cancellation hook polled between
+    serialization rounds; when it returns ``True`` the search raises
+    :class:`repro.errors.SearchCancelled`.
+    """
     names = sorted(partitioning.partitions)
     missing = [n for n in names if not predictions.get(n)]
     if missing:
@@ -78,6 +84,10 @@ def iterative_search(
             len(sorted_preds[name]) for name in names
         )
         for _round in range(max_rounds):
+            if cancel is not None and cancel():
+                raise SearchCancelled(
+                    f"iterative search cancelled after {trials} trials"
+                )
             selection = {
                 name: sorted_preds[name][indices[name]] for name in names
             }

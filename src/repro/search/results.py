@@ -46,6 +46,17 @@ class FeasibleDesign:
             "clock_cycle_ns": round(self.clock_cycle_ns, 1),
         }
 
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serializable summary of this design (serving layer)."""
+        return {
+            **self.row(),
+            "selection": {
+                name: pred.style_label
+                for name, pred in sorted(self.selection.items())
+            },
+            "feasible": self.report.feasible,
+        }
+
 
 @dataclass(slots=True)
 class SearchResult:
@@ -93,3 +104,21 @@ class SearchResult:
         return min(
             self.feasible, key=lambda d: (d.ii_main, d.delay_main)
         )
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serializable summary (the serving layer's wire format).
+
+        Carries the same per-run numbers as the paper's result tables plus
+        the non-inferior rows, so a remote designer session can render the
+        verdict without the Python objects.
+        """
+        best = self.best()
+        return {
+            "heuristic": self.heuristic,
+            "trials": self.trials,
+            "feasible_trials": self.feasible_trials,
+            "cpu_seconds": round(self.cpu_seconds, 6),
+            "feasible": bool(self.feasible),
+            "non_inferior": [d.to_dict() for d in self.non_inferior()],
+            "best": best.to_dict() if best is not None else None,
+        }

@@ -1,0 +1,40 @@
+"""The CHOP serving layer: a concurrent partitioning server.
+
+The paper frames CHOP as an *interactive* tool — the designer proposes a
+partitioning and the system answers feasibility fast enough to stay in
+the loop (sections 1 and 6).  This package turns the batch library into a
+long-running, stdlib-only HTTP/JSON service so many designer sessions can
+share one process:
+
+* :mod:`repro.service.app` — routing and the JSON endpoints;
+* :mod:`repro.service.sessions` — fingerprint-addressed LRU registry of
+  loaded :class:`~repro.core.chop.ChopSession` state;
+* :mod:`repro.service.cache` — single-flight LRU memoization of check
+  verdicts (the hot path: re-checking after small edits);
+* :mod:`repro.service.jobs` — worker pool for long enumerations, with
+  cooperative timeout and cancellation;
+* :mod:`repro.service.metrics` — request/latency/cache/queue counters
+  behind ``GET /metrics``.
+
+Start it with ``python -m repro.cli serve --port 8080 --workers 4``.
+"""
+
+from repro.service.app import ChopService, make_server, serve
+from repro.service.cache import LRUCache, check_cache_key
+from repro.service.jobs import Job, JobQueue
+from repro.service.metrics import Metrics, percentile
+from repro.service.sessions import SessionEntry, SessionRegistry
+
+__all__ = [
+    "ChopService",
+    "Job",
+    "JobQueue",
+    "LRUCache",
+    "Metrics",
+    "SessionEntry",
+    "SessionRegistry",
+    "check_cache_key",
+    "make_server",
+    "percentile",
+    "serve",
+]

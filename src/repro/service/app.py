@@ -1,0 +1,326 @@
+"""HTTP/JSON front end for CHOP designer sessions.
+
+Stdlib-only (``http.server`` + threads): the point of the paper's system
+is that feasibility *prediction* is fast enough to sit inside a human
+iteration loop, so the server's job is to keep that loop interactive
+across many concurrent designers — checks answer on the request thread
+through a memoization cache, while design-space enumerations go to a
+background job queue.
+
+Endpoints::
+
+    POST /projects                  upload a project document -> id
+    GET  /projects/{id}             describe a resident session
+    POST /projects/{id}/check       synchronous feasibility check
+    POST /projects/{id}/enumerate   background search -> job id
+    GET  /jobs/{id}                 poll job state / result
+    POST /jobs/{id}/cancel          cooperative cancellation
+    GET  /healthz                   liveness
+    GET  /metrics                   counters, latencies, cache, queue
+
+All request and response bodies are JSON.  Errors come back as
+``{"error": msg, "type": kind}`` with 400 (malformed input), 404
+(unknown id) or 422 (well-formed but un-servable, e.g. no feasible
+prediction survives pruning).
+
+:class:`ChopService` is pure request->response logic; :func:`make_server`
+binds it to a ``ThreadingHTTPServer`` socket.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ChopError, SpecificationError
+from repro.service.cache import LRUCache, check_cache_key
+from repro.service.jobs import JobQueue
+from repro.service.metrics import Metrics
+from repro.service.sessions import SessionEntry, SessionRegistry
+
+HEURISTICS = ("iterative", "enumeration")
+
+Response = Tuple[int, Dict[str, Any], str]
+
+
+class ServiceError(Exception):
+    """An error with a definite HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ChopService:
+    """The serving-layer facade: sessions + cache + jobs + metrics."""
+
+    def __init__(
+        self,
+        cache_size: int = 256,
+        max_sessions: int = 32,
+        workers: int = 2,
+        job_timeout_s: Optional[float] = 300.0,
+    ) -> None:
+        self.sessions = SessionRegistry(capacity=max_sessions)
+        self.cache = LRUCache(capacity=cache_size)
+        self.jobs = JobQueue(
+            workers=workers, default_timeout_s=job_timeout_s
+        )
+        self.metrics = Metrics()
+        self.started_at = time.time()
+
+    def close(self) -> None:
+        self.jobs.shutdown()
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def handle(
+        self, method: str, path: str, body: Optional[bytes]
+    ) -> Response:
+        """Serve one request; returns (status, payload, route label).
+
+        The route label is the metrics key — the path template with ids
+        elided, so per-endpoint latencies aggregate across tenants.
+        """
+        try:
+            return self._route(method, path, body)
+        except ServiceError as exc:
+            return (
+                exc.status,
+                {"error": str(exc), "type": "service"},
+                f"{method} {path}",
+            )
+        except SpecificationError as exc:
+            return (
+                400,
+                {"error": str(exc), "type": "specification"},
+                f"{method} {path}",
+            )
+        except ChopError as exc:
+            return (
+                422,
+                {"error": str(exc), "type": type(exc).__name__},
+                f"{method} {path}",
+            )
+
+    def _route(
+        self, method: str, path: str, body: Optional[bytes]
+    ) -> Response:
+        parts = [p for p in path.split("/") if p]
+        if method == "GET" and parts == ["healthz"]:
+            return 200, self._healthz(), "GET /healthz"
+        if method == "GET" and parts == ["metrics"]:
+            return 200, self._metrics(), "GET /metrics"
+        if method == "POST" and parts == ["projects"]:
+            status, payload = self._upload(self._json_body(body))
+            return status, payload, "POST /projects"
+        if len(parts) == 2 and parts[0] == "projects" and method == "GET":
+            entry = self._entry(parts[1])
+            return 200, entry.to_dict(), "GET /projects/{id}"
+        if len(parts) == 3 and parts[0] == "projects":
+            entry = self._entry(parts[1])
+            if method == "POST" and parts[2] == "check":
+                payload = self._check(entry, self._json_body(body, {}))
+                return 200, payload, "POST /projects/{id}/check"
+            if method == "POST" and parts[2] == "enumerate":
+                payload = self._enumerate(
+                    entry, self._json_body(body, {})
+                )
+                return 202, payload, "POST /projects/{id}/enumerate"
+        if len(parts) == 2 and parts[0] == "jobs" and method == "GET":
+            return 200, self._job(parts[1]).to_dict(), "GET /jobs/{id}"
+        if (
+            len(parts) == 3
+            and parts[0] == "jobs"
+            and parts[2] == "cancel"
+            and method == "POST"
+        ):
+            job = self._job(parts[1])
+            self.jobs.cancel(job.id)
+            return 202, job.to_dict(), "POST /jobs/{id}/cancel"
+        raise ServiceError(404, f"no route for {method} {path}")
+
+    # ------------------------------------------------------------------
+    # endpoint bodies
+    # ------------------------------------------------------------------
+    def _healthz(self) -> Dict[str, Any]:
+        return {
+            "status": "ok",
+            "uptime_s": round(time.time() - self.started_at, 3),
+        }
+
+    def _metrics(self) -> Dict[str, Any]:
+        return {
+            **self.metrics.snapshot(),
+            "cache": self.cache.stats(),
+            "jobs": self.jobs.depth(),
+            "sessions": self.sessions.stats(),
+        }
+
+    def _upload(
+        self, document: Any
+    ) -> Tuple[int, Dict[str, Any]]:
+        if not isinstance(document, dict):
+            raise ServiceError(
+                400, "project upload must be a JSON object"
+            )
+        entry, created = self.sessions.put(document)
+        payload = entry.to_dict()
+        payload["created"] = created
+        return (201 if created else 200), payload
+
+    def _check(
+        self, entry: SessionEntry, options: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        heuristic = options.get("heuristic", "iterative")
+        prune = bool(options.get("prune", True))
+        if heuristic not in HEURISTICS:
+            raise ServiceError(
+                400,
+                f"unknown heuristic {heuristic!r}; use one of "
+                f"{list(HEURISTICS)}",
+            )
+        key = check_cache_key(entry.fingerprint, heuristic, prune)
+
+        def compute() -> Dict[str, Any]:
+            with entry.lock:
+                return entry.session.check(
+                    heuristic=heuristic, prune=prune
+                ).to_dict()
+
+        result, hit = self.cache.get_or_compute(key, compute)
+        return {
+            "project_id": entry.project_id,
+            "cache_hit": hit,
+            "result": result,
+        }
+
+    def _enumerate(
+        self, entry: SessionEntry, options: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        heuristic = options.get("heuristic", "enumeration")
+        prune = bool(options.get("prune", True))
+        timeout_s = options.get("timeout_s")
+        if heuristic not in HEURISTICS:
+            raise ServiceError(
+                400,
+                f"unknown heuristic {heuristic!r}; use one of "
+                f"{list(HEURISTICS)}",
+            )
+        if timeout_s is not None:
+            try:
+                timeout_s = float(timeout_s)
+            except (TypeError, ValueError):
+                raise ServiceError(
+                    400, f"timeout_s must be a number, got {timeout_s!r}"
+                ) from None
+
+        def run(should_stop) -> Dict[str, Any]:
+            with entry.lock:
+                return entry.session.check(
+                    heuristic=heuristic, prune=prune, cancel=should_stop
+                ).to_dict()
+
+        job = self.jobs.submit(
+            run,
+            kind=f"{heuristic}:{entry.project_id}",
+            timeout_s=timeout_s,
+        )
+        return job.to_dict()
+
+    # ------------------------------------------------------------------
+    # lookups and parsing
+    # ------------------------------------------------------------------
+    def _entry(self, project_id: str) -> SessionEntry:
+        entry = self.sessions.get(project_id)
+        if entry is None:
+            raise ServiceError(
+                404,
+                f"unknown project {project_id!r}; upload it via "
+                "POST /projects (ids expire under the LRU policy)",
+            )
+        return entry
+
+    def _job(self, job_id: str):
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise ServiceError(404, f"unknown job {job_id!r}")
+        return job
+
+    @staticmethod
+    def _json_body(body: Optional[bytes], default: Any = None) -> Any:
+        if not body:
+            if default is not None:
+                return default
+            raise ServiceError(400, "request body required")
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(
+                400, f"invalid JSON body: {exc}"
+            ) from None
+
+
+# ----------------------------------------------------------------------
+# socket binding
+# ----------------------------------------------------------------------
+class _Handler(BaseHTTPRequestHandler):
+    service: ChopService  # injected by make_server
+    quiet = True
+    protocol_version = "HTTP/1.1"
+
+    # Route through one dispatcher per method.
+    def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        started = time.perf_counter()
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length) if length else None
+        status, payload, route = self.service.handle(
+            method, self.path, body
+        )
+        data = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+        self.service.metrics.observe(
+            route, time.perf_counter() - started, status
+        )
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if not self.quiet:
+            super().log_message(format, *args)
+
+
+def make_server(
+    service: ChopService, host: str = "127.0.0.1", port: int = 8080
+) -> ThreadingHTTPServer:
+    """Bind the service to a threading HTTP server (not yet serving)."""
+    handler = type("ChopHandler", (_Handler,), {"service": service})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server
+
+
+def serve(
+    service: ChopService, host: str = "127.0.0.1", port: int = 8080
+) -> None:
+    """Run the server until interrupted (the CLI entry point)."""
+    server = make_server(service, host, port)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()

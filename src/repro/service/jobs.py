@@ -1,0 +1,203 @@
+"""In-process job queue for long-running searches.
+
+Design-space enumerations can dwarf the interactive feasibility checks
+(the paper measured 61.4 s unpruned vs sub-second pruned, section 3.1),
+so the serving layer runs them on a worker pool off the request thread:
+``POST .../enumerate`` submits a job and returns immediately; the client
+polls ``GET /jobs/{id}``.
+
+Jobs move ``queued -> running -> done | failed | cancelled``.  Timeouts
+and cancellation are *cooperative*: the job function receives a
+``should_stop()`` callable wired into the search heuristics' cancellation
+hooks (see :meth:`repro.core.chop.ChopSession.check`), which starts
+returning ``True`` once the job is cancelled or its wall-clock budget is
+spent.  A queued job that is cancelled never starts.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import SearchCancelled
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+
+@dataclass
+class Job:
+    """One unit of background work and its lifecycle record."""
+
+    id: str
+    kind: str
+    state: str = QUEUED
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    timeout_s: Optional[float] = None
+    result: Any = None
+    error: Optional[str] = None
+    cancel_event: threading.Event = field(default_factory=threading.Event)
+    _deadline: Optional[float] = None
+
+    def should_stop(self) -> bool:
+        """The cooperative hook handed to the job function."""
+        if self.cancel_event.is_set():
+            return True
+        return self._deadline is not None and time.monotonic() > self._deadline
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The ``GET /jobs/{id}`` payload."""
+        doc: Dict[str, Any] = {
+            "job_id": self.id,
+            "kind": self.kind,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "timeout_s": self.timeout_s,
+        }
+        if self.state == DONE:
+            doc["result"] = self.result
+        if self.error is not None:
+            doc["error"] = self.error
+        return doc
+
+
+class JobQueue:
+    """A bounded worker pool with per-job timeout and cancellation."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        default_timeout_s: Optional[float] = 300.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        self.workers = workers
+        self.default_timeout_s = default_timeout_s
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="chop-job"
+        )
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    # submission and execution
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        fn: Callable[[Callable[[], bool]], Any],
+        kind: str = "job",
+        timeout_s: Optional[float] = None,
+    ) -> Job:
+        """Queue ``fn(should_stop)``; returns the job record immediately.
+
+        ``timeout_s=None`` uses the queue default; pass ``0`` (or any
+        non-positive value) for no timeout.
+        """
+        if timeout_s is None:
+            timeout_s = self.default_timeout_s
+        if timeout_s is not None and timeout_s <= 0:
+            timeout_s = None
+        with self._lock:
+            self._counter += 1
+            job = Job(
+                id=f"job-{self._counter}", kind=kind, timeout_s=timeout_s
+            )
+            self._jobs[job.id] = job
+        self._executor.submit(self._run, job, fn)
+        return job
+
+    def _run(
+        self, job: Job, fn: Callable[[Callable[[], bool]], Any]
+    ) -> None:
+        with self._lock:
+            if job.cancel_event.is_set():
+                job.state = CANCELLED
+                job.finished_at = time.time()
+                job.error = "cancelled before start"
+                return
+            job.state = RUNNING
+            job.started_at = time.time()
+            if job.timeout_s is not None:
+                job._deadline = time.monotonic() + job.timeout_s
+        try:
+            result = fn(job.should_stop)
+        except SearchCancelled as exc:
+            with self._lock:
+                job.finished_at = time.time()
+                if job.cancel_event.is_set():
+                    job.state = CANCELLED
+                    job.error = f"cancelled: {exc}"
+                elif job.timeout_s is not None:
+                    job.state = FAILED
+                    job.error = (
+                        f"timed out after {job.timeout_s:g} s: {exc}"
+                    )
+                else:
+                    job.state = FAILED
+                    job.error = f"SearchCancelled: {exc}"
+            return
+        except Exception as exc:  # noqa: BLE001 — job boundary
+            with self._lock:
+                job.state = FAILED
+                job.finished_at = time.time()
+                job.error = f"{type(exc).__name__}: {exc}"
+            return
+        with self._lock:
+            job.state = DONE
+            job.finished_at = time.time()
+            job.result = result
+
+    # ------------------------------------------------------------------
+    # lifecycle queries
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def cancel(self, job_id: str) -> Optional[Job]:
+        """Request cancellation; running jobs stop at the next hook poll."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            job.cancel_event.set()
+            return job
+
+    def depth(self) -> Dict[str, int]:
+        """Queue-depth gauges for ``/metrics``."""
+        with self._lock:
+            states = [job.state for job in self._jobs.values()]
+        return {
+            "queued": states.count(QUEUED),
+            "running": states.count(RUNNING),
+            "total": len(states),
+        }
+
+    def wait(self, job_id: str, timeout: float = 30.0) -> Job:
+        """Block until a job reaches a terminal state (test helper)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            job = self.get(job_id)
+            if job is not None and job.state in (DONE, FAILED, CANCELLED):
+                return job
+            time.sleep(0.01)
+        raise TimeoutError(f"job {job_id} did not finish in {timeout} s")
+
+    def shutdown(self) -> None:
+        """Cancel everything and release the worker threads."""
+        with self._lock:
+            jobs = list(self._jobs.values())
+        for job in jobs:
+            job.cancel_event.set()
+        self._executor.shutdown(wait=False, cancel_futures=True)

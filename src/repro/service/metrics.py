@@ -1,0 +1,69 @@
+"""Request counters and latency histograms for the serving layer.
+
+Everything is in-process and lock-protected; the ``/metrics`` endpoint
+renders one JSON snapshot combining these request metrics with the
+cache's hit/miss counters and the job queue's depth (assembled by
+:mod:`repro.service.app`).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict, deque
+from typing import Any, Deque, Dict, List
+
+#: Latency samples retained per route — enough for stable p50/p95 under
+#: bursty interactive traffic without unbounded growth.
+MAX_SAMPLES = 2048
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of a non-empty list."""
+    ordered = sorted(samples)
+    rank = max(
+        0, min(len(ordered) - 1, round(q / 100.0 * (len(ordered) - 1)))
+    )
+    return ordered[rank]
+
+
+class Metrics:
+    """Per-route request counts, status counts and latency percentiles."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._requests: Dict[str, int] = defaultdict(int)
+        self._statuses: Dict[int, int] = defaultdict(int)
+        self._latencies: Dict[str, Deque[float]] = defaultdict(
+            lambda: deque(maxlen=MAX_SAMPLES)
+        )
+
+    def observe(self, route: str, seconds: float, status: int) -> None:
+        """Record one finished request."""
+        with self._lock:
+            self._requests[route] += 1
+            self._statuses[status] += 1
+            self._latencies[route].append(seconds)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-serializable view of everything recorded so far."""
+        with self._lock:
+            routes: Dict[str, Any] = {}
+            for route, count in sorted(self._requests.items()):
+                samples = list(self._latencies[route])
+                routes[route] = {
+                    "count": count,
+                    "latency_ms": {
+                        "p50": round(percentile(samples, 50) * 1000, 3),
+                        "p95": round(percentile(samples, 95) * 1000, 3),
+                    }
+                    if samples
+                    else None,
+                }
+            return {
+                "requests_total": sum(self._requests.values()),
+                "responses_by_status": {
+                    str(code): count
+                    for code, count in sorted(self._statuses.items())
+                },
+                "routes": routes,
+            }

@@ -34,17 +34,20 @@ def triangular_cdf(x: float, lb: float, ml: float, ub: float) -> float:
         return 0.0
     if x >= ub:
         return 1.0
+    # Each factor below is a ratio in [0, 1]; multiplying the ratios
+    # (rather than dividing a squared numerator by a product of spans)
+    # keeps subnormal supports from underflowing the denominator to 0.
     span = ub - lb
     if x < ml:
         left = ml - lb
         if left == 0.0:
             # Mode at the lower edge: density is linear decreasing.
-            return 1.0 - (ub - x) ** 2 / (span * (ub - ml))
-        return (x - lb) ** 2 / (span * left)
+            return 1.0 - ((ub - x) / span) * ((ub - x) / (ub - ml))
+        return ((x - lb) / span) * ((x - lb) / left)
     right = ub - ml
     if right == 0.0:
-        return (x - lb) ** 2 / (span * (ml - lb))
-    return 1.0 - (ub - x) ** 2 / (span * right)
+        return ((x - lb) / span) * ((x - lb) / (ml - lb))
+    return 1.0 - ((ub - x) / span) * ((ub - x) / right)
 
 
 def triangular_mean(lb: float, ml: float, ub: float) -> float:

@@ -75,8 +75,43 @@ class TestProjectCommands:
 
     def test_check_missing_file_errors(self, tmp_path, capsys):
         missing = tmp_path / "nope.json"
-        with pytest.raises(FileNotFoundError):
-            main(["check", str(missing)])
+        assert main(["check", str(missing)]) == 3
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_check_invalid_json_errors(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["check", str(bad)]) == 3
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "invalid project JSON" in err
+
+    def test_check_malformed_document_errors(self, tmp_path, capsys,
+                                             project_file):
+        # Well-formed JSON, structurally broken document: a partition
+        # entry missing its chip must not surface a raw KeyError.
+        data = json.loads(project_file.read_text())
+        del data["partitions"][0]["chip"]
+        broken = tmp_path / "broken.json"
+        broken.write_text(json.dumps(data))
+        assert main(["check", str(broken)]) == 3
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "malformed project document" in err
+
+    def test_export_demo_prints_fingerprint(self, tmp_path, capsys):
+        out = tmp_path / "demo.json"
+        assert main(["export-demo", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "fingerprint sha256:" in stdout
+        from repro.io.project import project_fingerprint
+
+        digest = stdout.split("sha256:")[1].strip()
+        assert digest == project_fingerprint(
+            json.loads(out.read_text())
+        )
 
 
 class TestCompile:
@@ -113,5 +148,5 @@ class TestCompile:
     def test_compile_bad_spec_errors(self, tmp_path, capsys):
         spec = tmp_path / "bad.chop"
         spec.write_text("input x\ny = x +\noutput y\n")
-        assert main(["compile", str(spec)]) == 2
+        assert main(["compile", str(spec)]) == 3
         assert "error" in capsys.readouterr().err

@@ -1,0 +1,273 @@
+"""End-to-end tests of the HTTP/JSON server over a real socket."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.experiments import experiment1_session
+from repro.io.project import session_to_dict
+from repro.service import ChopService, make_server
+
+
+@pytest.fixture(scope="module")
+def project_doc():
+    return session_to_dict(
+        experiment1_session(package_number=2, partition_count=2)
+    )
+
+
+@pytest.fixture()
+def server():
+    service = ChopService(workers=1, job_timeout_s=60.0)
+    httpd = make_server(service, "127.0.0.1", 0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield service, httpd.server_address[1]
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        service.close()
+        thread.join(5)
+
+
+def request(port, method, path, payload=None, timeout=60):
+    body = None if payload is None else json.dumps(payload).encode()
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=body,
+        method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def poll_job(port, job_id, timeout=30):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, job = request(port, "GET", f"/jobs/{job_id}")
+        assert status == 200
+        if job["state"] in ("done", "failed", "cancelled"):
+            return job
+        time.sleep(0.02)
+    raise TimeoutError(f"job {job_id} did not finish")
+
+
+class TestRoundTrip:
+    def test_upload_check_enumerate_poll(self, server, project_doc):
+        service, port = server
+
+        status, project = request(port, "POST", "/projects", project_doc)
+        assert status == 201
+        assert project["created"] is True
+        assert project["partitions"] == ["P1", "P2"]
+        pid = project["project_id"]
+
+        # Idempotent re-upload finds the resident session.
+        status, again = request(port, "POST", "/projects", project_doc)
+        assert status == 200
+        assert again["created"] is False
+        assert again["project_id"] == pid
+
+        status, described = request(port, "GET", f"/projects/{pid}")
+        assert status == 200
+        assert described["fingerprint"].startswith(pid)
+
+        status, check = request(
+            port, "POST", f"/projects/{pid}/check",
+            {"heuristic": "iterative"},
+        )
+        assert status == 200
+        assert check["cache_hit"] is False
+        assert check["result"]["feasible"] is True
+        assert check["result"]["best"]["initiation_interval"] > 0
+
+        status, job = request(
+            port, "POST", f"/projects/{pid}/enumerate",
+            {"heuristic": "enumeration"},
+        )
+        assert status == 202
+        finished = poll_job(port, job["job_id"])
+        assert finished["state"] == "done"
+        assert finished["result"]["heuristic"] == "enumeration"
+        assert finished["result"]["feasible"] is True
+        assert finished["result"]["trials"] > 0
+
+    def test_health_and_errors(self, server, project_doc):
+        service, port = server
+        status, health = request(port, "GET", "/healthz")
+        assert status == 200 and health["status"] == "ok"
+
+        status, err = request(port, "GET", "/projects/unknown")
+        assert status == 404 and "unknown project" in err["error"]
+
+        status, err = request(port, "GET", "/jobs/job-99")
+        assert status == 404
+
+        status, err = request(port, "POST", "/projects", ["not", "a", "doc"])
+        assert status == 400
+
+        broken = dict(project_doc)
+        broken["partitions"] = [
+            {**p} for p in project_doc["partitions"]
+        ]
+        del broken["partitions"][0]["chip"]
+        status, err = request(port, "POST", "/projects", broken)
+        assert status == 400
+        assert "malformed project document" in err["error"]
+
+        # Raw bytes that are not JSON at all.
+        req = urllib.request.Request(
+            f"http://127.0.0.1:{port}/projects",
+            data=b"{nope",
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=10) as resp:
+                status = resp.status
+        except urllib.error.HTTPError as exc:
+            status = exc.code
+        assert status == 400
+
+        status, pid_doc = request(port, "POST", "/projects", project_doc)
+        pid = pid_doc["project_id"]
+        status, err = request(
+            port, "POST", f"/projects/{pid}/check",
+            {"heuristic": "simulated-annealing"},
+        )
+        assert status == 400 and "unknown heuristic" in err["error"]
+
+
+class TestConcurrencyAndCache:
+    def test_eight_concurrent_checks_and_warm_cache(
+        self, server, project_doc
+    ):
+        """The acceptance scenario: >= 8 concurrent checks answer
+        correctly, and the warm path is measurably faster than cold."""
+        service, port = server
+        _, project = request(port, "POST", "/projects", project_doc)
+        pid = project["project_id"]
+
+        barrier = threading.Barrier(8)
+        results = []
+        errors = []
+
+        def check():
+            try:
+                barrier.wait(10)
+                results.append(
+                    request(
+                        port, "POST", f"/projects/{pid}/check",
+                        {"heuristic": "iterative"},
+                    )
+                )
+            except Exception as exc:  # noqa: BLE001 — collect for assert
+                errors.append(exc)
+
+        cold_started = time.perf_counter()
+        threads = [threading.Thread(target=check) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60)
+        cold_elapsed = time.perf_counter() - cold_started
+
+        assert not errors
+        assert len(results) == 8
+        assert all(status == 200 for status, _ in results)
+        bodies = [body["result"] for _, body in results]
+        assert all(body == bodies[0] for body in bodies)
+        assert bodies[0]["feasible"] is True
+        # Single-flight: the 8 racing identical requests computed once.
+        hit_flags = sorted(body["cache_hit"] for _, body in results)
+        assert hit_flags == [False] + [True] * 7
+
+        _, metrics = request(port, "GET", "/metrics")
+        assert metrics["cache"]["misses"] == 1
+        assert metrics["cache"]["hits"] == 7
+
+        # A later identical check is a pure cache hit — and fast.
+        warm_started = time.perf_counter()
+        status, warm = request(
+            port, "POST", f"/projects/{pid}/check",
+            {"heuristic": "iterative"},
+        )
+        warm_elapsed = time.perf_counter() - warm_started
+        assert status == 200 and warm["cache_hit"] is True
+        _, metrics = request(port, "GET", "/metrics")
+        assert metrics["cache"]["hits"] == 8
+        assert metrics["cache"]["misses"] == 1
+        assert warm_elapsed < cold_elapsed
+
+        # The /metrics snapshot carries per-route latency percentiles.
+        route = metrics["routes"]["POST /projects/{id}/check"]
+        assert route["count"] == 9
+        assert route["latency_ms"]["p95"] >= route["latency_ms"]["p50"]
+
+    def test_distinct_options_do_not_share_cache(
+        self, server, project_doc
+    ):
+        service, port = server
+        _, project = request(port, "POST", "/projects", project_doc)
+        pid = project["project_id"]
+        _, first = request(
+            port, "POST", f"/projects/{pid}/check",
+            {"heuristic": "iterative"},
+        )
+        _, second = request(
+            port, "POST", f"/projects/{pid}/check",
+            {"heuristic": "enumeration"},
+        )
+        assert first["cache_hit"] is False
+        assert second["cache_hit"] is False
+        assert first["result"]["heuristic"] == "iterative"
+        assert second["result"]["heuristic"] == "enumeration"
+
+
+class TestJobControl:
+    def test_job_timeout_over_http(self, server, project_doc):
+        service, port = server
+        _, project = request(port, "POST", "/projects", project_doc)
+        pid = project["project_id"]
+        # A microscopic budget expires before the first combination.
+        status, job = request(
+            port, "POST", f"/projects/{pid}/enumerate",
+            {"timeout_s": 1e-6},
+        )
+        assert status == 202
+        finished = poll_job(port, job["job_id"])
+        assert finished["state"] == "failed"
+        assert "timed out" in finished["error"]
+
+    def test_cancel_queued_job_over_http(self, server, project_doc):
+        service, port = server
+        _, project = request(port, "POST", "/projects", project_doc)
+        pid = project["project_id"]
+
+        # Pin the single worker so the HTTP-submitted job stays queued.
+        release = threading.Event()
+        blocker = service.jobs.submit(
+            lambda should_stop: release.wait(30)
+        )
+        status, job = request(
+            port, "POST", f"/projects/{pid}/enumerate", {}
+        )
+        assert status == 202
+        status, cancelled = request(
+            port, "POST", f"/jobs/{job['job_id']}/cancel"
+        )
+        assert status == 202
+        release.set()
+        finished = poll_job(port, job["job_id"])
+        assert finished["state"] == "cancelled"
+        service.jobs.wait(blocker.id)
