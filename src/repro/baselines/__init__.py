@@ -15,15 +15,25 @@ from repro.baselines.kernighan_lin import (
     kl_bipartition,
     recursive_bisection,
 )
-from repro.baselines.random_search import random_level_partitions
-from repro.baselines.exhaustive import exhaustive_bipartitions
+from repro.baselines.random_search import (
+    random_level_partitions,
+    random_partition_search,
+)
+from repro.baselines.exhaustive import (
+    PartitionSearchOutcome,
+    exhaustive_bipartition_search,
+    exhaustive_bipartitions,
+)
 from repro.baselines.repair import make_acyclic
 
 __all__ = [
+    "PartitionSearchOutcome",
     "cut_bits",
     "kl_bipartition",
     "recursive_bisection",
     "random_level_partitions",
+    "random_partition_search",
+    "exhaustive_bipartition_search",
     "exhaustive_bipartitions",
     "make_acyclic",
 ]

@@ -2,15 +2,35 @@
 
 Used by tests and ablation benches to verify that heuristic cuts are
 close to optimal on graphs small enough to enumerate.
+:func:`exhaustive_bipartition_search` turns the generator into a batch
+evaluation: every valid cut is pushed through a full CHOP check, with
+the inner combination walk optionally parallelised by a shared
+:class:`repro.engine.EvaluationEngine`.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Iterator, Set, Tuple
+import time
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
+from repro.core.partition import Partition
 from repro.dfg.graph import DataFlowGraph
-from repro.errors import PartitioningError
+from repro.errors import PartitioningError, PredictionError
+from repro.search.results import SearchResult
+
+if TYPE_CHECKING:  # pragma: no cover — typing only
+    from repro.core.chop import ChopSession
+    from repro.engine.workers import EvaluationEngine
 
 #: Enumeration is 2^(n-1); refuse beyond this many operations.
 MAX_OPS = 18
@@ -55,3 +75,87 @@ def _one_way(
             if pred in side_b:
                 return False
     return True
+
+
+# ----------------------------------------------------------------------
+# batch evaluation of every cut
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class PartitionSearchOutcome:
+    """Result of evaluating a batch of candidate partitionings."""
+
+    candidates: int = 0
+    infeasible: int = 0
+    cpu_seconds: float = 0.0
+    best_result: Optional[SearchResult] = None
+    best_partitions: List[Partition] = field(default_factory=list)
+
+    def better(self, result: SearchResult) -> bool:
+        """Whether ``result`` beats the current best (II, then delay)."""
+        design = result.best()
+        if design is None:
+            return False
+        incumbent = (
+            self.best_result.best() if self.best_result else None
+        )
+        if incumbent is None:
+            return True
+        return (design.ii_main, design.delay_main) < (
+            incumbent.ii_main, incumbent.delay_main
+        )
+
+
+def exhaustive_bipartition_search(
+    session: "ChopSession",
+    chip_a: str,
+    chip_b: str,
+    heuristic: str = "enumeration",
+    engine: Optional["EvaluationEngine"] = None,
+    cancel: Optional[Callable[[], bool]] = None,
+) -> PartitionSearchOutcome:
+    """Evaluate *every* valid bipartition of the session's graph.
+
+    Each cut is installed on ``(chip_a, chip_b)`` and checked end to
+    end; the per-cut combination walk runs on ``engine`` when one is
+    supplied, which is where the wall-clock goes on graphs near
+    :data:`MAX_OPS`.  Cuts whose predictions are pruned to nothing count
+    as ``infeasible``.  The session's original partitioning is restored
+    before returning.  BAD predictions are memoized per operation set
+    inside the session, so cuts sharing a side never re-predict it.
+    """
+    outcome = PartitionSearchOutcome()
+    original = session.partitioning()
+    started = time.perf_counter()
+    try:
+        for side_a, side_b in exhaustive_bipartitions(session.graph):
+            outcome.candidates += 1
+            session.set_partitions(
+                [Partition.of("A", side_a), Partition.of("B", side_b)],
+                {"A": chip_a, "B": chip_b},
+            )
+            try:
+                result = session.check(
+                    heuristic=heuristic, engine=engine, cancel=cancel
+                )
+            except PredictionError:
+                outcome.infeasible += 1
+                continue
+            if result.best() is None:
+                outcome.infeasible += 1
+                continue
+            if outcome.better(result):
+                outcome.best_result = result
+                outcome.best_partitions = [
+                    Partition.of("A", side_a),
+                    Partition.of("B", side_b),
+                ]
+    finally:
+        session.set_partitions(
+            list(original.partitions.values()),
+            {
+                name: original.chip_of(name)
+                for name in original.partitions
+            },
+        )
+        outcome.cpu_seconds = time.perf_counter() - started
+    return outcome

@@ -5,15 +5,23 @@ splitting the ASAP level sequence at random boundaries — so every sample
 is a valid CHOP partitioning (acyclic between partitions) and the
 comparison against the horizontal-cut scheme isolates the effect of
 boundary placement rather than validity repair.
+:func:`random_partition_search` drives a sampled batch through full
+CHOP checks, sharing a :class:`repro.engine.EvaluationEngine` so each
+sample's combination walk runs on the process pool.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Set
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
 
+from repro.core.partition import Partition
 from repro.dfg.graph import DataFlowGraph
-from repro.errors import PartitioningError
+from repro.errors import PartitioningError, PredictionError
+
+if TYPE_CHECKING:  # pragma: no cover — typing only
+    from repro.core.chop import ChopSession
+    from repro.engine.workers import EvaluationEngine
 
 
 def random_level_partitions(
@@ -48,3 +56,70 @@ def random_level_partitions(
     if any(not part for part in parts):
         raise PartitioningError("random boundaries produced an empty part")
     return parts
+
+
+def random_partition_search(
+    session: "ChopSession",
+    count: int,
+    rng: random.Random,
+    heuristic: str = "enumeration",
+    engine: Optional["EvaluationEngine"] = None,
+    cancel: Optional[Callable[[], bool]] = None,
+):
+    """Check ``count`` random level cuts, one partition per chip.
+
+    Samples :func:`random_level_partitions` with as many parts as the
+    session has chips (assigned in sorted-chip order), runs a full CHOP
+    check per sample — on ``engine``'s process pool when supplied — and
+    returns a
+    :class:`repro.baselines.exhaustive.PartitionSearchOutcome` with the
+    best feasible sample.  The session's original partitioning is
+    restored before returning.
+    """
+    from repro.baselines.exhaustive import PartitionSearchOutcome
+    import time
+
+    chips = sorted(session.chips)
+    if not chips:
+        raise PartitioningError("session has no chips to assign to")
+    outcome = PartitionSearchOutcome()
+    original = session.partitioning()
+    started = time.perf_counter()
+    try:
+        for _ in range(count):
+            sides = random_level_partitions(
+                session.graph, len(chips), rng
+            )
+            partitions = [
+                Partition.of(f"R{i + 1}", side)
+                for i, side in enumerate(sides)
+            ]
+            assignment = {
+                part.name: chip
+                for part, chip in zip(partitions, chips)
+            }
+            outcome.candidates += 1
+            session.set_partitions(partitions, assignment)
+            try:
+                result = session.check(
+                    heuristic=heuristic, engine=engine, cancel=cancel
+                )
+            except PredictionError:
+                outcome.infeasible += 1
+                continue
+            if result.best() is None:
+                outcome.infeasible += 1
+                continue
+            if outcome.better(result):
+                outcome.best_result = result
+                outcome.best_partitions = partitions
+    finally:
+        session.set_partitions(
+            list(original.partitions.values()),
+            {
+                name: original.chip_of(name)
+                for name in original.partitions
+            },
+        )
+        outcome.cpu_seconds = time.perf_counter() - started
+    return outcome

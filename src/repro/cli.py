@@ -5,14 +5,21 @@ Usage::
     python -m repro.cli inputs
     python -m repro.cli demo --experiment 1 --partitions 2
     python -m repro.cli check project.json --heuristic iterative
+    python -m repro.cli search project.json --workers 4 --disk-cache .chop-cache
+    python -m repro.cli search project.json --dry-run
     python -m repro.cli predict project.json --partition P1
     python -m repro.cli export-demo project.json
-    python -m repro.cli serve --port 8080 --workers 4
+    python -m repro.cli serve --port 8080 --workers 4 --search-workers 4
 
 ``check`` loads a project document (see :mod:`repro.io.project`), runs
 the chosen heuristic, and prints the paper-style result rows plus the
-synthesis guidelines for the best design.  ``serve`` runs the HTTP/JSON
-partitioning server (:mod:`repro.service`).
+synthesis guidelines for the best design.  ``search`` is ``check``
+defaulting to the enumeration heuristic; both take ``--workers`` (shard
+the combination walk across a process pool), ``--disk-cache`` (persist
+BAD predictions across runs) and ``--dry-run`` (print the combination
+count and shard plan without searching).  ``serve`` runs the HTTP/JSON
+partitioning server (:mod:`repro.service`); there ``--workers`` means
+job-queue *threads* and ``--search-workers`` means engine *processes*.
 
 Exit statuses: 0 success, 1 no feasible implementation, 2 library error
 (infeasible model request, unknown partition, ...), 3 malformed or
@@ -73,12 +80,104 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 def _cmd_check(args: argparse.Namespace) -> int:
     session = load_project_file(args.project)
     count = len(session.partitioning().partitions)
-    return _check_session(session, args.heuristic, count, 0)
+    if args.dry_run:
+        return _dry_run(session, args)
+    return _check_session(session, args.heuristic, count, 0, args=args)
+
+
+def _build_engine(args):
+    """An :class:`EvaluationEngine` when ``--workers`` asks for one."""
+    workers = getattr(args, "workers", 1) if args is not None else 1
+    if workers is None or workers <= 1:
+        return None
+    from repro.engine import EvaluationEngine
+
+    return EvaluationEngine(
+        workers=workers,
+        start_method=getattr(args, "start_method", None),
+    )
+
+
+def _checked(session, heuristic: str, args):
+    """One check, optionally engine-sharded and disk-cache warmed."""
+    engine = _build_engine(args)
+    cache_dir = getattr(args, "disk_cache", None) if args else None
+    if not cache_dir:
+        return session.check(heuristic=heuristic, engine=engine)
+    from repro.engine import DiskPredictionCache
+
+    cache = DiskPredictionCache(cache_dir)
+    key = cache.key_for(
+        project_fingerprint(session_to_dict(session)),
+        session.library,
+        session.clocks,
+    )
+    cached = cache.load(key)
+    if cached is not None:
+        seeded = session.seed_predictions(cached)
+        print(
+            f"disk cache: hit — {seeded} partition prediction lists "
+            f"seeded from {cache.directory}"
+        )
+    result = session.check(heuristic=heuristic, engine=engine)
+    if cached is None:
+        cache.store(key, session.export_predictions())
+        print(f"disk cache: miss — predictions stored in {cache.directory}")
+    return result
+
+
+def _dry_run(session, args) -> int:
+    """Print the combination count and shard plan, search nothing."""
+    from repro.engine import EvaluationProblem, plan_shards
+    from repro.engine.workers import (
+        DEFAULT_MIN_COMBINATIONS,
+        DEFAULT_SHARDS_PER_WORKER,
+    )
+    from repro.search.enumeration import MAX_COMBINATIONS
+
+    problem = EvaluationProblem.build(
+        session.partitioning(),
+        session.pruned_predictions(),
+        session.clocks,
+        session.library,
+        session.criteria,
+    )
+    total = problem.combination_count()
+    print("combination space (level-1 pruned prediction lists):")
+    for name, size in sorted(problem.list_sizes().items()):
+        print(f"  {name}: {size} predictions")
+    print(f"total combinations: {total} (enumeration cap {MAX_COMBINATIONS})")
+    if total > MAX_COMBINATIONS:
+        print(
+            "the product exceeds the enumeration cap; tighten the "
+            "constraints or repartition before searching"
+        )
+        return 1
+    workers = max(1, getattr(args, "workers", 1) or 1)
+    if workers == 1 or total < DEFAULT_MIN_COMBINATIONS:
+        reason = (
+            "one worker requested"
+            if workers == 1
+            else f"space below the engine minimum of "
+            f"{DEFAULT_MIN_COMBINATIONS}"
+        )
+        print(f"mode: serial ({reason})")
+        return 0
+    shards = plan_shards(total, workers * DEFAULT_SHARDS_PER_WORKER)
+    print(
+        f"mode: parallel ({workers} workers, {len(shards)} shards)"
+    )
+    for shard in shards:
+        print(
+            f"  shard {shard.index:>3}: [{shard.start}, {shard.stop})"
+            f"  {shard.size} combinations"
+        )
+    return 0
 
 
 def _check_session(session, heuristic: str, count: int,
-                   package: int) -> int:
-    result = session.check(heuristic=heuristic)
+                   package: int, args=None) -> int:
+    result = _checked(session, heuristic, args)
     letter = "E" if heuristic == "enumeration" else "I"
     print(results_table([(count, package, letter, result)]))
     best = result.best()
@@ -166,12 +265,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_sessions=args.max_sessions,
         workers=args.workers,
         job_timeout_s=args.job_timeout,
+        search_workers=args.search_workers,
+        disk_cache_dir=args.disk_cache,
+        start_method=args.start_method,
     )
     server = make_server(service, host=args.host, port=args.port)
+    engine_note = (
+        f"{args.search_workers} search workers"
+        if args.search_workers > 1
+        else "in-process search"
+    )
+    cache_note = (
+        f", disk cache {args.disk_cache}" if args.disk_cache else ""
+    )
     print(
         f"chop-repro serving on http://{args.host}:{args.port} "
-        f"({args.workers} job workers, cache {args.cache_size}, "
-        f"max {args.max_sessions} sessions)"
+        f"({args.workers} job threads, {engine_note}, "
+        f"cache {args.cache_size}, max {args.max_sessions} sessions"
+        f"{cache_note})"
     )
     try:
         server.serve_forever()
@@ -182,6 +293,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server.server_close()
         service.close()
     return 0
+
+
+def _add_engine_arguments(command: argparse.ArgumentParser) -> None:
+    """The engine/cache flags shared by ``check`` and ``search``."""
+    command.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the enumeration walk; 1 runs "
+        "serially (default 1)",
+    )
+    command.add_argument(
+        "--start-method", choices=("fork", "spawn", "forkserver"),
+        default=None,
+        help="multiprocessing start method (default: platform default, "
+        "or $CHOP_START_METHOD)",
+    )
+    command.add_argument(
+        "--disk-cache", default=None, metavar="DIR",
+        help="persist BAD prediction lists under DIR and reuse them on "
+        "identical reruns",
+    )
+    command.add_argument(
+        "--dry-run", action="store_true",
+        help="print the combination count and shard plan, then exit "
+        "without searching",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -216,7 +352,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--heuristic", choices=("iterative", "enumeration"),
         default="iterative",
     )
+    _add_engine_arguments(check)
     check.set_defaults(func=_cmd_check)
+
+    search = sub.add_parser(
+        "search",
+        help="enumerate the combination space of a project document "
+        "(check with --heuristic enumeration, engine-ready)",
+    )
+    search.add_argument("project", help="path to a project JSON file")
+    search.add_argument(
+        "--heuristic", choices=("iterative", "enumeration"),
+        default="enumeration",
+    )
+    _add_engine_arguments(search)
+    search.set_defaults(func=_cmd_check)
 
     predict = sub.add_parser(
         "predict", help="list BAD's predictions for one partition"
@@ -269,6 +419,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--job-timeout", type=float, default=300.0,
         help="default wall-clock budget per background job in seconds; "
         "0 disables (default 300)",
+    )
+    serve_.add_argument(
+        "--search-workers", type=int, default=0,
+        help="worker processes sharding each enumeration's combination "
+        "walk; 0 or 1 keeps searches in-process (default 0)",
+    )
+    serve_.add_argument(
+        "--disk-cache", default=None, metavar="DIR",
+        help="persist BAD prediction lists under DIR so identical "
+        "projects skip prediction across restarts",
+    )
+    serve_.add_argument(
+        "--start-method", choices=("fork", "spawn", "forkserver"),
+        default=None,
+        help="multiprocessing start method for search workers "
+        "(default: platform default, or $CHOP_START_METHOD)",
     )
     serve_.set_defaults(func=_cmd_serve)
 

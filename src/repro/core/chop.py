@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import (
+    TYPE_CHECKING,
     Callable,
     Dict,
     Iterable,
@@ -36,6 +37,9 @@ from repro.dfg.graph import DataFlowGraph
 from repro.errors import PartitioningError, PredictionError
 from repro.library.library import ComponentLibrary
 from repro.memory.module import MemoryModule
+
+if TYPE_CHECKING:  # pragma: no cover — typing only
+    from repro.engine.workers import EvaluationEngine
 
 
 class ChopSession:
@@ -162,6 +166,35 @@ class ChopSession:
         """Raw predictions for every partition."""
         return {name: self.predict(name) for name in self._partitions}
 
+    def export_predictions(self) -> Dict[str, List[DesignPrediction]]:
+        """Raw prediction lists by partition name, for persistence.
+
+        Computes any partition not yet predicted, so the export always
+        covers the whole current partitioning (what the disk prediction
+        cache stores).
+        """
+        return self.predict_all()
+
+    def seed_predictions(
+        self,
+        predictions: Mapping[str, Sequence[DesignPrediction]],
+    ) -> int:
+        """Pre-fill the prediction cache from persisted lists.
+
+        Only names matching a current partition are accepted; returns
+        how many partitions were seeded.  A subsequent :meth:`predict`
+        (and therefore :meth:`check`) on a seeded partition skips BAD
+        entirely — the warm path of the disk prediction cache.
+        """
+        seeded = 0
+        for name, partition in self._partitions.items():
+            preds = predictions.get(name)
+            if not preds:
+                continue
+            self._prediction_cache[partition.op_ids] = list(preds)
+            seeded += 1
+        return seeded
+
     def max_usable_area_mil2(self) -> float:
         """Optimistic usable area of the roomiest chip (for pruning)."""
         if not self.chips:
@@ -192,6 +225,8 @@ class ChopSession:
         prune: bool = True,
         keep_all: bool = False,
         cancel: Optional[Callable[[], bool]] = None,
+        engine: Optional["EvaluationEngine"] = None,
+        progress: Optional[Callable[[int, int], None]] = None,
     ):
         """Search for feasible implementations of the current partitioning.
 
@@ -203,7 +238,12 @@ class ChopSession:
         heuristics between candidates; when it returns ``True`` the check
         raises :class:`repro.errors.SearchCancelled` — this is how the
         serving layer aborts long enumerations and enforces job timeouts.
-        Returns a :class:`repro.search.results.SearchResult`.
+        ``engine`` (a :class:`repro.engine.EvaluationEngine`) runs the
+        enumeration walk on a process pool with results identical to the
+        serial path; the iterative heuristic is inherently sequential and
+        ignores it.  ``progress`` receives per-shard completion updates
+        on engine runs.  Returns a
+        :class:`repro.search.results.SearchResult`.
         """
         from repro.search.enumeration import enumeration_search
         from repro.search.iterative import iterative_search
@@ -223,7 +263,7 @@ class ChopSession:
             result = enumeration_search(
                 partitioning, predictions, self.clocks, self.library,
                 self.criteria, prune=prune, keep_all=keep_all,
-                cancel=cancel,
+                cancel=cancel, engine=engine, progress=progress,
             )
         elif heuristic == "iterative":
             result = iterative_search(

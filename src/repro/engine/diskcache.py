@@ -1,0 +1,191 @@
+"""Persistent on-disk cache of BAD prediction lists.
+
+Prediction is the expensive half of a feasibility check (the search only
+recombines predicted designs), and predictions depend on nothing but the
+project inputs — so they can outlive the process.  The cache keys each
+entry on the canonical :func:`repro.io.project.project_fingerprint` of
+the project document *plus* an independent digest of the resolved
+library and clock scheme (belt and braces: a preset label like
+``"table1"`` must not alias across library revisions) *plus* the cache
+format version.  Repeated ``chop check`` runs and server restarts on an
+unchanged project then skip BAD prediction entirely.
+
+Writes are atomic (temp file + ``os.replace``) so a crashed or
+concurrent writer can never leave a torn entry; a reader that finds a
+corrupt or version-mismatched file treats it as a miss and deletes it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pathlib
+import pickle
+import tempfile
+import threading
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.bad.prediction import DesignPrediction
+from repro.bad.styles import ClockScheme
+from repro.library.library import ComponentLibrary
+
+#: Bump whenever the pickled payload layout or the prediction model's
+#: output semantics change; every older entry becomes a miss.
+CACHE_VERSION = 1
+
+
+def library_clock_digest(
+    library: ComponentLibrary, clocks: ClockScheme
+) -> str:
+    """A stable digest of the resolved library and clock scheme."""
+    parts: List[str] = [library.name]
+    for op_type in library.supported_op_types():
+        for component in library.components_for(op_type):
+            parts.append(
+                f"{component.name}:{component.op_type.value}:"
+                f"{component.bit_width}:{component.area_mil2!r}:"
+                f"{component.delay_ns!r}"
+            )
+    for cell in (library.register, library.mux):
+        parts.append(f"{cell.name}:{cell.area_mil2!r}:{cell.delay_ns!r}")
+    parts.append(
+        f"clocks:{clocks.main_cycle_ns!r}:{clocks.dp_multiplier}:"
+        f"{clocks.transfer_multiplier}"
+    )
+    return hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()
+
+
+class DiskPredictionCache:
+    """A directory of pickled per-project prediction lists."""
+
+    def __init__(
+        self,
+        directory: Union[str, pathlib.Path],
+        version: int = CACHE_VERSION,
+    ) -> None:
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.version = version
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._stores = 0
+        self._invalidated = 0
+
+    # ------------------------------------------------------------------
+    # keys and paths
+    # ------------------------------------------------------------------
+    def key_for(
+        self,
+        fingerprint: str,
+        library: ComponentLibrary,
+        clocks: ClockScheme,
+    ) -> str:
+        """Cache key for a project fingerprint under a resolved setup."""
+        digest = library_clock_digest(library, clocks)
+        return hashlib.sha256(
+            f"v{self.version}|{fingerprint}|{digest}".encode("utf-8")
+        ).hexdigest()
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.directory / f"{key}.predictions.pkl"
+
+    # ------------------------------------------------------------------
+    # load / store
+    # ------------------------------------------------------------------
+    def load(
+        self, key: str
+    ) -> Optional[Dict[str, List[DesignPrediction]]]:
+        """The cached per-partition prediction lists, or ``None``.
+
+        Any defect — missing file, unreadable pickle, version or key
+        mismatch — is a miss; defective files are removed so they cannot
+        fail again.
+        """
+        path = self.path_for(key)
+        try:
+            with path.open("rb") as handle:
+                payload = pickle.load(handle)
+        except FileNotFoundError:
+            self._count(hit=False)
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError, IndexError):
+            self._discard(path)
+            self._count(hit=False)
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != self.version
+            or payload.get("key") != key
+            or not isinstance(payload.get("predictions"), dict)
+        ):
+            self._discard(path)
+            self._count(hit=False)
+            return None
+        self._count(hit=True)
+        return payload["predictions"]
+
+    def store(
+        self,
+        key: str,
+        predictions: Mapping[str, Sequence[DesignPrediction]],
+    ) -> None:
+        """Atomically persist the prediction lists under ``key``."""
+        payload = {
+            "version": self.version,
+            "key": key,
+            "predictions": {
+                name: list(preds)
+                for name, preds in sorted(predictions.items())
+            },
+        }
+        descriptor, temp_name = tempfile.mkstemp(
+            prefix=".tmp-", suffix=".pkl", dir=self.directory
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                pickle.dump(payload, handle, pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_name, self.path_for(key))
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        with self._lock:
+            self._stores += 1
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def _discard(self, path: pathlib.Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        with self._lock:
+            self._invalidated += 1
+
+    def _count(self, hit: bool) -> None:
+        with self._lock:
+            if hit:
+                self._hits += 1
+            else:
+                self._misses += 1
+
+    def stats(self) -> Dict[str, Any]:
+        """Hit/miss/store counters for ``/metrics`` and the CLI."""
+        with self._lock:
+            total = self._hits + self._misses
+            return {
+                "directory": str(self.directory),
+                "version": self.version,
+                "hits": self._hits,
+                "misses": self._misses,
+                "stores": self._stores,
+                "invalidated": self._invalidated,
+                "hit_rate": (
+                    round(self._hits / total, 4) if total else None
+                ),
+            }

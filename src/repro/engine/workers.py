@@ -1,0 +1,533 @@
+"""Process-pool evaluation of combination shards.
+
+The GIL keeps a single process from ever using more than one core on the
+pure-Python integration pipeline, so the engine fans shards out to a
+``multiprocessing`` pool.  Design points:
+
+* the immutable :class:`EvaluationProblem` is pickled **once per
+  worker** through the pool initializer, never per task — tasks are just
+  tiny :class:`~repro.engine.sharding.Shard` ranges;
+* workers run the *same* :func:`evaluate_range` code the serial path
+  uses (level-2 pruning included), so parallel results merge to a
+  byte-identical :class:`~repro.search.results.SearchResult`;
+* cancellation is cooperative through a shared ``Event`` polled between
+  combinations, mirroring the serving layer's ``should_stop`` contract;
+* the engine degrades gracefully: ``workers=1``, an unsupported start
+  method, a pool that cannot be created, or a worker death all fall back
+  to in-process serial evaluation (a dead worker's shard is retried
+  serially and counted in the stats) — callers always get an answer or a
+  :class:`~repro.errors.SearchCancelled`, never a crash.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.bad.prediction import DesignPrediction
+from repro.bad.styles import ClockScheme
+from repro.core.feasibility import FeasibilityCriteria, evaluate_system
+from repro.core.integration import integrate
+from repro.core.partitioning import Partitioning
+from repro.core.tasks import TaskGraph, build_task_graph
+from repro.engine.merge import ShardResult, merge_shard_results
+from repro.engine.sharding import (
+    Shard,
+    combination_count,
+    decode_combination,
+    plan_shards,
+)
+from repro.errors import InfeasibleError, SearchCancelled
+from repro.library.library import ComponentLibrary
+from repro.search.results import FeasibleDesign
+from repro.search.space import DesignPoint, DesignSpace
+
+#: Environment override for the pool start method (CI runs the suite
+#: under both ``fork`` and ``spawn`` through this knob).
+START_METHOD_ENV = "CHOP_START_METHOD"
+
+#: Shards per worker: more shards than workers so a slow shard cannot
+#: leave the rest of the pool idle at the tail of a search.
+DEFAULT_SHARDS_PER_WORKER = 4
+
+#: Below this many combinations the pool startup cost dominates; the
+#: engine evaluates in process instead.
+DEFAULT_MIN_COMBINATIONS = 64
+
+
+# ----------------------------------------------------------------------
+# the immutable problem and its (shared) evaluation loop
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EvaluationProblem:
+    """Everything needed to evaluate any combination of one search.
+
+    Immutable and picklable: the pool initializer ships one copy to each
+    worker, after which tasks are index ranges only.
+    """
+
+    partitioning: Partitioning
+    names: Tuple[str, ...]
+    lists: Tuple[Tuple[DesignPrediction, ...], ...]
+    clocks: ClockScheme
+    library: ComponentLibrary
+    criteria: FeasibilityCriteria
+    prune: bool
+    task_graph: TaskGraph
+    usable_area: Mapping[str, float]
+
+    @classmethod
+    def build(
+        cls,
+        partitioning: Partitioning,
+        predictions: Mapping[str, Sequence[DesignPrediction]],
+        clocks: ClockScheme,
+        library: ComponentLibrary,
+        criteria: FeasibilityCriteria,
+        prune: bool = True,
+    ) -> "EvaluationProblem":
+        names = tuple(sorted(partitioning.partitions))
+        return cls(
+            partitioning=partitioning,
+            names=names,
+            lists=tuple(
+                tuple(predictions[name]) for name in names
+            ),
+            clocks=clocks,
+            library=library,
+            criteria=criteria,
+            prune=prune,
+            task_graph=build_task_graph(partitioning),
+            usable_area=usable_area_by_chip(partitioning),
+        )
+
+    @property
+    def radices(self) -> Tuple[int, ...]:
+        return tuple(len(options) for options in self.lists)
+
+    def combination_count(self) -> int:
+        return combination_count(self.radices)
+
+    def list_sizes(self) -> Dict[str, int]:
+        return {
+            name: len(options)
+            for name, options in zip(self.names, self.lists)
+        }
+
+    def selection(self, flat: int) -> Dict[str, DesignPrediction]:
+        """The per-partition selection at one flat combination index."""
+        digits = decode_combination(flat, self.radices)
+        return {
+            name: self.lists[position][digit]
+            for position, (name, digit) in enumerate(
+                zip(self.names, digits)
+            )
+        }
+
+
+def usable_area_by_chip(partitioning: Partitioning) -> Dict[str, float]:
+    """Optimistic usable area per chip (only supply pads bonded)."""
+    from repro.chips.chip import POWER_GROUND_PINS
+
+    return {
+        name: chip.package.usable_area_mil2(POWER_GROUND_PINS)
+        for name, chip in partitioning.chips.items()
+    }
+
+
+def chip_area_hopeless(
+    partitioning: Partitioning,
+    selection: Mapping[str, DesignPrediction],
+    usable: Mapping[str, float],
+) -> bool:
+    """Level-2 quick check: PU areas alone already overflow some chip.
+
+    Uses the optimistic area lower bounds, so a ``True`` here is a proof
+    of infeasibility — integration overhead only adds area.
+    """
+    for chip_name in partitioning.chips:
+        total_lb = sum(
+            selection[p].area_total.lb
+            for p in partitioning.partitions_on_chip(chip_name)
+        )
+        if total_lb > usable[chip_name]:
+            return True
+    return False
+
+
+def _record_selection(
+    space: Optional[DesignSpace],
+    selection: Mapping[str, DesignPrediction],
+    ii_main: int,
+    feasible_flag: bool,
+) -> None:
+    if space is None:
+        return
+    space.record(
+        DesignPoint(
+            kind="system",
+            area_mil2=sum(p.area_total.ml for p in selection.values()),
+            delay_cycles=max(p.latency_main for p in selection.values()),
+            ii_cycles=ii_main,
+            feasible=feasible_flag,
+        )
+    )
+
+
+def evaluate_range(
+    problem: EvaluationProblem,
+    start: int,
+    stop: int,
+    cancel: Optional[Callable[[], bool]] = None,
+    space: Optional[DesignSpace] = None,
+) -> Tuple[List[FeasibleDesign], int]:
+    """Evaluate the flat combination indices ``[start, stop)`` in order.
+
+    This is the one evaluation loop in the system: the serial path runs
+    it over the whole space, workers run it over their shard.  Level-2
+    pruning abandons a combination on the first violated chip-area bound
+    before the (more expensive) system integration runs.
+    """
+    feasible: List[FeasibleDesign] = []
+    trials = 0
+    for flat in range(start, stop):
+        if cancel is not None and cancel():
+            raise SearchCancelled(
+                f"enumeration cancelled after {trials} of "
+                f"{stop - start} combinations"
+            )
+        trials += 1
+        selection = problem.selection(flat)
+        ii_main = max(pred.ii_main for pred in selection.values())
+
+        if problem.prune and chip_area_hopeless(
+            problem.partitioning, selection, problem.usable_area
+        ):
+            _record_selection(space, selection, ii_main, False)
+            continue
+        try:
+            system = integrate(
+                problem.partitioning, selection, ii_main,
+                problem.clocks, problem.library,
+                task_graph=problem.task_graph,
+            )
+        except InfeasibleError:
+            _record_selection(space, selection, ii_main, False)
+            continue
+        report = evaluate_system(system, problem.criteria)
+        if space is not None:
+            space.record(
+                DesignPoint(
+                    kind="system",
+                    area_mil2=sum(
+                        u.total_area.ml
+                        for u in system.chip_usage.values()
+                    ),
+                    delay_cycles=system.delay_main,
+                    ii_cycles=system.ii_main,
+                    feasible=report.feasible,
+                )
+            )
+        if report.feasible:
+            feasible.append(
+                FeasibleDesign(
+                    selection=selection, system=system, report=report
+                )
+            )
+    return feasible, trials
+
+
+# ----------------------------------------------------------------------
+# worker-process side
+# ----------------------------------------------------------------------
+_WORKER_PROBLEM: Optional[EvaluationProblem] = None
+_WORKER_CANCEL: Optional[Any] = None
+
+
+def _init_worker(problem: EvaluationProblem, cancel_event: Any) -> None:
+    """Pool initializer: receive the problem once, keep it in a global."""
+    global _WORKER_PROBLEM, _WORKER_CANCEL
+    _WORKER_PROBLEM = problem
+    _WORKER_CANCEL = cancel_event
+
+
+def _evaluate_shard(shard: Shard) -> ShardResult:
+    """Task body run inside a worker process."""
+    if _WORKER_PROBLEM is None:
+        raise RuntimeError("worker used before initialization")
+    cancel = (
+        _WORKER_CANCEL.is_set if _WORKER_CANCEL is not None else None
+    )
+    started = time.perf_counter()
+    feasible, trials = evaluate_range(
+        _WORKER_PROBLEM, shard.start, shard.stop, cancel=cancel
+    )
+    return ShardResult(
+        shard=shard,
+        feasible=feasible,
+        trials=trials,
+        elapsed_s=time.perf_counter() - started,
+    )
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class EngineRun:
+    """Outcome and accounting of one :meth:`EvaluationEngine.run`."""
+
+    feasible: List[FeasibleDesign]
+    trials: int
+    mode: str  # "parallel" | "serial" | "serial-fallback"
+    workers: int
+    shard_count: int
+    retried_shards: int
+    wall_s: float
+    #: Sum of per-shard evaluation time over (wall * workers); 1.0 means
+    #: every worker was busy the whole run.  None for serial runs.
+    utilization: Optional[float] = None
+
+
+class EvaluationEngine:
+    """A reusable, thread-safe batch evaluator for combination searches.
+
+    One engine can serve many concurrent searches (the HTTP service holds
+    a single instance); each :meth:`run` gets its own pool so cancellation
+    and crash recovery never leak between searches.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+        shards_per_worker: int = DEFAULT_SHARDS_PER_WORKER,
+        min_combinations: int = DEFAULT_MIN_COMBINATIONS,
+        poll_interval_s: float = 0.05,
+    ) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if shards_per_worker < 1:
+            raise ValueError(
+                f"shards_per_worker must be >= 1, got {shards_per_worker}"
+            )
+        if start_method is None:
+            start_method = os.environ.get(START_METHOD_ENV) or None
+        self.workers = workers
+        self.start_method = start_method
+        self.shards_per_worker = shards_per_worker
+        self.min_combinations = min_combinations
+        self.poll_interval_s = poll_interval_s
+        self._lock = threading.Lock()
+        self._stats: Dict[str, Any] = {
+            "workers": workers,
+            "start_method": start_method or "default",
+            "searches_parallel": 0,
+            "searches_serial": 0,
+            "fallbacks": 0,
+            "shards_completed": 0,
+            "shards_retried": 0,
+            "combinations_evaluated": 0,
+            "last_utilization": None,
+        }
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        problem: EvaluationProblem,
+        cancel: Optional[Callable[[], bool]] = None,
+        progress: Optional[Callable[[int, int], None]] = None,
+    ) -> EngineRun:
+        """Evaluate the whole combination space of ``problem``.
+
+        ``cancel`` is polled continuously; when it returns ``True`` every
+        worker is stopped and :class:`SearchCancelled` is raised with no
+        worker processes left behind.  ``progress`` (if given) receives
+        ``(shards_done, shards_total)`` after every finished shard.
+        """
+        total = problem.combination_count()
+        started = time.perf_counter()
+        if self.workers <= 1 or total < self.min_combinations:
+            run = self._run_serial(problem, total, started, cancel,
+                                   progress, mode="serial")
+        else:
+            run = self._run_parallel(
+                problem, total, started, cancel, progress
+            )
+        self._account(run)
+        return run
+
+    def stats(self) -> Dict[str, Any]:
+        """Cumulative counters for ``/metrics`` (a snapshot copy)."""
+        with self._lock:
+            return dict(self._stats)
+
+    # ------------------------------------------------------------------
+    # execution modes
+    # ------------------------------------------------------------------
+    def _run_serial(
+        self,
+        problem: EvaluationProblem,
+        total: int,
+        started: float,
+        cancel: Optional[Callable[[], bool]],
+        progress: Optional[Callable[[int, int], None]],
+        mode: str,
+        retried_shards: int = 0,
+    ) -> EngineRun:
+        feasible, trials = evaluate_range(
+            problem, 0, total, cancel=cancel
+        )
+        if progress is not None:
+            progress(1, 1)
+        return EngineRun(
+            feasible=feasible,
+            trials=trials,
+            mode=mode,
+            workers=1,
+            shard_count=1,
+            retried_shards=retried_shards,
+            wall_s=time.perf_counter() - started,
+        )
+
+    def _make_executor(
+        self, problem: EvaluationProblem
+    ) -> Tuple[ProcessPoolExecutor, Any]:
+        """Create the pool (separated out so tests can inject failure)."""
+        context = multiprocessing.get_context(self.start_method)
+        cancel_event = context.Event()
+        executor = ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=context,
+            initializer=_init_worker,
+            initargs=(problem, cancel_event),
+        )
+        return executor, cancel_event
+
+    def _run_parallel(
+        self,
+        problem: EvaluationProblem,
+        total: int,
+        started: float,
+        cancel: Optional[Callable[[], bool]],
+        progress: Optional[Callable[[int, int], None]],
+    ) -> EngineRun:
+        shards = plan_shards(
+            total, self.workers * self.shards_per_worker
+        )
+        try:
+            executor, cancel_event = self._make_executor(problem)
+        except (ValueError, OSError, ImportError):
+            # Unsupported start method or a platform that cannot spawn
+            # processes at all: stay correct, run in process.
+            with self._lock:
+                self._stats["fallbacks"] += 1
+            return self._run_serial(problem, total, started, cancel,
+                                    progress, mode="serial-fallback")
+
+        results: List[ShardResult] = []
+        dead_shards: List[Shard] = []
+        try:
+            pending = {
+                executor.submit(_evaluate_shard, shard): shard
+                for shard in shards
+            }
+            while pending:
+                done, _ = wait(
+                    pending,
+                    timeout=self.poll_interval_s,
+                    return_when=FIRST_COMPLETED,
+                )
+                if cancel is not None and cancel():
+                    raise SearchCancelled(
+                        f"parallel enumeration cancelled with "
+                        f"{len(pending)} of {len(shards)} shards "
+                        f"outstanding"
+                    )
+                for future in done:
+                    shard = pending.pop(future)
+                    error = future.exception()
+                    if error is None:
+                        results.append(future.result())
+                        if progress is not None:
+                            progress(
+                                len(results) + len(dead_shards),
+                                len(shards),
+                            )
+                    elif isinstance(error, (BrokenProcessPool, OSError)):
+                        # The worker died (or the pool broke with it);
+                        # remember the shard for a serial retry.
+                        dead_shards.append(shard)
+                    elif isinstance(error, SearchCancelled):
+                        raise SearchCancelled(str(error))
+                    else:
+                        raise error
+        finally:
+            cancel_event.set()
+            executor.shutdown(wait=True, cancel_futures=True)
+
+        for shard in sorted(dead_shards, key=lambda s: s.start):
+            feasible, trials = evaluate_range(
+                problem, shard.start, shard.stop, cancel=cancel
+            )
+            results.append(
+                ShardResult(
+                    shard=shard,
+                    feasible=feasible,
+                    trials=trials,
+                    retried=True,
+                )
+            )
+            if progress is not None:
+                progress(len(results), len(shards))
+
+        feasible, trials = merge_shard_results(results, total)
+        wall = time.perf_counter() - started
+        busy = sum(result.elapsed_s for result in results)
+        return EngineRun(
+            feasible=feasible,
+            trials=trials,
+            mode="parallel",
+            workers=self.workers,
+            shard_count=len(shards),
+            retried_shards=len(dead_shards),
+            wall_s=wall,
+            utilization=(
+                round(busy / (wall * self.workers), 4) if wall > 0
+                else None
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def _account(self, run: EngineRun) -> None:
+        with self._lock:
+            if run.mode == "parallel":
+                self._stats["searches_parallel"] += 1
+            else:
+                self._stats["searches_serial"] += 1
+            self._stats["shards_completed"] += run.shard_count
+            self._stats["shards_retried"] += run.retried_shards
+            self._stats["combinations_evaluated"] += run.trials
+            if run.utilization is not None:
+                self._stats["last_utilization"] = run.utilization

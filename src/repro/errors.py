@@ -68,6 +68,51 @@ class SearchCancelled(ChopError):
     """
 
 
+class EngineError(ChopError):
+    """The batch-evaluation engine produced an inconsistent result.
+
+    Raised when merged shard results do not cover the combination space
+    exactly (overlapping or missing index ranges) — a bug guard, never an
+    expected runtime condition.
+    """
+
+
+class CombinationExplosionError(PredictionError):
+    """The combination space exceeds the enumeration safety cap.
+
+    Carries the computed product and the per-partition prediction-list
+    sizes so callers (the CLI, the serving layer) can report *which*
+    partitions blow the space up instead of a bare message — the serving
+    layer maps this to a 4xx with the :meth:`detail` payload attached.
+    """
+
+    def __init__(
+        self,
+        combinations: int,
+        limit: int,
+        list_sizes: "dict[str, int]",
+    ) -> None:
+        sizes = ", ".join(
+            f"{name}={size}" for name, size in sorted(list_sizes.items())
+        )
+        super().__init__(
+            f"enumeration over {combinations} combinations exceeds "
+            f"the {limit} cap (prediction list sizes: {sizes}); "
+            f"enable level-1 pruning or repartition"
+        )
+        self.combinations = combinations
+        self.limit = limit
+        self.list_sizes = dict(list_sizes)
+
+    def detail(self) -> "dict[str, object]":
+        """A JSON-serializable description for error payloads."""
+        return {
+            "combinations": self.combinations,
+            "limit": self.limit,
+            "list_sizes": dict(sorted(self.list_sizes.items())),
+        }
+
+
 class InfeasibleError(ChopError):
     """No feasible implementation exists for the request.
 

@@ -14,24 +14,31 @@ at its slowest implementation's rate.
 With pruning on, a combination is abandoned on the first violated chip
 area bound before the (more expensive) system integration runs — the
 paper's level-2 pruning.
+
+The evaluation loop itself lives in :mod:`repro.engine.workers` so the
+serial path here and the engine's worker processes execute *identical*
+code: handing an :class:`~repro.engine.EvaluationEngine` in through
+``engine=`` shards the same walk across a process pool and merges the
+shards back into a byte-identical result.
 """
 
 from __future__ import annotations
 
-import itertools
 import time
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Mapping, Optional, Sequence, TYPE_CHECKING
 
 from repro.bad.prediction import DesignPrediction
 from repro.bad.styles import ClockScheme
-from repro.core.feasibility import FeasibilityCriteria, evaluate_system
-from repro.core.integration import integrate
+from repro.core.feasibility import FeasibilityCriteria
 from repro.core.partitioning import Partitioning
-from repro.core.tasks import build_task_graph
-from repro.errors import InfeasibleError, PredictionError, SearchCancelled
+from repro.engine.workers import EvaluationProblem, evaluate_range
+from repro.errors import CombinationExplosionError, PredictionError
 from repro.library.library import ComponentLibrary
-from repro.search.results import FeasibleDesign, SearchResult
-from repro.search.space import DesignPoint, DesignSpace
+from repro.search.results import SearchResult
+from repro.search.space import DesignSpace
+
+if TYPE_CHECKING:  # pragma: no cover — typing only
+    from repro.engine.workers import EvaluationEngine
 
 #: Safety valve: enumeration refuses absurdly large products so a typo in
 #: a prune setting cannot hang a session.
@@ -47,6 +54,8 @@ def enumeration_search(
     prune: bool = True,
     keep_all: bool = False,
     cancel: Optional[Callable[[], bool]] = None,
+    engine: Optional["EvaluationEngine"] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
 ) -> SearchResult:
     """Try every combination of per-partition implementations.
 
@@ -56,6 +65,13 @@ def enumeration_search(
     :class:`DesignSpace`.  ``cancel`` is a cooperative cancellation hook
     polled between candidate combinations; when it returns ``True`` the
     search raises :class:`repro.errors.SearchCancelled`.
+
+    ``engine`` runs the walk on a process pool; the result is identical
+    to the serial path (same visit order, same designs, same trial
+    count).  ``keep_all`` stays on the serial path: recording every
+    visited point is a paper-figure mode whose payload would dwarf the
+    shard results.  ``progress`` (engine runs only) receives
+    ``(shards_done, shards_total)`` as shards complete.
     """
     names = sorted(partitioning.partitions)
     missing = [n for n in names if not predictions.get(n)]
@@ -63,117 +79,37 @@ def enumeration_search(
         raise PredictionError(
             f"no predictions for partitions: {missing}"
         )
-    lists = [list(predictions[name]) for name in names]
-    combination_count = 1
-    for options in lists:
-        combination_count *= len(options)
+    problem = EvaluationProblem.build(
+        partitioning, predictions, clocks, library, criteria,
+        prune=prune,
+    )
+    combination_count = problem.combination_count()
     if combination_count > MAX_COMBINATIONS:
-        raise PredictionError(
-            f"enumeration over {combination_count} combinations exceeds "
-            f"the {MAX_COMBINATIONS} cap; enable level-1 pruning"
+        raise CombinationExplosionError(
+            combinations=combination_count,
+            limit=MAX_COMBINATIONS,
+            list_sizes=problem.list_sizes(),
         )
 
-    task_graph = build_task_graph(partitioning)
-    usable = _usable_area_by_chip(partitioning)
-    space = DesignSpace() if keep_all else None
-    feasible: List[FeasibleDesign] = []
-    trials = 0
     started = time.perf_counter()
+    if engine is not None and not keep_all:
+        run = engine.run(problem, cancel=cancel, progress=progress)
+        return SearchResult(
+            heuristic="enumeration",
+            trials=run.trials,
+            feasible=run.feasible,
+            cpu_seconds=time.perf_counter() - started,
+            space=None,
+        )
 
-    for combo in itertools.product(*lists):
-        if cancel is not None and cancel():
-            raise SearchCancelled(
-                f"enumeration cancelled after {trials} of "
-                f"{combination_count} combinations"
-            )
-        trials += 1
-        selection = dict(zip(names, combo))
-        ii_main = max(pred.ii_main for pred in combo)
-
-        if prune and _chip_area_hopeless(partitioning, selection, usable):
-            _record(space, selection, ii_main, feasible_flag=False)
-            continue
-        try:
-            system = integrate(
-                partitioning, selection, ii_main, clocks, library,
-                task_graph=task_graph,
-            )
-        except InfeasibleError:
-            _record(space, selection, ii_main, feasible_flag=False)
-            continue
-        report = evaluate_system(system, criteria)
-        if space is not None:
-            space.record(
-                DesignPoint(
-                    kind="system",
-                    area_mil2=sum(
-                        u.total_area.ml for u in system.chip_usage.values()
-                    ),
-                    delay_cycles=system.delay_main,
-                    ii_cycles=system.ii_main,
-                    feasible=report.feasible,
-                )
-            )
-        if report.feasible:
-            feasible.append(
-                FeasibleDesign(
-                    selection=selection, system=system, report=report
-                )
-            )
-
+    space = DesignSpace() if keep_all else None
+    feasible, trials = evaluate_range(
+        problem, 0, combination_count, cancel=cancel, space=space
+    )
     return SearchResult(
         heuristic="enumeration",
         trials=trials,
         feasible=feasible,
         cpu_seconds=time.perf_counter() - started,
         space=space,
-    )
-
-
-def _usable_area_by_chip(partitioning: Partitioning) -> Dict[str, float]:
-    """Optimistic usable area per chip (only supply pads bonded)."""
-    from repro.chips.chip import POWER_GROUND_PINS
-
-    return {
-        name: chip.package.usable_area_mil2(POWER_GROUND_PINS)
-        for name, chip in partitioning.chips.items()
-    }
-
-
-def _chip_area_hopeless(
-    partitioning: Partitioning,
-    selection: Mapping[str, DesignPrediction],
-    usable: Mapping[str, float],
-) -> bool:
-    """Level-2 quick check: PU areas alone already overflow some chip.
-
-    Uses the optimistic area lower bounds, so a ``True`` here is a proof
-    of infeasibility — integration overhead only adds area.
-    """
-    for chip_name in partitioning.chips:
-        total_lb = sum(
-            selection[p].area_total.lb
-            for p in partitioning.partitions_on_chip(chip_name)
-        )
-        if total_lb > usable[chip_name]:
-            return True
-    return False
-
-
-def _record(
-    space: Optional[DesignSpace],
-    selection: Mapping[str, DesignPrediction],
-    ii_main: int,
-    feasible_flag: bool,
-) -> None:
-    if space is None:
-        return
-    space.record(
-        DesignPoint(
-            kind="system",
-            area_mil2=sum(p.area_total.ml for p in selection.values()),
-            delay_cycles=max(p.latency_main for p in selection.values()),
-            ii_cycles=ii_main,
-            feasible=feasible_flag,
-        )
     )

@@ -32,15 +32,29 @@ def dominance_filter(
     A prediction dominated in all three dimensions can never appear in a
     best feasible combination: replacing it with its dominator preserves
     every constraint and improves the goal — the paper's "inferior"
-    designs.  Runs in O(n^2); prediction lists are small after the
-    feasibility prune.
+    designs.
+
+    Candidates are swept in :meth:`DesignPrediction.sort_key` order, so
+    any dominator of a candidate has already been seen: a candidate only
+    needs comparing against the survivors so far, which keeps the common
+    case (a short Pareto front over a long list) near-linear instead of
+    O(n^2) over the full list.  Dominance is transitive, so checking
+    survivors alone loses nothing — a dropped dominator is itself
+    dominated by a survivor that also dominates the candidate.  The
+    identity guard makes the sweep safe even against a ``dominates``
+    implementation that considers a prediction to dominate itself (which
+    would otherwise empty the list).  Input order is preserved.
     """
-    kept: List[DesignPrediction] = []
-    for candidate in predictions:
-        if any(other.dominates(candidate) for other in predictions):
+    survivors: List[DesignPrediction] = []
+    for candidate in sorted(predictions, key=DesignPrediction.sort_key):
+        if any(
+            other is not candidate and other.dominates(candidate)
+            for other in survivors
+        ):
             continue
-        kept.append(candidate)
-    return kept
+        survivors.append(candidate)
+    survivor_ids = {id(pred) for pred in survivors}
+    return [pred for pred in predictions if id(pred) in survivor_ids]
 
 
 def level1_prune(

@@ -34,6 +34,7 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
+from repro.engine import DiskPredictionCache, EvaluationEngine
 from repro.errors import ChopError, SpecificationError
 from repro.service.cache import LRUCache, check_cache_key
 from repro.service.jobs import JobQueue
@@ -62,13 +63,39 @@ class ChopService:
         max_sessions: int = 32,
         workers: int = 2,
         job_timeout_s: Optional[float] = 300.0,
+        search_workers: int = 0,
+        disk_cache_dir: Optional[str] = None,
+        start_method: Optional[str] = None,
     ) -> None:
         self.sessions = SessionRegistry(capacity=max_sessions)
         self.cache = LRUCache(capacity=cache_size)
         self.jobs = JobQueue(
             workers=workers, default_timeout_s=job_timeout_s
         )
+        # ``workers`` threads drain the job queue; ``search_workers``
+        # processes shard each enumeration's combination walk.
+        self.engine: Optional[EvaluationEngine] = (
+            EvaluationEngine(
+                workers=search_workers, start_method=start_method
+            )
+            if search_workers > 1
+            else None
+        )
+        self.disk_cache: Optional[DiskPredictionCache] = (
+            DiskPredictionCache(disk_cache_dir)
+            if disk_cache_dir
+            else None
+        )
         self.metrics = Metrics()
+        self.metrics.register_gauges("cache", self.cache.stats)
+        self.metrics.register_gauges("jobs", self.jobs.depth)
+        self.metrics.register_gauges("sessions", self.sessions.stats)
+        if self.engine is not None:
+            self.metrics.register_gauges("engine", self.engine.stats)
+        if self.disk_cache is not None:
+            self.metrics.register_gauges(
+                "disk_cache", self.disk_cache.stats
+            )
         self.started_at = time.time()
 
     def close(self) -> None:
@@ -100,11 +127,16 @@ class ChopService:
                 f"{method} {path}",
             )
         except ChopError as exc:
-            return (
-                422,
-                {"error": str(exc), "type": type(exc).__name__},
-                f"{method} {path}",
-            )
+            payload: Dict[str, Any] = {
+                "error": str(exc),
+                "type": type(exc).__name__,
+            }
+            detail = getattr(exc, "detail", None)
+            if callable(detail):
+                # Structured errors (e.g. CombinationExplosionError)
+                # carry actionable data — ship it with the 4xx.
+                payload["detail"] = detail()
+            return 422, payload, f"{method} {path}"
 
     def _route(
         self, method: str, path: str, body: Optional[bytes]
@@ -153,12 +185,9 @@ class ChopService:
         }
 
     def _metrics(self) -> Dict[str, Any]:
-        return {
-            **self.metrics.snapshot(),
-            "cache": self.cache.stats(),
-            "jobs": self.jobs.depth(),
-            "sessions": self.sessions.stats(),
-        }
+        # Subsystem gauges (cache, jobs, sessions, engine, disk_cache)
+        # are registered suppliers — the snapshot carries everything.
+        return self.metrics.snapshot()
 
     def _upload(
         self, document: Any
@@ -187,8 +216,8 @@ class ChopService:
 
         def compute() -> Dict[str, Any]:
             with entry.lock:
-                return entry.session.check(
-                    heuristic=heuristic, prune=prune
+                return self._checked(
+                    entry, heuristic=heuristic, prune=prune
                 ).to_dict()
 
         result, hit = self.cache.get_or_compute(key, compute)
@@ -197,6 +226,31 @@ class ChopService:
             "cache_hit": hit,
             "result": result,
         }
+
+    def _checked(self, entry: SessionEntry, **options: Any):
+        """Run one check under the disk prediction cache, if configured.
+
+        Seeds the session's prediction cache from disk before the check
+        and persists the (possibly freshly computed) predictions after a
+        miss — so an identical project checked after a restart skips BAD
+        prediction entirely.  Callers must hold ``entry.lock``.
+        """
+        options.setdefault("engine", self.engine)
+        if self.disk_cache is None:
+            return entry.session.check(**options)
+        session = entry.session
+        disk_key = self.disk_cache.key_for(
+            entry.fingerprint, session.library, session.clocks
+        )
+        cached = self.disk_cache.load(disk_key)
+        if cached is not None:
+            session.seed_predictions(cached)
+        result = session.check(**options)
+        if cached is None:
+            self.disk_cache.store(
+                disk_key, session.export_predictions()
+            )
+        return result
 
     def _enumerate(
         self, entry: SessionEntry, options: Dict[str, Any]
@@ -218,16 +272,21 @@ class ChopService:
                     400, f"timeout_s must be a number, got {timeout_s!r}"
                 ) from None
 
-        def run(should_stop) -> Dict[str, Any]:
+        def run(job) -> Dict[str, Any]:
             with entry.lock:
-                return entry.session.check(
-                    heuristic=heuristic, prune=prune, cancel=should_stop
+                return self._checked(
+                    entry,
+                    heuristic=heuristic,
+                    prune=prune,
+                    cancel=job.should_stop,
+                    progress=job.report_progress,
                 ).to_dict()
 
         job = self.jobs.submit(
             run,
             kind=f"{heuristic}:{entry.project_id}",
             timeout_s=timeout_s,
+            pass_job=True,
         )
         return job.to_dict()
 

@@ -45,6 +45,7 @@ class Job:
     result: Any = None
     error: Optional[str] = None
     cancel_event: threading.Event = field(default_factory=threading.Event)
+    progress: Optional[Dict[str, int]] = None
     _deadline: Optional[float] = None
 
     def should_stop(self) -> bool:
@@ -52,6 +53,14 @@ class Job:
         if self.cancel_event.is_set():
             return True
         return self._deadline is not None and time.monotonic() > self._deadline
+
+    def report_progress(self, done: int, total: int) -> None:
+        """Per-shard progress hook handed to engine-backed searches.
+
+        Replaces the whole dict in one assignment so concurrent
+        ``to_dict`` readers always see a consistent pair.
+        """
+        self.progress = {"shards_done": done, "shards_total": total}
 
     def to_dict(self) -> Dict[str, Any]:
         """The ``GET /jobs/{id}`` payload."""
@@ -64,6 +73,8 @@ class Job:
             "finished_at": self.finished_at,
             "timeout_s": self.timeout_s,
         }
+        if self.progress is not None:
+            doc["progress"] = self.progress
         if self.state == DONE:
             doc["result"] = self.result
         if self.error is not None:
@@ -95,14 +106,18 @@ class JobQueue:
     # ------------------------------------------------------------------
     def submit(
         self,
-        fn: Callable[[Callable[[], bool]], Any],
+        fn: Callable[..., Any],
         kind: str = "job",
         timeout_s: Optional[float] = None,
+        pass_job: bool = False,
     ) -> Job:
         """Queue ``fn(should_stop)``; returns the job record immediately.
 
         ``timeout_s=None`` uses the queue default; pass ``0`` (or any
-        non-positive value) for no timeout.
+        non-positive value) for no timeout.  With ``pass_job`` the
+        function receives the whole :class:`Job` instead of just the
+        ``should_stop`` hook — engine-backed searches use this to wire
+        :meth:`Job.report_progress` into per-shard callbacks.
         """
         if timeout_s is None:
             timeout_s = self.default_timeout_s
@@ -114,11 +129,11 @@ class JobQueue:
                 id=f"job-{self._counter}", kind=kind, timeout_s=timeout_s
             )
             self._jobs[job.id] = job
-        self._executor.submit(self._run, job, fn)
+        self._executor.submit(self._run, job, fn, pass_job)
         return job
 
     def _run(
-        self, job: Job, fn: Callable[[Callable[[], bool]], Any]
+        self, job: Job, fn: Callable[..., Any], pass_job: bool = False
     ) -> None:
         with self._lock:
             if job.cancel_event.is_set():
@@ -131,7 +146,7 @@ class JobQueue:
             if job.timeout_s is not None:
                 job._deadline = time.monotonic() + job.timeout_s
         try:
-            result = fn(job.should_stop)
+            result = fn(job) if pass_job else fn(job.should_stop)
         except SearchCancelled as exc:
             with self._lock:
                 job.finished_at = time.time()

@@ -1,16 +1,19 @@
-"""Request counters and latency histograms for the serving layer.
+"""Request counters, latency histograms and subsystem gauges.
 
-Everything is in-process and lock-protected; the ``/metrics`` endpoint
-renders one JSON snapshot combining these request metrics with the
-cache's hit/miss counters and the job queue's depth (assembled by
-:mod:`repro.service.app`).
+Everything is in-process and lock-protected.  Request metrics live here;
+subsystem statistics (verdict cache, job queue, session registry, the
+evaluation engine's shard counters and worker utilization, the disk
+prediction cache's hit rate) are pulled in through *registered gauge
+suppliers* — each subsystem exposes a ``stats()`` callable and
+:meth:`Metrics.register_gauges` stitches them into the one ``/metrics``
+snapshot, so adding a subsystem never means editing the snapshot code.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import defaultdict, deque
-from typing import Any, Deque, Dict, List
+from typing import Any, Callable, Deque, Dict, List
 
 #: Latency samples retained per route — enough for stable p50/p95 under
 #: bursty interactive traffic without unbounded growth.
@@ -36,6 +39,18 @@ class Metrics:
         self._latencies: Dict[str, Deque[float]] = defaultdict(
             lambda: deque(maxlen=MAX_SAMPLES)
         )
+        self._gauges: Dict[str, Callable[[], Any]] = {}
+
+    def register_gauges(
+        self, label: str, supplier: Callable[[], Any]
+    ) -> None:
+        """Attach a subsystem's ``stats()`` callable to the snapshot.
+
+        ``supplier`` is invoked on every :meth:`snapshot` and its result
+        appears under ``label``; suppliers must be thread-safe and cheap.
+        """
+        with self._lock:
+            self._gauges[label] = supplier
 
     def observe(self, route: str, seconds: float, status: int) -> None:
         """Record one finished request."""
@@ -47,6 +62,7 @@ class Metrics:
     def snapshot(self) -> Dict[str, Any]:
         """A JSON-serializable view of everything recorded so far."""
         with self._lock:
+            suppliers = dict(self._gauges)
             routes: Dict[str, Any] = {}
             for route, count in sorted(self._requests.items()):
                 samples = list(self._latencies[route])
@@ -59,7 +75,7 @@ class Metrics:
                     if samples
                     else None,
                 }
-            return {
+            doc = {
                 "requests_total": sum(self._requests.values()),
                 "responses_by_status": {
                     str(code): count
@@ -67,3 +83,8 @@ class Metrics:
                 },
                 "routes": routes,
             }
+        # Suppliers run outside our lock: they take their own locks and
+        # must never nest under this one.
+        for label, supplier in sorted(suppliers.items()):
+            doc[label] = supplier()
+        return doc

@@ -150,3 +150,82 @@ class TestCompile:
         spec.write_text("input x\ny = x +\noutput y\n")
         assert main(["compile", str(spec)]) == 3
         assert "error" in capsys.readouterr().err
+
+
+class TestSearchCommand:
+    @pytest.fixture(scope="class")
+    def big_project_file(self, tmp_path_factory):
+        from repro.experiments import experiment2_session
+        from repro.io.project import save_project_file
+
+        path = tmp_path_factory.mktemp("cli-search") / "exp2x3.json"
+        save_project_file(
+            experiment2_session(partition_count=3), str(path)
+        )
+        return path
+
+    def test_search_defaults_to_enumeration(self, project_file, capsys):
+        assert main(["search", str(project_file)]) == 0
+        out = capsys.readouterr().out
+        assert "  E  " in out  # the heuristic column
+
+    def test_dry_run_prints_count_and_serial_mode(self, project_file,
+                                                  capsys):
+        assert main(["search", str(project_file), "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "total combinations:" in out
+        assert "mode: serial" in out
+        assert "Initiation interval" not in out  # nothing was searched
+
+    def test_dry_run_prints_shard_plan(self, big_project_file, capsys):
+        assert main(
+            ["search", str(big_project_file), "--workers", "2",
+             "--dry-run"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "mode: parallel (2 workers" in out
+        assert "shard   0: [0," in out
+
+    def test_workers_flag_matches_serial_result(self, big_project_file,
+                                                capsys):
+        assert main(["search", str(big_project_file)]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(
+            ["search", str(big_project_file), "--workers", "2"]
+        ) == 0
+        parallel_out = capsys.readouterr().out
+
+        def rows(text):
+            return [
+                line for line in text.splitlines()
+                if "  E  " in line
+            ]
+
+        # Identical result rows modulo the CPU-seconds column.
+        strip = lambda line: line.split()[:3] + line.split()[4:]
+        assert [strip(r) for r in rows(parallel_out)] == [
+            strip(r) for r in rows(serial_out)
+        ]
+
+    def test_disk_cache_cold_then_warm(self, project_file, tmp_path,
+                                       capsys):
+        cache_dir = str(tmp_path / "predcache")
+        assert main(
+            ["search", str(project_file), "--disk-cache", cache_dir]
+        ) == 0
+        cold = capsys.readouterr().out
+        assert "disk cache: miss" in cold
+        assert main(
+            ["search", str(project_file), "--disk-cache", cache_dir]
+        ) == 0
+        warm = capsys.readouterr().out
+        assert "disk cache: hit" in warm
+        assert "2 partition prediction lists seeded" in warm
+
+    def test_check_accepts_engine_flags(self, project_file, capsys):
+        assert main(
+            ["check", str(project_file), "--heuristic", "enumeration",
+             "--workers", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Initiation interval" in out

@@ -29,6 +29,52 @@ class TestDominanceFilter:
     def test_empty_input(self):
         assert dominance_filter([]) == []
 
+    def test_matches_naive_quadratic_reference(
+        self, exp1_predictor, ar_graph, exp2_predictor
+    ):
+        # The sort+sweep implementation must keep exactly what the
+        # straightforward all-pairs definition keeps, in input order.
+        for predictor in (exp1_predictor, exp2_predictor):
+            preds = predictor.predict_partition(ar_graph)
+            naive = [
+                p
+                for p in preds
+                if not any(
+                    q is not p and q.dominates(p) for q in preds
+                )
+            ]
+            swept = dominance_filter(preds)
+            assert [id(p) for p in swept] == [id(p) for p in naive]
+
+    def test_preserves_input_order(self, exp1_predictor, ar_graph):
+        preds = exp1_predictor.predict_partition(ar_graph)
+        shuffled = list(reversed(preds))
+        front = dominance_filter(shuffled)
+        positions = [shuffled.index(p) for p in front]
+        assert positions == sorted(positions)
+
+    def test_identity_guard_against_reflexive_dominance(
+        self, exp1_predictor, ar_graph
+    ):
+        # A dominates() that is non-strict (considers equals, and thus a
+        # prediction itself, dominating) must not let an object knock
+        # out its own duplicate occurrences.
+        preds = exp1_predictor.predict_partition(ar_graph)
+        front = dominance_filter(preds)
+        champion = front[0]
+
+        original = type(champion).dominates
+
+        def reflexive(self, other):
+            return self is other or original(self, other)
+
+        try:
+            type(champion).dominates = reflexive
+            survivors = dominance_filter([champion, champion])
+        finally:
+            type(champion).dominates = original
+        assert survivors == [champion, champion]
+
 
 class TestLevel1Prune:
     def test_prune_reduces_and_sorts(self, exp1_predictor, ar_graph,
