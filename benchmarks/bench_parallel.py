@@ -3,7 +3,9 @@
 Measures the wall-clock of the same combination walk run serially and
 through :class:`repro.engine.EvaluationEngine` at increasing worker
 counts, asserting byte-identical results at every width, and records the
-table into ``benchmarks/results/parallel_speedup.txt``.
+table into ``benchmarks/results/parallel_speedup.txt`` plus a
+machine-readable ``benchmarks/results/BENCH_parallel.json`` (per worker
+count: wall seconds and combinations/second).
 
 Run directly (no pytest needed)::
 
@@ -19,6 +21,7 @@ still gate, because correctness does not need cores.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -178,6 +181,38 @@ def main(argv: Optional[List[str]] = None) -> int:
     with open(out_path, "w") as handle:
         handle.write(table + "\n")
     print(f"\nwrote {out_path}")
+
+    combinations = serial_result.trials
+    json_doc = {
+        "bench": "parallel_enumeration",
+        "spec": "moving_average.chop",
+        "partitions": 3,
+        "combinations": combinations,
+        "pruned": prune,
+        "host_cores": os.cpu_count(),
+        "equivalence_ok": not failures,
+        "runs": [
+            {
+                "mode": mode,
+                "workers": workers,
+                "wall_s": round(elapsed, 6),
+                "combos_per_s": (
+                    round(combinations / elapsed, 1)
+                    if elapsed > 0 else None
+                ),
+                "speedup": round(speedup, 3),
+                "utilization": (
+                    utilization if utilization != "-" else None
+                ),
+            }
+            for mode, workers, elapsed, speedup, utilization in rows
+        ],
+    }
+    json_path = os.path.join(RESULTS_DIR, "BENCH_parallel.json")
+    with open(json_path, "w") as handle:
+        json.dump(json_doc, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {json_path}")
 
     if failures:
         return 1

@@ -1,0 +1,83 @@
+"""Validate a JSONL trace file against the repro.obs span schema.
+
+The CI observability job runs a traced ``repro check`` and pipes the
+resulting file through this script::
+
+    python benchmarks/check_trace_schema.py trace.jsonl \
+        --require-names session.check,search.enumeration,engine.run,engine.shard,engine.merge
+
+Every line must parse as JSON, every record must satisfy
+:func:`repro.obs.schema.validate_span`, the records together must form a
+consistent tree (:func:`repro.obs.schema.validate_trace`), and — with
+``--require-names`` — every named span kind must appear at least once.
+Exit status 0 on a clean trace, 1 with one diagnostic per problem
+otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src"),
+)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace_file", help="path to a JSONL trace file")
+    parser.add_argument(
+        "--require-names", default=None, metavar="NAME,NAME,...",
+        help="comma-separated span names that must each appear at "
+        "least once",
+    )
+    parser.add_argument(
+        "--min-spans", type=int, default=1,
+        help="minimum number of span records (default 1)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.obs import load_trace_file, validate_trace
+
+    try:
+        spans = load_trace_file(args.trace_file)
+    except (OSError, ValueError) as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+
+    problems = validate_trace(spans)
+    if len(spans) < args.min_spans:
+        problems.append(
+            f"expected at least {args.min_spans} spans, found "
+            f"{len(spans)}"
+        )
+    if args.require_names:
+        present = {span.get("name") for span in spans}
+        for name in args.require_names.split(","):
+            name = name.strip()
+            if name and name not in present:
+                problems.append(
+                    f"required span name {name!r} never appears"
+                )
+
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+
+    names = sorted({span.get("name", "?") for span in spans})
+    traces = sorted({span.get("trace_id", "?") for span in spans})
+    print(
+        f"OK: {args.trace_file} — {len(spans)} spans across "
+        f"{len(traces)} trace(s); span kinds: {', '.join(names)}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,6 +26,7 @@ from typing import (
 from repro.core.partition import Partition
 from repro.dfg.graph import DataFlowGraph
 from repro.errors import PartitioningError, PredictionError
+from repro.obs.tracing import span as trace_span
 from repro.search.results import SearchResult
 
 if TYPE_CHECKING:  # pragma: no cover — typing only
@@ -126,36 +127,45 @@ def exhaustive_bipartition_search(
     outcome = PartitionSearchOutcome()
     original = session.partitioning()
     started = time.perf_counter()
-    try:
-        for side_a, side_b in exhaustive_bipartitions(session.graph):
-            outcome.candidates += 1
-            session.set_partitions(
-                [Partition.of("A", side_a), Partition.of("B", side_b)],
-                {"A": chip_a, "B": chip_b},
-            )
-            try:
-                result = session.check(
-                    heuristic=heuristic, engine=engine, cancel=cancel
+    with trace_span(
+        "baseline.exhaustive", heuristic=heuristic,
+        chips=f"{chip_a},{chip_b}",
+    ) as sp:
+        try:
+            for side_a, side_b in exhaustive_bipartitions(session.graph):
+                outcome.candidates += 1
+                session.set_partitions(
+                    [
+                        Partition.of("A", side_a),
+                        Partition.of("B", side_b),
+                    ],
+                    {"A": chip_a, "B": chip_b},
                 )
-            except PredictionError:
-                outcome.infeasible += 1
-                continue
-            if result.best() is None:
-                outcome.infeasible += 1
-                continue
-            if outcome.better(result):
-                outcome.best_result = result
-                outcome.best_partitions = [
-                    Partition.of("A", side_a),
-                    Partition.of("B", side_b),
-                ]
-    finally:
-        session.set_partitions(
-            list(original.partitions.values()),
-            {
-                name: original.chip_of(name)
-                for name in original.partitions
-            },
-        )
-        outcome.cpu_seconds = time.perf_counter() - started
+                try:
+                    result = session.check(
+                        heuristic=heuristic, engine=engine, cancel=cancel
+                    )
+                except PredictionError:
+                    outcome.infeasible += 1
+                    continue
+                if result.best() is None:
+                    outcome.infeasible += 1
+                    continue
+                if outcome.better(result):
+                    outcome.best_result = result
+                    outcome.best_partitions = [
+                        Partition.of("A", side_a),
+                        Partition.of("B", side_b),
+                    ]
+        finally:
+            session.set_partitions(
+                list(original.partitions.values()),
+                {
+                    name: original.chip_of(name)
+                    for name in original.partitions
+                },
+            )
+            outcome.cpu_seconds = time.perf_counter() - started
+            sp.add("candidates", outcome.candidates)
+            sp.add("infeasible", outcome.infeasible)
     return outcome

@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
 from repro.core.partition import Partition
 from repro.dfg.graph import DataFlowGraph
 from repro.errors import PartitioningError, PredictionError
+from repro.obs.tracing import span as trace_span
 
 if TYPE_CHECKING:  # pragma: no cover — typing only
     from repro.core.chop import ChopSession
@@ -85,41 +86,46 @@ def random_partition_search(
     outcome = PartitionSearchOutcome()
     original = session.partitioning()
     started = time.perf_counter()
-    try:
-        for _ in range(count):
-            sides = random_level_partitions(
-                session.graph, len(chips), rng
-            )
-            partitions = [
-                Partition.of(f"R{i + 1}", side)
-                for i, side in enumerate(sides)
-            ]
-            assignment = {
-                part.name: chip
-                for part, chip in zip(partitions, chips)
-            }
-            outcome.candidates += 1
-            session.set_partitions(partitions, assignment)
-            try:
-                result = session.check(
-                    heuristic=heuristic, engine=engine, cancel=cancel
+    with trace_span(
+        "baseline.random", heuristic=heuristic, samples=count,
+    ) as sp:
+        try:
+            for _ in range(count):
+                sides = random_level_partitions(
+                    session.graph, len(chips), rng
                 )
-            except PredictionError:
-                outcome.infeasible += 1
-                continue
-            if result.best() is None:
-                outcome.infeasible += 1
-                continue
-            if outcome.better(result):
-                outcome.best_result = result
-                outcome.best_partitions = partitions
-    finally:
-        session.set_partitions(
-            list(original.partitions.values()),
-            {
-                name: original.chip_of(name)
-                for name in original.partitions
-            },
-        )
-        outcome.cpu_seconds = time.perf_counter() - started
+                partitions = [
+                    Partition.of(f"R{i + 1}", side)
+                    for i, side in enumerate(sides)
+                ]
+                assignment = {
+                    part.name: chip
+                    for part, chip in zip(partitions, chips)
+                }
+                outcome.candidates += 1
+                session.set_partitions(partitions, assignment)
+                try:
+                    result = session.check(
+                        heuristic=heuristic, engine=engine, cancel=cancel
+                    )
+                except PredictionError:
+                    outcome.infeasible += 1
+                    continue
+                if result.best() is None:
+                    outcome.infeasible += 1
+                    continue
+                if outcome.better(result):
+                    outcome.best_result = result
+                    outcome.best_partitions = partitions
+        finally:
+            session.set_partitions(
+                list(original.partitions.values()),
+                {
+                    name: original.chip_of(name)
+                    for name in original.partitions
+                },
+            )
+            outcome.cpu_seconds = time.perf_counter() - started
+            sp.add("candidates", outcome.candidates)
+            sp.add("infeasible", outcome.infeasible)
     return outcome

@@ -5,9 +5,12 @@ Usage::
     python -m repro.cli inputs
     python -m repro.cli demo --experiment 1 --partitions 2
     python -m repro.cli check project.json --heuristic iterative
+    python -m repro.cli check project.json --trace out.jsonl --profile
     python -m repro.cli search project.json --workers 4 --disk-cache .chop-cache
     python -m repro.cli search project.json --dry-run
     python -m repro.cli predict project.json --partition P1
+    python -m repro.cli explain project.json
+    python -m repro.cli trace show out.jsonl
     python -m repro.cli export-demo project.json
     python -m repro.cli serve --port 8080 --workers 4 --search-workers 4
 
@@ -16,10 +19,17 @@ the chosen heuristic, and prints the paper-style result rows plus the
 synthesis guidelines for the best design.  ``search`` is ``check``
 defaulting to the enumeration heuristic; both take ``--workers`` (shard
 the combination walk across a process pool), ``--disk-cache`` (persist
-BAD predictions across runs) and ``--dry-run`` (print the combination
-count and shard plan without searching).  ``serve`` runs the HTTP/JSON
-partitioning server (:mod:`repro.service`); there ``--workers`` means
-job-queue *threads* and ``--search-workers`` means engine *processes*.
+BAD predictions across runs), ``--dry-run`` (print the combination
+count and shard plan without searching), ``--trace`` (write the span
+tree of the whole run as JSONL — see :mod:`repro.obs`) and
+``--profile`` (print a sampling wall-clock profile of the run).
+``trace show`` renders a trace file as an indented span tree with
+per-span wall time and combination counts; ``explain`` prints the
+per-constraint feasibility breakdown of a project (what killed which
+combinations, at what probability margin).  ``serve`` runs the
+HTTP/JSON partitioning server (:mod:`repro.service`); there
+``--workers`` means job-queue *threads* and ``--search-workers`` means
+engine *processes*.
 
 Exit statuses: 0 success, 1 no feasible implementation, 2 library error
 (infeasible model request, unknown partition, ...), 3 malformed or
@@ -177,7 +187,34 @@ def _dry_run(session, args) -> int:
 
 def _check_session(session, heuristic: str, count: int,
                    package: int, args=None) -> int:
-    result = _checked(session, heuristic, args)
+    import contextlib
+
+    trace_path = getattr(args, "trace", None) if args is not None else None
+    profiled = (
+        bool(getattr(args, "profile", False)) if args is not None else False
+    )
+    tracer = None
+    profiler = None
+    with contextlib.ExitStack() as stack:
+        if trace_path:
+            from repro.obs import JsonlSink, Tracer, activate
+
+            tracer = Tracer(sink=JsonlSink(trace_path))
+            stack.callback(tracer.close)
+            stack.enter_context(activate(tracer))
+        if profiled:
+            from repro.obs import SamplingProfiler
+
+            profiler = stack.enter_context(SamplingProfiler())
+        result = _checked(session, heuristic, args)
+    if tracer is not None:
+        stats = tracer.stats()
+        print(
+            f"trace: {stats['spans']} spans -> {trace_path} "
+            f"(trace id {tracer.trace_id})"
+        )
+    if profiler is not None:
+        print(profiler.render())
     letter = "E" if heuristic == "enumeration" else "I"
     print(results_table([(count, package, letter, result)]))
     best = result.best()
@@ -209,6 +246,37 @@ def _cmd_predict(args: argparse.Namespace) -> int:
         )
     if limit < len(predictions):
         print(f"  ... {len(predictions) - limit} more")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    session = load_project_file(args.project)
+    report = session.explain(prune=not args.no_prune)
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0
+
+
+def _cmd_trace_show(args: argparse.Namespace) -> int:
+    from repro.obs import load_trace_file, render_trace, validate_trace
+
+    try:
+        spans = load_trace_file(args.trace_file)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    if not spans:
+        print(
+            f"error: {args.trace_file} contains no spans",
+            file=sys.stderr,
+        )
+        return 3
+    problems = validate_trace(spans)
+    for problem in problems:
+        print(f"warning: {problem}", file=sys.stderr)
+    print(render_trace(spans))
     return 0
 
 
@@ -318,6 +386,16 @@ def _add_engine_arguments(command: argparse.ArgumentParser) -> None:
         help="print the combination count and shard plan, then exit "
         "without searching",
     )
+    command.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write the run's span tree (session -> search -> engine "
+        "shards) as JSONL to PATH; render it with 'repro trace show'",
+    )
+    command.add_argument(
+        "--profile", action="store_true",
+        help="sample the run's wall-clock profile and print the "
+        "hottest frames",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -375,6 +453,34 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--partition", required=True)
     predict.add_argument("--limit", type=int, default=20)
     predict.set_defaults(func=_cmd_predict)
+
+    explain = sub.add_parser(
+        "explain",
+        help="break down feasibility per constraint: what killed which "
+        "combinations, at what probability margin",
+    )
+    explain.add_argument("project", help="path to a project JSON file")
+    explain.add_argument(
+        "--no-prune", action="store_true",
+        help="skip level-1 pruning before enumerating",
+    )
+    explain.add_argument(
+        "--json", action="store_true",
+        help="print the structured report as JSON",
+    )
+    explain.set_defaults(func=_cmd_explain)
+
+    trace_ = sub.add_parser(
+        "trace", help="inspect JSONL trace files written by --trace"
+    )
+    trace_sub = trace_.add_subparsers(dest="trace_command", required=True)
+    show = trace_sub.add_parser(
+        "show",
+        help="render a trace as a span tree with per-span wall time "
+        "and counters",
+    )
+    show.add_argument("trace_file", help="path to a JSONL trace file")
+    show.set_defaults(func=_cmd_trace_show)
 
     report = sub.add_parser(
         "report", help="write a markdown feasibility report"

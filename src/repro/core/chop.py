@@ -37,9 +37,11 @@ from repro.dfg.graph import DataFlowGraph
 from repro.errors import PartitioningError, PredictionError
 from repro.library.library import ComponentLibrary
 from repro.memory.module import MemoryModule
+from repro.obs.tracing import span as trace_span
 
 if TYPE_CHECKING:  # pragma: no cover — typing only
     from repro.engine.workers import EvaluationEngine
+    from repro.obs.explain import ExplainCollector, ExplainReport
 
 
 class ChopSession:
@@ -227,6 +229,7 @@ class ChopSession:
         cancel: Optional[Callable[[], bool]] = None,
         engine: Optional["EvaluationEngine"] = None,
         progress: Optional[Callable[[int, int], None]] = None,
+        collector: Optional["ExplainCollector"] = None,
     ):
         """Search for feasible implementations of the current partitioning.
 
@@ -242,51 +245,117 @@ class ChopSession:
         enumeration walk on a process pool with results identical to the
         serial path; the iterative heuristic is inherently sequential and
         ignores it.  ``progress`` receives per-shard completion updates
-        on engine runs.  Returns a
-        :class:`repro.search.results.SearchResult`.
+        on engine runs.  ``collector`` (a
+        :class:`repro.obs.ExplainCollector`, enumeration only) records
+        the per-constraint failure breakdown and forces the serial path.
+        Returns a :class:`repro.search.results.SearchResult`.
         """
         from repro.search.enumeration import enumeration_search
         from repro.search.iterative import iterative_search
 
-        partitioning = self.partitioning()
-        if prune:
-            predictions = self.pruned_predictions()
-        else:
-            predictions = self.predict_all()
-        empty = [name for name, preds in predictions.items() if not preds]
-        if empty:
-            raise PredictionError(
-                f"no feasible predictions survive level-1 pruning for "
-                f"partitions {empty}; relax the constraints or repartition"
-            )
-        if heuristic == "enumeration":
-            result = enumeration_search(
-                partitioning, predictions, self.clocks, self.library,
-                self.criteria, prune=prune, keep_all=keep_all,
-                cancel=cancel, engine=engine, progress=progress,
-            )
-        elif heuristic == "iterative":
-            result = iterative_search(
-                partitioning, predictions, self.clocks, self.library,
-                self.criteria, keep_all=keep_all, cancel=cancel,
-            )
-        else:
-            raise PredictionError(
-                f"unknown heuristic {heuristic!r}; use 'iterative' or "
-                "'enumeration'"
-            )
-        if keep_all and result.space is not None:
-            # The figures count BAD's per-partition predictions too.
-            from repro.search.space import DesignPoint
+        with trace_span(
+            "session.check", heuristic=heuristic, prune=prune,
+            keep_all=keep_all,
+        ) as check_span:
+            partitioning = self.partitioning()
+            with trace_span("session.predict", prune=prune) as sp:
+                if prune:
+                    predictions = self.pruned_predictions()
+                else:
+                    predictions = self.predict_all()
+                sp.add("partitions", len(predictions))
+                sp.add(
+                    "predictions",
+                    sum(len(p) for p in predictions.values()),
+                )
+            empty = [
+                name for name, preds in predictions.items() if not preds
+            ]
+            if empty:
+                raise PredictionError(
+                    f"no feasible predictions survive level-1 pruning "
+                    f"for partitions {empty}; relax the constraints or "
+                    f"repartition"
+                )
+            if heuristic == "enumeration":
+                result = enumeration_search(
+                    partitioning, predictions, self.clocks, self.library,
+                    self.criteria, prune=prune, keep_all=keep_all,
+                    cancel=cancel, engine=engine, progress=progress,
+                    collector=collector,
+                )
+            elif heuristic == "iterative":
+                result = iterative_search(
+                    partitioning, predictions, self.clocks, self.library,
+                    self.criteria, keep_all=keep_all, cancel=cancel,
+                )
+            else:
+                raise PredictionError(
+                    f"unknown heuristic {heuristic!r}; use 'iterative' "
+                    "or 'enumeration'"
+                )
+            check_span.add("combinations", result.trials)
+            check_span.add("feasible", len(result.feasible))
+            if keep_all and result.space is not None:
+                # The figures count BAD's per-partition predictions too.
+                from repro.search.space import DesignPoint
 
-            for preds in predictions.values():
-                for pred in preds:
-                    result.space.record(
-                        DesignPoint(
-                            kind="partition",
-                            area_mil2=pred.area_total.ml,
-                            delay_cycles=pred.latency_main,
-                            ii_cycles=pred.ii_main,
+                for preds in predictions.values():
+                    for pred in preds:
+                        result.space.record(
+                            DesignPoint(
+                                kind="partition",
+                                area_mil2=pred.area_total.ml,
+                                delay_cycles=pred.latency_main,
+                                ii_cycles=pred.ii_main,
+                            )
                         )
-                    )
-        return result
+            return result
+
+    def explain(
+        self,
+        prune: bool = True,
+        cancel: Optional[Callable[[], bool]] = None,
+    ) -> "ExplainReport":
+        """Why is (or isn't) the current partitioning feasible?
+
+        Runs the enumeration walk serially with an
+        :class:`repro.obs.ExplainCollector` attached and returns a
+        structured :class:`repro.obs.ExplainReport`: the level-1 pruning
+        census (predictions kept per partition), the level-2 area kill
+        and integration-failure counts, and a per-constraint breakdown —
+        which constraint failed, for how many combinations, at what
+        probability margin.  Deliberately serial; use :meth:`check` for
+        the fast verdict and this for the designer's "what do I change?"
+        question.
+        """
+        from repro.obs.explain import ExplainCollector
+
+        raw = self.predict_all()
+        if prune:
+            kept = self.pruned_predictions()
+        else:
+            kept = raw
+        level1 = {
+            name: {
+                "predicted": len(raw.get(name, [])),
+                "kept": len(kept.get(name, [])),
+            }
+            for name in self._partitions
+        }
+        combination_count = 1
+        for preds in kept.values():
+            combination_count *= len(preds)
+        collector = ExplainCollector()
+        if all(kept.get(name) for name in self._partitions):
+            self.check(
+                heuristic="enumeration", prune=prune, cancel=cancel,
+                collector=collector,
+            )
+        # else: level-1 pruning emptied some partition — the census
+        # alone is the explanation; there is nothing to enumerate.
+        return collector.report(
+            combination_count=combination_count,
+            level1=level1,
+            heuristic="enumeration",
+        )

@@ -28,6 +28,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 from repro.bad.prediction import DesignPrediction
 from repro.bad.styles import ClockScheme
 from repro.library.library import ComponentLibrary
+from repro.obs.tracing import span as trace_span
 
 #: Bump whenever the pickled payload layout or the prediction model's
 #: output semantics change; every older entry becomes a miss.
@@ -102,29 +103,35 @@ class DiskPredictionCache:
         mismatch — is a miss; defective files are removed so they cannot
         fail again.
         """
-        path = self.path_for(key)
-        try:
-            with path.open("rb") as handle:
-                payload = pickle.load(handle)
-        except FileNotFoundError:
-            self._count(hit=False)
-            return None
-        except (OSError, pickle.UnpicklingError, EOFError,
-                AttributeError, ImportError, IndexError):
-            self._discard(path)
-            self._count(hit=False)
-            return None
-        if (
-            not isinstance(payload, dict)
-            or payload.get("version") != self.version
-            or payload.get("key") != key
-            or not isinstance(payload.get("predictions"), dict)
-        ):
-            self._discard(path)
-            self._count(hit=False)
-            return None
-        self._count(hit=True)
-        return payload["predictions"]
+        with trace_span("diskcache.load", key=key[:12]) as sp:
+            path = self.path_for(key)
+            try:
+                with path.open("rb") as handle:
+                    payload = pickle.load(handle)
+            except FileNotFoundError:
+                self._count(hit=False)
+                sp.put("hit", False)
+                return None
+            except (OSError, pickle.UnpicklingError, EOFError,
+                    AttributeError, ImportError, IndexError):
+                self._discard(path)
+                self._count(hit=False)
+                sp.put("hit", False)
+                return None
+            if (
+                not isinstance(payload, dict)
+                or payload.get("version") != self.version
+                or payload.get("key") != key
+                or not isinstance(payload.get("predictions"), dict)
+            ):
+                self._discard(path)
+                self._count(hit=False)
+                sp.put("hit", False)
+                return None
+            self._count(hit=True)
+            sp.put("hit", True)
+            sp.add("partitions", len(payload["predictions"]))
+            return payload["predictions"]
 
     def store(
         self,
@@ -132,29 +139,33 @@ class DiskPredictionCache:
         predictions: Mapping[str, Sequence[DesignPrediction]],
     ) -> None:
         """Atomically persist the prediction lists under ``key``."""
-        payload = {
-            "version": self.version,
-            "key": key,
-            "predictions": {
-                name: list(preds)
-                for name, preds in sorted(predictions.items())
-            },
-        }
-        descriptor, temp_name = tempfile.mkstemp(
-            prefix=".tmp-", suffix=".pkl", dir=self.directory
-        )
-        try:
-            with os.fdopen(descriptor, "wb") as handle:
-                pickle.dump(payload, handle, pickle.HIGHEST_PROTOCOL)
-            os.replace(temp_name, self.path_for(key))
-        except BaseException:
+        with trace_span(
+            "diskcache.store", key=key[:12],
+        ) as sp:
+            payload = {
+                "version": self.version,
+                "key": key,
+                "predictions": {
+                    name: list(preds)
+                    for name, preds in sorted(predictions.items())
+                },
+            }
+            sp.add("partitions", len(payload["predictions"]))
+            descriptor, temp_name = tempfile.mkstemp(
+                prefix=".tmp-", suffix=".pkl", dir=self.directory
+            )
             try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise
-        with self._lock:
-            self._stores += 1
+                with os.fdopen(descriptor, "wb") as handle:
+                    pickle.dump(payload, handle, pickle.HIGHEST_PROTOCOL)
+                os.replace(temp_name, self.path_for(key))
+            except BaseException:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+                raise
+            with self._lock:
+                self._stores += 1
 
     # ------------------------------------------------------------------
     # bookkeeping

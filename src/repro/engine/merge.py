@@ -13,7 +13,7 @@ a wrong answer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Tuple
+from typing import Any, Dict, Iterable, List, Tuple
 
 from repro.engine.sharding import Shard
 from repro.errors import EngineError
@@ -30,6 +30,9 @@ class ShardResult:
     elapsed_s: float = 0.0
     #: Set when the shard was re-run serially after a worker death.
     retried: bool = field(default=False)
+    #: Finished span records built inside the worker process (traced
+    #: runs only); the engine re-parents and replays them on merge.
+    spans: List[Dict[str, Any]] = field(default_factory=list)
 
 
 def merge_shard_results(

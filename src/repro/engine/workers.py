@@ -54,6 +54,12 @@ from repro.engine.sharding import (
 )
 from repro.errors import InfeasibleError, SearchCancelled
 from repro.library.library import ComponentLibrary
+from repro.obs.tracing import (
+    current_tracer,
+    deterministic_span_id,
+    make_span_record,
+    span as trace_span,
+)
 from repro.search.results import FeasibleDesign
 from repro.search.space import DesignPoint, DesignSpace
 
@@ -195,6 +201,8 @@ def evaluate_range(
     stop: int,
     cancel: Optional[Callable[[], bool]] = None,
     space: Optional[DesignSpace] = None,
+    collector: Optional[Any] = None,
+    counters: Optional[Dict[str, int]] = None,
 ) -> Tuple[List[FeasibleDesign], int]:
     """Evaluate the flat combination indices ``[start, stop)`` in order.
 
@@ -202,52 +210,84 @@ def evaluate_range(
     it over the whole space, workers run it over their shard.  Level-2
     pruning abandons a combination on the first violated chip-area bound
     before the (more expensive) system integration runs.
+
+    ``collector`` (an :class:`repro.obs.ExplainCollector`-shaped object)
+    receives the per-combination outcome — prune kill, integration
+    failure, or the full feasibility report.  ``counters`` is a plain
+    dict (typically a span's counter map) credited with the loop's
+    tallies on exit, cancellation included; both hooks cost nothing when
+    absent, which is the common case.
     """
     feasible: List[FeasibleDesign] = []
     trials = 0
-    for flat in range(start, stop):
-        if cancel is not None and cancel():
-            raise SearchCancelled(
-                f"enumeration cancelled after {trials} of "
-                f"{stop - start} combinations"
-            )
-        trials += 1
-        selection = problem.selection(flat)
-        ii_main = max(pred.ii_main for pred in selection.values())
+    pruned = 0
+    unintegrable = 0
+    try:
+        for flat in range(start, stop):
+            if cancel is not None and cancel():
+                raise SearchCancelled(
+                    f"enumeration cancelled after {trials} of "
+                    f"{stop - start} combinations"
+                )
+            trials += 1
+            selection = problem.selection(flat)
+            ii_main = max(pred.ii_main for pred in selection.values())
 
-        if problem.prune and chip_area_hopeless(
-            problem.partitioning, selection, problem.usable_area
-        ):
-            _record_selection(space, selection, ii_main, False)
-            continue
-        try:
-            system = integrate(
-                problem.partitioning, selection, ii_main,
-                problem.clocks, problem.library,
-                task_graph=problem.task_graph,
-            )
-        except InfeasibleError:
-            _record_selection(space, selection, ii_main, False)
-            continue
-        report = evaluate_system(system, problem.criteria)
-        if space is not None:
-            space.record(
-                DesignPoint(
-                    kind="system",
-                    area_mil2=sum(
-                        u.total_area.ml
-                        for u in system.chip_usage.values()
-                    ),
-                    delay_cycles=system.delay_main,
-                    ii_cycles=system.ii_main,
-                    feasible=report.feasible,
+            if problem.prune and chip_area_hopeless(
+                problem.partitioning, selection, problem.usable_area
+            ):
+                pruned += 1
+                if collector is not None:
+                    collector.record_pruned()
+                _record_selection(space, selection, ii_main, False)
+                continue
+            try:
+                system = integrate(
+                    problem.partitioning, selection, ii_main,
+                    problem.clocks, problem.library,
+                    task_graph=problem.task_graph,
                 )
-            )
-        if report.feasible:
-            feasible.append(
-                FeasibleDesign(
-                    selection=selection, system=system, report=report
+            except InfeasibleError:
+                unintegrable += 1
+                if collector is not None:
+                    collector.record_integration_infeasible()
+                _record_selection(space, selection, ii_main, False)
+                continue
+            report = evaluate_system(system, problem.criteria)
+            if collector is not None:
+                collector.record_report(report)
+            if space is not None:
+                space.record(
+                    DesignPoint(
+                        kind="system",
+                        area_mil2=sum(
+                            u.total_area.ml
+                            for u in system.chip_usage.values()
+                        ),
+                        delay_cycles=system.delay_main,
+                        ii_cycles=system.ii_main,
+                        feasible=report.feasible,
+                    )
                 )
+            if report.feasible:
+                feasible.append(
+                    FeasibleDesign(
+                        selection=selection, system=system, report=report
+                    )
+                )
+    finally:
+        if counters is not None:
+            counters["combinations"] = (
+                counters.get("combinations", 0) + trials
+            )
+            counters["pruned_level2"] = (
+                counters.get("pruned_level2", 0) + pruned
+            )
+            counters["integration_infeasible"] = (
+                counters.get("integration_infeasible", 0) + unintegrable
+            )
+            counters["feasible"] = (
+                counters.get("feasible", 0) + len(feasible)
             )
     return feasible, trials
 
@@ -266,22 +306,59 @@ def _init_worker(problem: EvaluationProblem, cancel_event: Any) -> None:
     _WORKER_CANCEL = cancel_event
 
 
-def _evaluate_shard(shard: Shard) -> ShardResult:
-    """Task body run inside a worker process."""
+def _evaluate_shard(
+    shard: Shard, trace_id: Optional[str] = None
+) -> ShardResult:
+    """Task body run inside a worker process.
+
+    When the parent search is traced, ``trace_id`` rides in with the
+    task and the worker builds its shard span *record* locally — it has
+    no channel to the parent's tracer, so the record travels home inside
+    the :class:`ShardResult` and is re-parented under the engine's run
+    span at merge time.  The span id is a pure function of the trace id
+    and shard index, so retries collide deliberately and the merged tree
+    is deterministic.
+    """
     if _WORKER_PROBLEM is None:
         raise RuntimeError("worker used before initialization")
     cancel = (
         _WORKER_CANCEL.is_set if _WORKER_CANCEL is not None else None
     )
     started = time.perf_counter()
-    feasible, trials = evaluate_range(
-        _WORKER_PROBLEM, shard.start, shard.stop, cancel=cancel
+    wall_started = time.time()
+    counters: Optional[Dict[str, int]] = (
+        {} if trace_id is not None else None
     )
+    feasible, trials = evaluate_range(
+        _WORKER_PROBLEM, shard.start, shard.stop, cancel=cancel,
+        counters=counters,
+    )
+    spans: List[Dict[str, Any]] = []
+    if trace_id is not None:
+        spans.append(
+            make_span_record(
+                trace_id=trace_id,
+                span_id=deterministic_span_id(
+                    trace_id, "shard", shard.index
+                ),
+                parent_id=None,  # re-parented on merge
+                name="engine.shard",
+                start_s=wall_started,
+                end_s=time.time(),
+                counters=counters,
+                attrs={
+                    "shard": shard.index,
+                    "start": shard.start,
+                    "stop": shard.stop,
+                },
+            )
+        )
     return ShardResult(
         shard=shard,
         feasible=feasible,
         trials=trials,
         elapsed_s=time.perf_counter() - started,
+        spans=spans,
     )
 
 
@@ -363,16 +440,31 @@ class EvaluationEngine:
         worker is stopped and :class:`SearchCancelled` is raised with no
         worker processes left behind.  ``progress`` (if given) receives
         ``(shards_done, shards_total)`` after every finished shard.
+
+        When a tracer is active (see :mod:`repro.obs.tracing`) the run
+        opens an ``engine.run`` span; worker shard spans ship back with
+        the shard results and are re-parented under it during the merge.
         """
         total = problem.combination_count()
         started = time.perf_counter()
-        if self.workers <= 1 or total < self.min_combinations:
-            run = self._run_serial(problem, total, started, cancel,
-                                   progress, mode="serial")
-        else:
-            run = self._run_parallel(
-                problem, total, started, cancel, progress
-            )
+        with trace_span(
+            "engine.run", workers=self.workers, space=total
+        ) as sp:
+            if self.workers <= 1 or total < self.min_combinations:
+                run = self._run_serial(problem, total, started, cancel,
+                                       progress, mode="serial")
+            else:
+                run = self._run_parallel(
+                    problem, total, started, cancel, progress,
+                    run_span=sp,
+                )
+            sp.put("mode", run.mode)
+            sp.put("shards", run.shard_count)
+            if run.utilization is not None:
+                sp.put("utilization", run.utilization)
+            sp.add("combinations", run.trials)
+            sp.add("feasible", len(run.feasible))
+            sp.add("retried_shards", run.retried_shards)
         self._account(run)
         return run
 
@@ -394,9 +486,12 @@ class EvaluationEngine:
         mode: str,
         retried_shards: int = 0,
     ) -> EngineRun:
-        feasible, trials = evaluate_range(
-            problem, 0, total, cancel=cancel
-        )
+        with trace_span(
+            "engine.serial", start=0, stop=total, mode=mode
+        ) as sp:
+            feasible, trials = evaluate_range(
+                problem, 0, total, cancel=cancel, counters=sp.counters
+            )
         if progress is not None:
             progress(1, 1)
         return EngineRun(
@@ -430,6 +525,7 @@ class EvaluationEngine:
         started: float,
         cancel: Optional[Callable[[], bool]],
         progress: Optional[Callable[[int, int], None]],
+        run_span: Any = None,
     ) -> EngineRun:
         shards = plan_shards(
             total, self.workers * self.shards_per_worker
@@ -444,11 +540,13 @@ class EvaluationEngine:
             return self._run_serial(problem, total, started, cancel,
                                     progress, mode="serial-fallback")
 
+        tracer = current_tracer()
+        trace_id = tracer.trace_id if tracer is not None else None
         results: List[ShardResult] = []
         dead_shards: List[Shard] = []
         try:
             pending = {
-                executor.submit(_evaluate_shard, shard): shard
+                executor.submit(_evaluate_shard, shard, trace_id): shard
                 for shard in shards
             }
             while pending:
@@ -486,9 +584,16 @@ class EvaluationEngine:
             executor.shutdown(wait=True, cancel_futures=True)
 
         for shard in sorted(dead_shards, key=lambda s: s.start):
-            feasible, trials = evaluate_range(
-                problem, shard.start, shard.stop, cancel=cancel
-            )
+            # Retried in-process, so the span lands on the parent tracer
+            # directly (parented under engine.run by context).
+            with trace_span(
+                "engine.shard", shard=shard.index, start=shard.start,
+                stop=shard.stop, retried=True,
+            ) as sp:
+                feasible, trials = evaluate_range(
+                    problem, shard.start, shard.stop, cancel=cancel,
+                    counters=sp.counters,
+                )
             results.append(
                 ShardResult(
                     shard=shard,
@@ -500,7 +605,23 @@ class EvaluationEngine:
             if progress is not None:
                 progress(len(results), len(shards))
 
-        feasible, trials = merge_shard_results(results, total)
+        with trace_span("engine.merge", shards=len(results)) as merge_sp:
+            if tracer is not None:
+                # Replay worker shard spans in visit order, re-parented
+                # under the run span — the tree is identical no matter
+                # which worker ran which shard.
+                parent_id = getattr(run_span, "span_id", None)
+                replayed = 0
+                for result in sorted(
+                    results, key=lambda r: r.shard.start
+                ):
+                    for record in result.spans:
+                        record["parent_id"] = parent_id
+                        tracer.emit(record)
+                        replayed += 1
+                merge_sp.add("replayed_spans", replayed)
+            feasible, trials = merge_shard_results(results, total)
+            merge_sp.add("feasible", len(feasible))
         wall = time.perf_counter() - started
         busy = sum(result.elapsed_s for result in results)
         return EngineRun(

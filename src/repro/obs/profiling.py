@@ -1,0 +1,175 @@
+"""Sampling wall-clock profiler and process resource probes.
+
+The combination walk is pure Python, so a deterministic tracing profiler
+(``cProfile``) distorts exactly the loop we want to measure.  The
+:class:`SamplingProfiler` instead samples the *target thread's* stack
+from a background thread at a fixed interval — a few hundred samples
+locate the hot frames (integration, scheduling, the CDF arithmetic) with
+negligible perturbation, and turning it off costs nothing at all.
+
+Also home to :func:`peak_rss_bytes`, the peak-resident-set probe the
+service's ``/metrics`` snapshot reports (guarded: ``resource`` does not
+exist everywhere).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from collections import Counter
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Default sampling period: 5 ms ≈ 200 samples/s — enough resolution for
+#: searches in the hundreds of milliseconds, invisible below them.
+DEFAULT_INTERVAL_S = 0.005
+
+
+class SamplingProfiler:
+    """Sample one thread's Python stack on a wall-clock timer.
+
+    Usage::
+
+        profiler = SamplingProfiler()
+        with profiler:
+            session.check(heuristic="enumeration")
+        for frame in profiler.top(10):
+            print(frame)
+
+    Samples attribute time to every frame on the stack (inclusive time),
+    keyed by ``module:function``.  The profiler targets the thread that
+    enters the context manager; the sampler itself runs elsewhere and is
+    excluded by construction.
+    """
+
+    def __init__(self, interval_s: float = DEFAULT_INTERVAL_S) -> None:
+        if interval_s <= 0:
+            raise ValueError(
+                f"interval must be positive, got {interval_s}"
+            )
+        self.interval_s = interval_s
+        self._counts: Counter = Counter()
+        self._samples = 0
+        self._elapsed_s = 0.0
+        self._target_id: Optional[int] = None
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._started_at = 0.0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "SamplingProfiler":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    def start(self, thread_id: Optional[int] = None) -> None:
+        """Begin sampling ``thread_id`` (default: the calling thread)."""
+        if self._thread is not None:
+            raise RuntimeError("profiler already running")
+        self._target_id = (
+            thread_id if thread_id is not None else threading.get_ident()
+        )
+        self._stop.clear()
+        self._started_at = time.perf_counter()
+        self._thread = threading.Thread(
+            target=self._sample_loop, name="chop-profiler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+        self._elapsed_s += time.perf_counter() - self._started_at
+
+    # ------------------------------------------------------------------
+    # the sampler
+    # ------------------------------------------------------------------
+    def _sample_loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            frames = sys._current_frames()
+            frame = frames.get(self._target_id)
+            if frame is None:
+                continue
+            self._samples += 1
+            seen = set()
+            while frame is not None:
+                code = frame.f_code
+                module = code.co_filename.rsplit("/", 1)[-1]
+                key = f"{module}:{code.co_name}"
+                # Attribute one sample per *distinct* frame so recursion
+                # cannot over-count inclusive time.
+                if key not in seen:
+                    seen.add(key)
+                    self._counts[key] += 1
+                frame = frame.f_back
+
+    # ------------------------------------------------------------------
+    # reports
+    # ------------------------------------------------------------------
+    @property
+    def samples(self) -> int:
+        return self._samples
+
+    def top(self, limit: int = 10) -> List[Tuple[str, int, float]]:
+        """The hottest frames: (``module:function``, samples, share)."""
+        total = self._samples
+        return [
+            (key, count, round(count / total, 4) if total else 0.0)
+            for key, count in self._counts.most_common(limit)
+        ]
+
+    def report(self, limit: int = 10) -> Dict[str, Any]:
+        """A JSON-serializable summary (what a span attribute carries)."""
+        return {
+            "samples": self._samples,
+            "interval_s": self.interval_s,
+            "elapsed_s": round(self._elapsed_s, 6),
+            "top": [
+                {"frame": key, "samples": count, "share": share}
+                for key, count, share in self.top(limit)
+            ],
+        }
+
+    def render(self, limit: int = 10) -> str:
+        """A human-readable table for the CLI's ``--profile`` flag."""
+        lines = [
+            f"wall-clock profile: {self._samples} samples every "
+            f"{self.interval_s * 1000:g} ms over {self._elapsed_s:.3f} s",
+        ]
+        if not self._samples:
+            lines.append(
+                "  (no samples; the run finished inside one interval)"
+            )
+            return "\n".join(lines)
+        lines.append(f"  {'share':>6}  {'samples':>7}  frame")
+        for key, count, share in self.top(limit):
+            lines.append(f"  {share * 100:>5.1f}%  {count:>7}  {key}")
+        return "\n".join(lines)
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """Peak resident set size of this process, or ``None`` if unknowable.
+
+    ``resource.getrusage`` reports ``ru_maxrss`` in kilobytes on Linux
+    and bytes on macOS; both are normalised to bytes here.  Platforms
+    without the ``resource`` module (Windows) return ``None`` and the
+    metrics snapshot simply omits the field.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover — POSIX-only module
+        return None
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    peak = usage.ru_maxrss
+    if peak <= 0:
+        return None
+    if sys.platform == "darwin":  # pragma: no cover — mac units
+        return int(peak)
+    return int(peak) * 1024

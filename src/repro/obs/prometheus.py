@@ -1,0 +1,132 @@
+"""Prometheus text exposition of the service's ``/metrics`` snapshot.
+
+The snapshot is a nested JSON document (request counters, per-route
+latency percentiles, and one sub-document per registered subsystem
+gauge).  Prometheus wants flat ``name{labels} value`` lines, so this
+module renders the known request/route shapes explicitly and flattens
+every gauge sub-document generically: numeric leaves become metrics,
+booleans become 0/1, strings and nulls are skipped.  Names are
+sanitised to the ``[a-zA-Z_][a-zA-Z0-9_]*`` charset and prefixed
+``chop_``; label values are escaped per the exposition format.
+
+Stdlib-only and pure: ``render_prometheus(snapshot) -> str`` — the
+service maps ``GET /metrics?format=prometheus`` onto it.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Mapping
+
+PREFIX = "chop"
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(*parts: str) -> str:
+    name = "_".join(
+        _NAME_OK.sub("_", str(part)) for part in parts if part != ""
+    )
+    if not name or name[0].isdigit():
+        name = f"_{name}"
+    return f"{PREFIX}_{name}"
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _line(name: str, labels: Mapping[str, str], value: Any) -> str:
+    if labels:
+        rendered = ",".join(
+            f'{key}="{_escape_label(str(val))}"'
+            for key, val in sorted(labels.items())
+        )
+        return f"{name}{{{rendered}}} {_format_value(value)}"
+    return f"{name} {_format_value(value)}"
+
+
+def _flatten(
+    lines: List[str], prefix: List[str], value: Any
+) -> None:
+    """Emit a generic (sub-)document as flat gauge lines."""
+    if isinstance(value, Mapping):
+        for key, child in sorted(value.items(), key=lambda kv: str(kv[0])):
+            _flatten(lines, prefix + [str(key)], child)
+        return
+    if isinstance(value, bool) or isinstance(value, (int, float)):
+        lines.append(_line(_metric_name(*prefix), {}, value))
+    # strings, None, lists: not representable as a single gauge — skip.
+
+
+def render_prometheus(snapshot: Mapping[str, Any]) -> str:
+    """The Prometheus text-format (0.0.4) view of one metrics snapshot."""
+    lines: List[str] = []
+
+    requests_total = snapshot.get("requests_total")
+    if requests_total is not None:
+        lines.append(
+            f"# TYPE {PREFIX}_requests_total counter"
+        )
+        lines.append(
+            _line(f"{PREFIX}_requests_total", {}, requests_total)
+        )
+
+    statuses = snapshot.get("responses_by_status") or {}
+    if statuses:
+        lines.append(f"# TYPE {PREFIX}_responses_total counter")
+        for code, count in sorted(statuses.items()):
+            lines.append(
+                _line(
+                    f"{PREFIX}_responses_total",
+                    {"status": str(code)},
+                    count,
+                )
+            )
+
+    routes = snapshot.get("routes") or {}
+    if routes:
+        lines.append(f"# TYPE {PREFIX}_route_requests_total counter")
+        for route, doc in sorted(routes.items()):
+            lines.append(
+                _line(
+                    f"{PREFIX}_route_requests_total",
+                    {"route": route},
+                    doc.get("count", 0),
+                )
+            )
+        lines.append(f"# TYPE {PREFIX}_route_latency_ms gauge")
+        for route, doc in sorted(routes.items()):
+            latency = doc.get("latency_ms") or {}
+            for quantile_label, quantile in (("p50", "0.5"),
+                                             ("p95", "0.95")):
+                value = latency.get(quantile_label)
+                if value is None:
+                    continue
+                lines.append(
+                    _line(
+                        f"{PREFIX}_route_latency_ms",
+                        {"route": route, "quantile": quantile},
+                        value,
+                    )
+                )
+
+    handled = {"requests_total", "responses_by_status", "routes"}
+    for label, value in sorted(snapshot.items()):
+        if label in handled:
+            continue
+        _flatten(lines, [label], value)
+
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,105 @@
+"""Terminal rendering of traces: the ``repro trace show`` span tree.
+
+Reconstructs the span forest from parent ids (spans with unresolved
+parents — e.g. a truncated file — surface as extra roots rather than
+vanishing), sorts siblings by start time, and prints one line per span
+with its wall time, status and counters.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Sequence
+
+
+def _format_counters(counters: Mapping[str, Any]) -> str:
+    if not counters:
+        return ""
+    return "  " + " ".join(
+        f"{key}={value}" for key, value in sorted(counters.items())
+    )
+
+
+def _label(record: Mapping[str, Any]) -> str:
+    name = record.get("name", "?")
+    attrs = record.get("attrs", {})
+    if name == "engine.shard" and "shard" in attrs:
+        return f"{name}[{attrs['shard']}]"
+    return str(name)
+
+
+def _span_line(record: Mapping[str, Any], width: int) -> str:
+    status = record.get("status", "?")
+    marker = {"ok": " ", "error": "!", "cancelled": "x"}.get(status, "?")
+    label = _label(record)
+    elapsed = record.get("elapsed_s", 0.0)
+    line = f"{label:<{width}} {elapsed * 1000:>10.2f} ms {marker}"
+    line += _format_counters(record.get("counters", {}))
+    if status == "error" and record.get("attrs", {}).get("error"):
+        line += f"  [{record['attrs']['error']}]"
+    return line
+
+
+def render_trace(records: Sequence[Mapping[str, Any]]) -> str:
+    """Render span records (one or more traces) as indented trees."""
+    if not records:
+        return "(empty trace)"
+    by_trace: Dict[str, List[Mapping[str, Any]]] = {}
+    for record in records:
+        by_trace.setdefault(str(record.get("trace_id")), []).append(record)
+
+    blocks: List[str] = []
+    for trace_id, spans in sorted(by_trace.items()):
+        blocks.append(_render_one(trace_id, spans))
+    return "\n\n".join(blocks)
+
+
+def _render_one(
+    trace_id: str, spans: List[Mapping[str, Any]]
+) -> str:
+    ids = {str(record.get("span_id")) for record in spans}
+    children: Dict[str, List[Mapping[str, Any]]] = {}
+    roots: List[Mapping[str, Any]] = []
+    for record in spans:
+        parent = record.get("parent_id")
+        if parent is not None and str(parent) in ids:
+            children.setdefault(str(parent), []).append(record)
+        else:
+            roots.append(record)
+
+    def start_key(record: Mapping[str, Any]) -> Any:
+        return (record.get("start_s", 0.0), str(record.get("span_id")))
+
+    roots.sort(key=start_key)
+    for sibling_list in children.values():
+        sibling_list.sort(key=start_key)
+
+    # Longest label + indentation decides the timing column.
+    width = 20
+
+    def measure(record: Mapping[str, Any], depth: int) -> None:
+        nonlocal width
+        width = max(width, len(_label(record)) + 3 * depth)
+        for child in children.get(str(record.get("span_id")), []):
+            measure(child, depth + 1)
+
+    for root in roots:
+        measure(root, 0)
+
+    total_ms = sum(r.get("elapsed_s", 0.0) for r in roots) * 1000
+    lines = [
+        f"trace {trace_id}  ({len(spans)} spans, "
+        f"{total_ms:.2f} ms at root)"
+    ]
+
+    def walk(record: Mapping[str, Any], prefix: str, last: bool) -> None:
+        connector = "└─ " if last else "├─ "
+        body = _span_line(record, max(1, width - len(prefix) - 3))
+        lines.append(f"{prefix}{connector}{body}")
+        child_prefix = prefix + ("   " if last else "│  ")
+        kids = children.get(str(record.get("span_id")), [])
+        for index, child in enumerate(kids):
+            walk(child, child_prefix, index == len(kids) - 1)
+
+    for index, root in enumerate(roots):
+        walk(root, "", index == len(roots) - 1)
+    return "\n".join(lines)

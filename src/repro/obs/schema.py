@@ -1,0 +1,120 @@
+"""The trace-record schema and its validator.
+
+One place defines what a span record looks like; the tracer builds
+records through :func:`repro.obs.tracing.make_span_record`, and this
+module checks them — in tests, in ``repro trace show``, and in CI via
+``benchmarks/check_trace_schema.py`` (which validates every line of the
+smoke run's trace artifact).  The field reference lives in
+``docs/observability.md``; keep the three in sync.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Tuple
+
+from repro.obs.tracing import TRACE_SCHEMA_VERSION
+
+#: field name -> (accepted types, required)
+SPAN_FIELDS: Dict[str, Tuple[tuple, bool]] = {
+    "schema": ((int,), True),
+    "trace_id": ((str,), True),
+    "span_id": ((str,), True),
+    "parent_id": ((str, type(None)), True),
+    "name": ((str,), True),
+    "start_s": ((int, float), True),
+    "end_s": ((int, float), True),
+    "elapsed_s": ((int, float), True),
+    "status": ((str,), True),
+    "counters": ((dict,), True),
+    "attrs": ((dict,), True),
+    "pid": ((int,), True),
+}
+
+VALID_STATUSES = ("ok", "error", "cancelled")
+
+
+def validate_span(record: Mapping[str, Any]) -> List[str]:
+    """Schema errors of one span record (empty list == valid)."""
+    errors: List[str] = []
+    for name, (types, required) in SPAN_FIELDS.items():
+        if name not in record:
+            if required:
+                errors.append(f"missing field {name!r}")
+            continue
+        value = record[name]
+        if isinstance(value, bool) and bool not in types:
+            errors.append(f"field {name!r} must not be a boolean")
+        elif not isinstance(value, types):
+            errors.append(
+                f"field {name!r} has type {type(value).__name__}, "
+                f"expected {'/'.join(t.__name__ for t in types)}"
+            )
+    unknown = set(record) - set(SPAN_FIELDS)
+    if unknown:
+        errors.append(f"unknown fields: {sorted(unknown)}")
+    if errors:
+        return errors
+
+    if record["schema"] != TRACE_SCHEMA_VERSION:
+        errors.append(
+            f"schema version {record['schema']} != "
+            f"{TRACE_SCHEMA_VERSION}"
+        )
+    if record["status"] not in VALID_STATUSES:
+        errors.append(
+            f"status {record['status']!r} not in {VALID_STATUSES}"
+        )
+    if record["end_s"] < record["start_s"]:
+        errors.append("end_s precedes start_s")
+    if record["elapsed_s"] < 0:
+        errors.append("negative elapsed_s")
+    if not record["name"]:
+        errors.append("empty span name")
+    for key, value in record["counters"].items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            errors.append(
+                f"counter {key!r} is not numeric "
+                f"({type(value).__name__})"
+            )
+    return errors
+
+
+def validate_trace(records: Iterable[Mapping[str, Any]]) -> List[str]:
+    """Whole-trace errors: per-span schema plus tree integrity.
+
+    Tree integrity, per trace id: span ids unique, every ``parent_id``
+    resolves to a span of the same trace, and at least one root exists.
+    Multiple traces in one file are fine (a service trace file
+    interleaves jobs); each is checked independently.
+    """
+    errors: List[str] = []
+    by_trace: Dict[str, Dict[str, Mapping[str, Any]]] = {}
+    for index, record in enumerate(records):
+        span_errors = validate_span(record)
+        if span_errors:
+            errors.extend(
+                f"span {index}: {error}" for error in span_errors
+            )
+            continue
+        spans = by_trace.setdefault(record["trace_id"], {})
+        span_id = record["span_id"]
+        if span_id in spans:
+            errors.append(
+                f"span {index}: duplicate span id {span_id!r} in "
+                f"trace {record['trace_id']!r}"
+            )
+        spans[span_id] = record
+    for trace_id, spans in sorted(by_trace.items()):
+        roots = 0
+        for span_id, record in spans.items():
+            parent = record["parent_id"]
+            if parent is None:
+                roots += 1
+            elif parent not in spans:
+                errors.append(
+                    f"trace {trace_id}: span {span_id} has unresolved "
+                    f"parent {parent!r}"
+                )
+        if spans and roots == 0:
+            errors.append(f"trace {trace_id}: no root span")
+    return errors

@@ -34,6 +34,7 @@ from repro.core.partitioning import Partitioning
 from repro.engine.workers import EvaluationProblem, evaluate_range
 from repro.errors import CombinationExplosionError, PredictionError
 from repro.library.library import ComponentLibrary
+from repro.obs.tracing import span as trace_span
 from repro.search.results import SearchResult
 from repro.search.space import DesignSpace
 
@@ -56,6 +57,7 @@ def enumeration_search(
     cancel: Optional[Callable[[], bool]] = None,
     engine: Optional["EvaluationEngine"] = None,
     progress: Optional[Callable[[int, int], None]] = None,
+    collector: Optional[object] = None,
 ) -> SearchResult:
     """Try every combination of per-partition implementations.
 
@@ -70,8 +72,11 @@ def enumeration_search(
     to the serial path (same visit order, same designs, same trial
     count).  ``keep_all`` stays on the serial path: recording every
     visited point is a paper-figure mode whose payload would dwarf the
-    shard results.  ``progress`` (engine runs only) receives
-    ``(shards_done, shards_total)`` as shards complete.
+    shard results.  ``collector`` (an
+    :class:`repro.obs.ExplainCollector`) likewise forces the serial
+    path — it records the per-combination failure breakdown, which is
+    per-combination payload by definition.  ``progress`` (engine runs
+    only) receives ``(shards_done, shards_total)`` as shards complete.
     """
     names = sorted(partitioning.partitions)
     missing = [n for n in names if not predictions.get(n)]
@@ -92,24 +97,31 @@ def enumeration_search(
         )
 
     started = time.perf_counter()
-    if engine is not None and not keep_all:
-        run = engine.run(problem, cancel=cancel, progress=progress)
+    with trace_span(
+        "search.enumeration", prune=prune, space=combination_count,
+        partitions=len(names),
+    ) as sp:
+        if engine is not None and not keep_all and collector is None:
+            run = engine.run(problem, cancel=cancel, progress=progress)
+            sp.add("combinations", run.trials)
+            sp.add("feasible", len(run.feasible))
+            return SearchResult(
+                heuristic="enumeration",
+                trials=run.trials,
+                feasible=run.feasible,
+                cpu_seconds=time.perf_counter() - started,
+                space=None,
+            )
+
+        space = DesignSpace() if keep_all else None
+        feasible, trials = evaluate_range(
+            problem, 0, combination_count, cancel=cancel, space=space,
+            collector=collector, counters=sp.counters,
+        )
         return SearchResult(
             heuristic="enumeration",
-            trials=run.trials,
-            feasible=run.feasible,
+            trials=trials,
+            feasible=feasible,
             cpu_seconds=time.perf_counter() - started,
-            space=None,
+            space=space,
         )
-
-    space = DesignSpace() if keep_all else None
-    feasible, trials = evaluate_range(
-        problem, 0, combination_count, cancel=cancel, space=space
-    )
-    return SearchResult(
-        heuristic="enumeration",
-        trials=trials,
-        feasible=feasible,
-        cpu_seconds=time.perf_counter() - started,
-        space=space,
-    )

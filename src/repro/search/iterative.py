@@ -37,6 +37,7 @@ from repro.core.partitioning import Partitioning
 from repro.core.tasks import TaskGraph, build_task_graph
 from repro.errors import InfeasibleError, PredictionError, SearchCancelled
 from repro.library.library import ComponentLibrary
+from repro.obs.tracing import span as trace_span
 from repro.search.results import FeasibleDesign, SearchResult
 from repro.search.space import DesignPoint, DesignSpace
 
@@ -76,49 +77,66 @@ def iterative_search(
     trials = 0
     started = time.perf_counter()
 
-    for l in _feasible_intervals(sorted_preds, criteria, clocks):
-        indices = _initial_indices(sorted_preds, names, l)
-        if indices is None:
-            continue
-        max_rounds = _MAX_ROUNDS_FACTOR * sum(
-            len(sorted_preds[name]) for name in names
-        )
-        for _round in range(max_rounds):
-            if cancel is not None and cancel():
-                raise SearchCancelled(
-                    f"iterative search cancelled after {trials} trials"
+    intervals = _feasible_intervals(sorted_preds, criteria, clocks)
+    with trace_span(
+        "search.iterative", partitions=len(names),
+        intervals=len(intervals),
+    ) as sp:
+        try:
+            for l in intervals:
+                indices = _initial_indices(sorted_preds, names, l)
+                if indices is None:
+                    continue
+                max_rounds = _MAX_ROUNDS_FACTOR * sum(
+                    len(sorted_preds[name]) for name in names
                 )
-            selection = {
-                name: sorted_preds[name][indices[name]] for name in names
-            }
-            trials += 1
-            system, report = _try_integration(
-                partitioning, selection, l, clocks, library, task_graph,
-                criteria, space,
-            )
-            if system is not None and report is not None and report.feasible:
-                feasible.append(
-                    FeasibleDesign(
-                        selection=selection, system=system, report=report
+                for _round in range(max_rounds):
+                    if cancel is not None and cancel():
+                        raise SearchCancelled(
+                            f"iterative search cancelled after {trials} "
+                            f"trials"
+                        )
+                    selection = {
+                        name: sorted_preds[name][indices[name]]
+                        for name in names
+                    }
+                    trials += 1
+                    system, report = _try_integration(
+                        partitioning, selection, l, clocks, library,
+                        task_graph, criteria, space,
                     )
-                )
-                break
-            violated = (
-                report.violated_chips() if report is not None else []
-            )
-            candidates = _serialization_candidates(
-                partitioning, violated, names
-            )
-            if not candidates:
-                break  # not an area problem; serializing cannot help
-            choice = _pick_serialization(
-                partitioning, sorted_preds, indices, candidates, l,
-                clocks, library, task_graph, names,
-            )
-            trials += choice.tentative_trials
-            if choice.partition is None:
-                break  # every candidate's list is exhausted
-            indices[choice.partition] = choice.next_index
+                    if (
+                        system is not None
+                        and report is not None
+                        and report.feasible
+                    ):
+                        feasible.append(
+                            FeasibleDesign(
+                                selection=selection, system=system,
+                                report=report,
+                            )
+                        )
+                        break
+                    violated = (
+                        report.violated_chips()
+                        if report is not None else []
+                    )
+                    candidates = _serialization_candidates(
+                        partitioning, violated, names
+                    )
+                    if not candidates:
+                        break  # not an area problem; cannot serialize out
+                    choice = _pick_serialization(
+                        partitioning, sorted_preds, indices, candidates,
+                        l, clocks, library, task_graph, names,
+                    )
+                    trials += choice.tentative_trials
+                    if choice.partition is None:
+                        break  # every candidate's list is exhausted
+                    indices[choice.partition] = choice.next_index
+        finally:
+            sp.add("combinations", trials)
+            sp.add("feasible", len(feasible))
 
     return SearchResult(
         heuristic="iterative",

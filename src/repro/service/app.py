@@ -15,13 +15,25 @@ Endpoints::
     POST /projects/{id}/enumerate   background search -> job id
     GET  /jobs/{id}                 poll job state / result
     POST /jobs/{id}/cancel          cooperative cancellation
+    GET  /jobs/{id}/trace           the job's finished span records
+    GET  /jobs/{id}/explain         per-constraint feasibility breakdown
     GET  /healthz                   liveness
     GET  /metrics                   counters, latencies, cache, queue
+                                    (?format=prometheus for text format)
 
-All request and response bodies are JSON.  Errors come back as
+All request and response bodies are JSON (``/metrics`` can also render
+the Prometheus text exposition format).  Errors come back as
 ``{"error": msg, "type": kind}`` with 400 (malformed input), 404
-(unknown id) or 422 (well-formed but un-servable, e.g. no feasible
-prediction survives pruning).
+(unknown id), 409 (right route, wrong job state) or 422 (well-formed
+but un-servable, e.g. no feasible prediction survives pruning).
+
+Every background job is traced: the whole search runs under a
+``service.job`` span, the finished span tree (including the engine's
+per-shard spans) is kept on the job and served by ``/jobs/{id}/trace``.
+Clients propagate their own trace ids by sending an ``X-Trace-Id``
+header on ``POST .../enumerate``; passing ``{"explain": true}`` in the
+enumerate options additionally collects the per-constraint failure
+breakdown for ``/jobs/{id}/explain``.
 
 :class:`ChopService` is pure request->response logic; :func:`make_server`
 binds it to a ``ThreadingHTTPServer`` socket.
@@ -29,21 +41,31 @@ binds it to a ``ThreadingHTTPServer`` socket.
 
 from __future__ import annotations
 
+import datetime
 import json
+import re
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
 from repro.engine import DiskPredictionCache, EvaluationEngine
 from repro.errors import ChopError, SpecificationError
+from repro.obs.explain import ExplainCollector
+from repro.obs.profiling import peak_rss_bytes
+from repro.obs.prometheus import render_prometheus
+from repro.obs.tracing import Tracer, activate
 from repro.service.cache import LRUCache, check_cache_key
-from repro.service.jobs import JobQueue
+from repro.service.jobs import DONE, FAILED, CANCELLED, JobQueue
 from repro.service.metrics import Metrics
 from repro.service.sessions import SessionEntry, SessionRegistry
 
 HEURISTICS = ("iterative", "enumeration")
 
-Response = Tuple[int, Dict[str, Any], str]
+#: Accepted shape of a client-supplied ``X-Trace-Id`` header.
+_TRACE_ID_RE = re.compile(r"^[0-9A-Za-z][0-9A-Za-z._-]{3,127}$")
+
+#: The payload is a JSON document, or pre-rendered text (Prometheus).
+Response = Tuple[int, Any, str]
 
 
 class ServiceError(Exception):
@@ -97,6 +119,7 @@ class ChopService:
                 "disk_cache", self.disk_cache.stats
             )
         self.started_at = time.time()
+        self.metrics.register_gauges("process", self._process_stats)
 
     def close(self) -> None:
         self.jobs.shutdown()
@@ -105,15 +128,22 @@ class ChopService:
     # dispatch
     # ------------------------------------------------------------------
     def handle(
-        self, method: str, path: str, body: Optional[bytes]
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        trace_id: Optional[str] = None,
     ) -> Response:
         """Serve one request; returns (status, payload, route label).
 
         The route label is the metrics key — the path template with ids
         elided, so per-endpoint latencies aggregate across tenants.
+        ``trace_id`` is the client's ``X-Trace-Id`` header, adopted by
+        traced background jobs so a caller can correlate its own trace
+        with the server-side span tree.
         """
         try:
-            return self._route(method, path, body)
+            return self._route(method, path, body, trace_id)
         except ServiceError as exc:
             return (
                 exc.status,
@@ -139,13 +169,18 @@ class ChopService:
             return 422, payload, f"{method} {path}"
 
     def _route(
-        self, method: str, path: str, body: Optional[bytes]
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        trace_id: Optional[str] = None,
     ) -> Response:
+        path, _, query = path.partition("?")
         parts = [p for p in path.split("/") if p]
         if method == "GET" and parts == ["healthz"]:
             return 200, self._healthz(), "GET /healthz"
         if method == "GET" and parts == ["metrics"]:
-            return 200, self._metrics(), "GET /metrics"
+            return 200, self._metrics(query), "GET /metrics"
         if method == "POST" and parts == ["projects"]:
             status, payload = self._upload(self._json_body(body))
             return status, payload, "POST /projects"
@@ -159,20 +194,26 @@ class ChopService:
                 return 200, payload, "POST /projects/{id}/check"
             if method == "POST" and parts[2] == "enumerate":
                 payload = self._enumerate(
-                    entry, self._json_body(body, {})
+                    entry, self._json_body(body, {}), trace_id
                 )
                 return 202, payload, "POST /projects/{id}/enumerate"
         if len(parts) == 2 and parts[0] == "jobs" and method == "GET":
             return 200, self._job(parts[1]).to_dict(), "GET /jobs/{id}"
-        if (
-            len(parts) == 3
-            and parts[0] == "jobs"
-            and parts[2] == "cancel"
-            and method == "POST"
-        ):
+        if len(parts) == 3 and parts[0] == "jobs":
             job = self._job(parts[1])
-            self.jobs.cancel(job.id)
-            return 202, job.to_dict(), "POST /jobs/{id}/cancel"
+            if method == "POST" and parts[2] == "cancel":
+                self.jobs.cancel(job.id)
+                return 202, job.to_dict(), "POST /jobs/{id}/cancel"
+            if method == "GET" and parts[2] == "trace":
+                return (
+                    200, self._job_trace(job), "GET /jobs/{id}/trace",
+                )
+            if method == "GET" and parts[2] == "explain":
+                return (
+                    200,
+                    self._job_explain(job),
+                    "GET /jobs/{id}/explain",
+                )
         raise ServiceError(404, f"no route for {method} {path}")
 
     # ------------------------------------------------------------------
@@ -184,10 +225,28 @@ class ChopService:
             "uptime_s": round(time.time() - self.started_at, 3),
         }
 
-    def _metrics(self) -> Dict[str, Any]:
-        # Subsystem gauges (cache, jobs, sessions, engine, disk_cache)
-        # are registered suppliers — the snapshot carries everything.
-        return self.metrics.snapshot()
+    def _metrics(self, query: str = "") -> Any:
+        # Subsystem gauges (cache, jobs, sessions, engine, disk_cache,
+        # process) are registered suppliers — the snapshot carries
+        # everything.
+        snapshot = self.metrics.snapshot()
+        if "format=prometheus" in query:
+            return render_prometheus(snapshot)
+        return snapshot
+
+    def _process_stats(self) -> Dict[str, Any]:
+        """Uptime and memory gauges for the ``process`` metrics block."""
+        started = datetime.datetime.fromtimestamp(
+            self.started_at, tz=datetime.timezone.utc
+        )
+        doc: Dict[str, Any] = {
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "started_at": started.isoformat(timespec="seconds"),
+        }
+        rss = peak_rss_bytes()
+        if rss is not None:
+            doc["peak_rss_bytes"] = rss
+        return doc
 
     def _upload(
         self, document: Any
@@ -253,16 +312,31 @@ class ChopService:
         return result
 
     def _enumerate(
-        self, entry: SessionEntry, options: Dict[str, Any]
+        self,
+        entry: SessionEntry,
+        options: Dict[str, Any],
+        trace_id: Optional[str] = None,
     ) -> Dict[str, Any]:
         heuristic = options.get("heuristic", "enumeration")
         prune = bool(options.get("prune", True))
+        explain = bool(options.get("explain", False))
         timeout_s = options.get("timeout_s")
         if heuristic not in HEURISTICS:
             raise ServiceError(
                 400,
                 f"unknown heuristic {heuristic!r}; use one of "
                 f"{list(HEURISTICS)}",
+            )
+        if explain and heuristic != "enumeration":
+            raise ServiceError(
+                400,
+                "explain collection requires the enumeration heuristic",
+            )
+        if trace_id is not None and not _TRACE_ID_RE.match(trace_id):
+            raise ServiceError(
+                400,
+                "X-Trace-Id must be 4-128 characters of "
+                "[0-9A-Za-z._-] starting with an alphanumeric",
             )
         if timeout_s is not None:
             try:
@@ -272,15 +346,33 @@ class ChopService:
                     400, f"timeout_s must be a number, got {timeout_s!r}"
                 ) from None
 
+        tracer = Tracer(trace_id=trace_id)
+
         def run(job) -> Dict[str, Any]:
-            with entry.lock:
-                return self._checked(
-                    entry,
-                    heuristic=heuristic,
-                    prune=prune,
-                    cancel=job.should_stop,
-                    progress=job.report_progress,
-                ).to_dict()
+            collector = ExplainCollector() if explain else None
+            try:
+                with entry.lock, activate(tracer):
+                    with tracer.span(
+                        "service.job", job_id=job.id, kind=job.kind,
+                    ):
+                        result = self._checked(
+                            entry,
+                            heuristic=heuristic,
+                            prune=prune,
+                            cancel=job.should_stop,
+                            progress=job.report_progress,
+                            collector=collector,
+                        ).to_dict()
+            finally:
+                # Keep the trace (and explain, once collected) even
+                # when the search failed or was cancelled — that is
+                # when the designer needs them most.
+                job.artifacts["trace"] = tracer.spans()
+                if collector is not None and collector.evaluated:
+                    job.artifacts["explain"] = collector.report(
+                        heuristic=heuristic
+                    ).to_dict()
+            return result
 
         job = self.jobs.submit(
             run,
@@ -288,7 +380,50 @@ class ChopService:
             timeout_s=timeout_s,
             pass_job=True,
         )
+        job.trace_id = tracer.trace_id
         return job.to_dict()
+
+    def _job_trace(self, job) -> Dict[str, Any]:
+        """The finished span records of one background job."""
+        if job.state not in (DONE, FAILED, CANCELLED):
+            raise ServiceError(
+                409,
+                f"job {job.id!r} is {job.state}; its trace is available "
+                "once it finishes",
+            )
+        spans = job.artifacts.get("trace")
+        if spans is None:
+            raise ServiceError(
+                404, f"job {job.id!r} recorded no trace"
+            )
+        return {
+            "job_id": job.id,
+            "trace_id": job.trace_id,
+            "state": job.state,
+            "spans": spans,
+        }
+
+    def _job_explain(self, job) -> Dict[str, Any]:
+        """The per-constraint feasibility breakdown of one job."""
+        if job.state not in (DONE, FAILED, CANCELLED):
+            raise ServiceError(
+                409,
+                f"job {job.id!r} is {job.state}; explain data is "
+                "available once it finishes",
+            )
+        explain = job.artifacts.get("explain")
+        if explain is None:
+            raise ServiceError(
+                404,
+                f"job {job.id!r} collected no explain data; submit the "
+                'enumeration with {"explain": true} to collect it',
+            )
+        return {
+            "job_id": job.id,
+            "trace_id": job.trace_id,
+            "state": job.state,
+            "explain": explain,
+        }
 
     # ------------------------------------------------------------------
     # lookups and parsing
@@ -343,11 +478,18 @@ class _Handler(BaseHTTPRequestHandler):
         length = int(self.headers.get("Content-Length") or 0)
         body = self.rfile.read(length) if length else None
         status, payload, route = self.service.handle(
-            method, self.path, body
+            method, self.path, body,
+            trace_id=self.headers.get("X-Trace-Id"),
         )
-        data = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, str):
+            # Pre-rendered text (the Prometheus exposition format).
+            data = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            data = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
         self.end_headers()
         self.wfile.write(data)

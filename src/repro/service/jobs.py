@@ -46,6 +46,13 @@ class Job:
     error: Optional[str] = None
     cancel_event: threading.Event = field(default_factory=threading.Event)
     progress: Optional[Dict[str, int]] = None
+    #: Trace id of the tracer following this job (traced jobs only).
+    trace_id: Optional[str] = None
+    #: Observability artifacts captured by the job function — finished
+    #: span records under ``"trace"``, the explain document under
+    #: ``"explain"``.  Written once, after the run; served by
+    #: ``GET /jobs/{id}/trace`` and ``GET /jobs/{id}/explain``.
+    artifacts: Dict[str, Any] = field(default_factory=dict)
     _deadline: Optional[float] = None
 
     def should_stop(self) -> bool:
@@ -75,6 +82,8 @@ class Job:
         }
         if self.progress is not None:
             doc["progress"] = self.progress
+        if self.trace_id is not None:
+            doc["trace_id"] = self.trace_id
         if self.state == DONE:
             doc["result"] = self.result
         if self.error is not None:

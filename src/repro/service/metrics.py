@@ -21,12 +21,22 @@ MAX_SAMPLES = 2048
 
 
 def percentile(samples: List[float], q: float) -> float:
-    """Nearest-rank percentile (q in [0, 100]) of a non-empty list."""
+    """Linear-interpolated percentile (q in [0, 100]) of a non-empty list.
+
+    Uses the standard exclusive-of-nothing definition (numpy's default):
+    the percentile position is ``q/100 * (n-1)`` and values between ranks
+    interpolate linearly — so the p50 of ``[1, 2]`` is ``1.5``, not ``2``
+    as the old nearest-rank rounding produced.
+    """
     ordered = sorted(samples)
-    rank = max(
-        0, min(len(ordered) - 1, round(q / 100.0 * (len(ordered) - 1)))
-    )
-    return ordered[rank]
+    n = len(ordered)
+    if n == 1:
+        return ordered[0]
+    position = max(0.0, min(100.0, q)) / 100.0 * (n - 1)
+    lower = int(position)
+    upper = min(lower + 1, n - 1)
+    fraction = position - lower
+    return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
 
 
 class Metrics:

@@ -229,3 +229,82 @@ class TestSearchCommand:
         ) == 0
         out = capsys.readouterr().out
         assert "Initiation interval" in out
+
+
+class TestObservabilityCommands:
+    @pytest.fixture(scope="class")
+    def big_project_file(self, tmp_path_factory):
+        from repro.experiments import experiment2_session
+        from repro.io.project import save_project_file
+
+        path = tmp_path_factory.mktemp("cli-obs") / "exp2x3.json"
+        save_project_file(
+            experiment2_session(partition_count=3), str(path)
+        )
+        return path
+
+    def test_trace_flag_writes_valid_renderable_trace(
+        self, big_project_file, tmp_path, capsys
+    ):
+        from repro.obs import load_trace_file, validate_trace
+
+        trace_path = tmp_path / "run.jsonl"
+        assert main(
+            ["check", str(big_project_file), "--heuristic",
+             "enumeration", "--workers", "2", "--trace",
+             str(trace_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out and "spans" in out
+
+        spans = load_trace_file(str(trace_path))
+        assert validate_trace(spans) == []
+        names = {span["name"] for span in spans}
+        # The acceptance tree: session -> search -> engine run ->
+        # every shard -> merge.
+        assert {
+            "session.check", "session.predict", "search.enumeration",
+            "engine.run", "engine.shard", "engine.merge",
+        } <= names
+
+        assert main(["trace", "show", str(trace_path)]) == 0
+        rendered = capsys.readouterr().out
+        assert "session.check" in rendered
+        assert "engine.shard[0]" in rendered
+        assert "combinations=" in rendered
+        assert "ms" in rendered
+
+    def test_profile_flag_prints_samples(self, big_project_file,
+                                         capsys):
+        assert main(
+            ["check", str(big_project_file), "--heuristic",
+             "enumeration", "--profile"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "wall-clock profile:" in out
+
+    def test_trace_show_rejects_bad_files(self, tmp_path, capsys):
+        missing = tmp_path / "missing.jsonl"
+        assert main(["trace", "show", str(missing)]) == 3
+
+        garbage = tmp_path / "garbage.jsonl"
+        garbage.write_text("not json at all\n")
+        assert main(["trace", "show", str(garbage)]) == 3
+        err = capsys.readouterr().err
+        assert "error:" in err
+
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["trace", "show", str(empty)]) == 3
+
+    def test_explain_command(self, project_file, capsys):
+        assert main(["explain", str(project_file)]) == 0
+        out = capsys.readouterr().out
+        assert "combinations evaluated" in out
+        assert "level-1 pruning" in out
+
+    def test_explain_json_output(self, project_file, capsys):
+        assert main(["explain", str(project_file), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["evaluated"] == doc["combination_count"] > 0
+        assert "constraints" in doc and "level1" in doc

@@ -329,7 +329,7 @@ class TestDegradation:
         assert no_live_workers()
 
 
-def _crash_first_shard(shard):
+def _crash_first_shard(shard, trace_id=None):
     """Kill the worker handling the first shard; run the rest normally."""
     if shard.start == 0:
         os._exit(13)

@@ -1,0 +1,110 @@
+"""Concurrency and percentile tests for the service metrics."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.service.metrics import Metrics, percentile
+
+
+class TestPercentile:
+    def test_interpolates_between_ranks(self):
+        assert percentile([1.0, 2.0], 50) == 1.5
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.5
+        assert percentile([1.0, 2.0, 3.0, 4.0], 25) == 1.75
+
+    def test_endpoints_and_single_sample(self):
+        samples = [5.0, 1.0, 3.0]
+        assert percentile(samples, 0) == 1.0
+        assert percentile(samples, 100) == 5.0
+        assert percentile(samples, 50) == 3.0
+        assert percentile([7.0], 50) == 7.0
+        assert percentile([7.0], 95) == 7.0
+
+    def test_out_of_range_q_clamps(self):
+        assert percentile([1.0, 2.0], -10) == 1.0
+        assert percentile([1.0, 2.0], 500) == 2.0
+
+    def test_unsorted_input(self):
+        assert percentile([4.0, 1.0, 3.0, 2.0], 50) == 2.5
+
+
+class TestMetricsConcurrency:
+    def test_concurrent_observe_and_snapshot_stay_consistent(self):
+        """8 threads hammer observe() while snapshots run concurrently;
+        totals must be exact and snapshots internally consistent."""
+        metrics = Metrics()
+        threads_n, per_thread = 8, 500
+        barrier = threading.Barrier(threads_n + 1)
+        errors = []
+
+        def writer(index):
+            try:
+                barrier.wait(10)
+                for i in range(per_thread):
+                    metrics.observe(
+                        f"GET /route{index % 2}", 0.001 * (i + 1), 200
+                    )
+            except Exception as exc:  # noqa: BLE001 — collect for assert
+                errors.append(exc)
+
+        def reader():
+            try:
+                barrier.wait(10)
+                for _ in range(50):
+                    snap = metrics.snapshot()
+                    # A snapshot must always be internally consistent:
+                    # the route counts sum to the grand total.
+                    total = sum(
+                        doc["count"] for doc in snap["routes"].values()
+                    )
+                    assert total == snap["requests_total"]
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(i,))
+            for i in range(threads_n)
+        ]
+        threads.append(threading.Thread(target=reader))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+
+        assert not errors
+        snap = metrics.snapshot()
+        assert snap["requests_total"] == threads_n * per_thread
+        assert snap["responses_by_status"] == {
+            "200": threads_n * per_thread
+        }
+        assert sum(
+            doc["count"] for doc in snap["routes"].values()
+        ) == threads_n * per_thread
+        for doc in snap["routes"].values():
+            assert doc["latency_ms"]["p95"] >= doc["latency_ms"]["p50"]
+
+    def test_gauge_suppliers_run_outside_the_metrics_lock(self):
+        """A supplier that takes the metrics lock itself must not
+        deadlock — snapshot() promises to call suppliers unlocked."""
+        metrics = Metrics()
+        acquired = []
+
+        def supplier():
+            # Would time out if snapshot() held the (non-reentrant)
+            # lock while invoking us.
+            got = metrics._lock.acquire(timeout=2)
+            acquired.append(got)
+            if got:
+                metrics._lock.release()
+            # The canonical re-entrancy hazard: a supplier recording a
+            # metric of its own.
+            metrics.observe("supplier /self", 0.001, 200)
+            return {"ok": True}
+
+        metrics.register_gauges("probe", supplier)
+        snap = metrics.snapshot()
+        assert acquired == [True]
+        assert snap["probe"] == {"ok": True}
+        # The supplier's own observe landed for the next snapshot.
+        assert metrics.snapshot()["requests_total"] == 1

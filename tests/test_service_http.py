@@ -234,6 +234,164 @@ class TestConcurrencyAndCache:
         assert second["result"]["heuristic"] == "enumeration"
 
 
+class TestObservability:
+    def test_traced_job_serves_trace_and_explain(
+        self, server, project_doc
+    ):
+        service, port = server
+        _, project = request(port, "POST", "/projects", project_doc)
+        pid = project["project_id"]
+
+        # Propagate a client trace id through the X-Trace-Id header.
+        body = json.dumps(
+            {"heuristic": "enumeration", "explain": True}
+        ).encode()
+        req = urllib.request.Request(
+            f"http://127.0.0.1:{port}/projects/{pid}/enumerate",
+            data=body,
+            method="POST",
+            headers={
+                "Content-Type": "application/json",
+                "X-Trace-Id": "client-trace-42",
+            },
+        )
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            assert resp.status == 202
+            job = json.loads(resp.read())
+        assert job["trace_id"] == "client-trace-42"
+
+        finished = poll_job(port, job["job_id"])
+        assert finished["state"] == "done"
+        assert finished["trace_id"] == "client-trace-42"
+
+        status, trace = request(
+            port, "GET", f"/jobs/{job['job_id']}/trace"
+        )
+        assert status == 200
+        assert trace["trace_id"] == "client-trace-42"
+        names = {span["name"] for span in trace["spans"]}
+        assert {
+            "service.job", "session.check", "search.enumeration",
+        } <= names
+        assert all(
+            span["trace_id"] == "client-trace-42"
+            for span in trace["spans"]
+        )
+        job_span = next(
+            s for s in trace["spans"] if s["name"] == "service.job"
+        )
+        assert job_span["attrs"]["job_id"] == job["job_id"]
+
+        status, explain = request(
+            port, "GET", f"/jobs/{job['job_id']}/explain"
+        )
+        assert status == 200
+        doc = explain["explain"]
+        assert doc["evaluated"] == finished["result"]["trials"]
+        assert doc["feasible"] + doc["infeasible"] == doc["evaluated"]
+        assert isinstance(doc["constraints"], dict)
+
+    def test_untraced_explain_404_and_invalid_trace_id_400(
+        self, server, project_doc
+    ):
+        service, port = server
+        _, project = request(port, "POST", "/projects", project_doc)
+        pid = project["project_id"]
+
+        # Default enumerate: traced but no explain collection.
+        status, job = request(
+            port, "POST", f"/projects/{pid}/enumerate", {}
+        )
+        assert status == 202
+        assert job["trace_id"]  # server-assigned
+        poll_job(port, job["job_id"])
+        status, trace = request(
+            port, "GET", f"/jobs/{job['job_id']}/trace"
+        )
+        assert status == 200 and trace["spans"]
+        status, err = request(
+            port, "GET", f"/jobs/{job['job_id']}/explain"
+        )
+        assert status == 404 and "explain" in err["error"]
+
+        # Malformed client trace id is rejected up front.
+        req = urllib.request.Request(
+            f"http://127.0.0.1:{port}/projects/{pid}/enumerate",
+            data=b"{}",
+            method="POST",
+            headers={"X-Trace-Id": "!!bad id!!"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=10) as resp:
+                status = resp.status
+        except urllib.error.HTTPError as exc:
+            status = exc.code
+        assert status == 400
+
+        # Explain only rides the enumeration heuristic.
+        status, err = request(
+            port, "POST", f"/projects/{pid}/enumerate",
+            {"heuristic": "iterative", "explain": True},
+        )
+        assert status == 400
+
+    def test_trace_of_running_job_conflicts(self, server, project_doc):
+        service, port = server
+        _, project = request(port, "POST", "/projects", project_doc)
+        pid = project["project_id"]
+        # Pin the single job worker so the enumerate stays queued.
+        release = threading.Event()
+        blocker = service.jobs.submit(
+            lambda should_stop: release.wait(30)
+        )
+        try:
+            status, job = request(
+                port, "POST", f"/projects/{pid}/enumerate", {}
+            )
+            assert status == 202
+            status, err = request(
+                port, "GET", f"/jobs/{job['job_id']}/trace"
+            )
+            assert status == 409
+            status, err = request(
+                port, "GET", f"/jobs/{job['job_id']}/explain"
+            )
+            assert status == 409
+        finally:
+            release.set()
+        poll_job(port, job["job_id"])
+        service.jobs.wait(blocker.id)
+
+    def test_metrics_process_block_and_prometheus_format(
+        self, server, project_doc
+    ):
+        service, port = server
+        _, _ = request(port, "GET", "/healthz")
+
+        status, metrics = request(port, "GET", "/metrics")
+        assert status == 200
+        process = metrics["process"]
+        assert process["uptime_seconds"] >= 0
+        # ISO-8601 UTC timestamp.
+        assert process["started_at"].endswith("+00:00")
+        assert "T" in process["started_at"]
+        if "peak_rss_bytes" in process:  # absent on odd platforms
+            assert process["peak_rss_bytes"] > 0
+
+        req = urllib.request.Request(
+            f"http://127.0.0.1:{port}/metrics?format=prometheus"
+        )
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            assert resp.status == 200
+            assert resp.headers["Content-Type"].startswith("text/plain")
+            text = resp.read().decode()
+        assert "# TYPE chop_requests_total counter" in text
+        assert "chop_requests_total " in text
+        assert "chop_process_uptime_seconds " in text
+        # Route labels are escaped strings.
+        assert 'chop_route_requests_total{route="GET /healthz"}' in text
+
+
 class TestJobControl:
     def test_job_timeout_over_http(self, server, project_doc):
         service, port = server
