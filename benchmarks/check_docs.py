@@ -1,0 +1,230 @@
+#!/usr/bin/env python
+"""Documentation checker: links resolve, examples execute.
+
+Two independent passes, both required by CI (the ``docs`` job):
+
+1. **Link check** — every relative markdown link in ``docs/*.md`` and
+   ``README.md`` must point at an existing file, and every anchor
+   (``file.md#section`` or ``#section``) must match a heading slug in
+   the target file (GitHub's slug rules: lowercase, punctuation
+   stripped, spaces to hyphens, duplicates suffixed ``-1``, ``-2``…).
+   External ``http(s)``/``mailto`` links are skipped — CI must not
+   depend on the network.
+
+2. **Example execution** — every fenced ```` ```python ```` block in
+   ``docs/USAGE.md`` is executed *cumulatively* in one namespace (later
+   blocks see earlier blocks' variables, exactly as a reader following
+   the guide would have them), in a temporary working directory so
+   examples that write files leave no residue.  A guide whose examples
+   cannot run is wrong by construction.
+
+Usage::
+
+    python benchmarks/check_docs.py [--no-exec] [--no-links]
+
+Exits non-zero on the first category of failure, after reporting all
+failures in that category.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import re
+import sys
+import tempfile
+import traceback
+from typing import Dict, List, Tuple
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Files whose links are validated.
+LINKED_FILES = ("README.md", "docs")
+
+#: The guide whose python blocks must execute.
+EXECUTED_GUIDE = "docs/USAGE.md"
+
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_FENCE_RE = re.compile(r"^```")
+_PYTHON_FENCE_RE = re.compile(r"^```python\s*$")
+
+
+# ----------------------------------------------------------------------
+# link checking
+# ----------------------------------------------------------------------
+def github_slug(heading: str, seen: Dict[str, int]) -> str:
+    """GitHub's anchor slug for a heading text."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # strip code spans
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # inline links
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    slug = text.replace(" ", "-")
+    count = seen.get(slug, 0)
+    seen[slug] = count + 1
+    return slug if count == 0 else f"{slug}-{count}"
+
+
+def heading_slugs(path: pathlib.Path) -> List[str]:
+    """All anchor slugs a markdown file exposes, fences excluded."""
+    slugs: List[str] = []
+    seen: Dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING_RE.match(line)
+        if match:
+            slugs.append(github_slug(match.group(2), seen))
+    return slugs
+
+
+def markdown_files() -> List[pathlib.Path]:
+    files: List[pathlib.Path] = []
+    for entry in LINKED_FILES:
+        path = REPO_ROOT / entry
+        if path.is_dir():
+            files.extend(sorted(path.glob("*.md")))
+        elif path.exists():
+            files.append(path)
+    return files
+
+
+def extract_links(path: pathlib.Path) -> List[str]:
+    """Every link target in the file, fenced code excluded."""
+    targets: List[str] = []
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        targets.extend(_LINK_RE.findall(line))
+    return targets
+
+
+def check_links() -> List[str]:
+    """All broken links across the documentation set."""
+    failures: List[str] = []
+    slug_cache: Dict[pathlib.Path, List[str]] = {}
+    for source in markdown_files():
+        rel_source = source.relative_to(REPO_ROOT)
+        for target in extract_links(source):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            raw_path, _sep, anchor = target.partition("#")
+            if raw_path:
+                dest = (source.parent / raw_path).resolve()
+                if not dest.exists():
+                    failures.append(
+                        f"{rel_source}: broken link {target!r} "
+                        f"(no such file {raw_path!r})"
+                    )
+                    continue
+            else:
+                dest = source  # '#anchor' points into the same file
+            if anchor:
+                if dest not in slug_cache:
+                    slug_cache[dest] = (
+                        heading_slugs(dest) if dest.suffix == ".md" else []
+                    )
+                if anchor not in slug_cache[dest]:
+                    failures.append(
+                        f"{rel_source}: broken anchor {target!r} "
+                        f"(no heading slugs {anchor!r} in "
+                        f"{dest.relative_to(REPO_ROOT)})"
+                    )
+    return failures
+
+
+# ----------------------------------------------------------------------
+# example execution
+# ----------------------------------------------------------------------
+def python_blocks(path: pathlib.Path) -> List[Tuple[int, str]]:
+    """``(first_line_number, source)`` for each ```python fence."""
+    blocks: List[Tuple[int, str]] = []
+    lines = path.read_text(encoding="utf-8").splitlines()
+    index = 0
+    while index < len(lines):
+        if _PYTHON_FENCE_RE.match(lines[index]):
+            start = index + 1
+            body: List[str] = []
+            index += 1
+            while index < len(lines) and not _FENCE_RE.match(lines[index]):
+                body.append(lines[index])
+                index += 1
+            blocks.append((start + 1, "\n".join(body)))
+        index += 1
+    return blocks
+
+
+def run_guide_blocks(guide: pathlib.Path) -> List[str]:
+    """Execute the guide's python blocks cumulatively; return failures."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    blocks = python_blocks(guide)
+    if not blocks:
+        return [f"{guide.relative_to(REPO_ROOT)}: no python blocks found"]
+    namespace: Dict[str, object] = {"__name__": "__docs__"}
+    original_cwd = os.getcwd()
+    failures: List[str] = []
+    with tempfile.TemporaryDirectory(prefix="chop-docs-") as scratch:
+        os.chdir(scratch)
+        try:
+            for number, (line, source) in enumerate(blocks, start=1):
+                label = (
+                    f"{guide.relative_to(REPO_ROOT)} block {number} "
+                    f"(line {line})"
+                )
+                try:
+                    code = compile(source, label, "exec")
+                    exec(code, namespace)  # noqa: S102 - the point
+                except Exception:
+                    failures.append(
+                        f"{label} failed:\n{traceback.format_exc()}"
+                    )
+                    break  # later blocks depend on this one's bindings
+                print(f"ok: {label}")
+        finally:
+            os.chdir(original_cwd)
+    return failures
+
+
+# ----------------------------------------------------------------------
+# entry point
+# ----------------------------------------------------------------------
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--no-links", action="store_true", help="skip the link check"
+    )
+    parser.add_argument(
+        "--no-exec", action="store_true", help="skip example execution"
+    )
+    args = parser.parse_args(argv)
+
+    failures: List[str] = []
+    if not args.no_links:
+        link_failures = check_links()
+        print(
+            f"link check: {len(markdown_files())} files, "
+            f"{len(link_failures)} broken"
+        )
+        failures.extend(link_failures)
+    if not args.no_exec:
+        failures.extend(run_guide_blocks(REPO_ROOT / EXECUTED_GUIDE))
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print("docs ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

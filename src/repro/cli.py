@@ -22,14 +22,19 @@ the combination walk across a process pool), ``--disk-cache`` (persist
 BAD predictions across runs), ``--dry-run`` (print the combination
 count and shard plan without searching), ``--trace`` (write the span
 tree of the whole run as JSONL — see :mod:`repro.obs`) and
-``--profile`` (print a sampling wall-clock profile of the run).
+``--profile`` (print a sampling wall-clock profile of the run) and
+``--soft-deadline`` (stop gracefully after a wall-clock budget and
+report the partial, explicitly *degraded*, verdict).
 ``trace show`` renders a trace file as an indented span tree with
 per-span wall time and combination counts; ``explain`` prints the
 per-constraint feasibility breakdown of a project (what killed which
 combinations, at what probability margin).  ``serve`` runs the
 HTTP/JSON partitioning server (:mod:`repro.service`); there
 ``--workers`` means job-queue *threads* and ``--search-workers`` means
-engine *processes*.
+engine *processes*, while ``--max-queued``, ``--max-session-jobs`` and
+``--max-body-kb`` bound admissions (429/413) and ``--drain-timeout``
+sets how long a SIGTERM-triggered graceful drain waits for running
+jobs (see ``docs/resilience.md``).
 
 Exit statuses: 0 success, 1 no feasible implementation, 2 library error
 (infeasible model request, unknown partition, ...), 3 malformed or
@@ -111,9 +116,15 @@ def _build_engine(args):
 def _checked(session, heuristic: str, args):
     """One check, optionally engine-sharded and disk-cache warmed."""
     engine = _build_engine(args)
+    soft_deadline = (
+        getattr(args, "soft_deadline", None) if args is not None else None
+    )
     cache_dir = getattr(args, "disk_cache", None) if args else None
     if not cache_dir:
-        return session.check(heuristic=heuristic, engine=engine)
+        return session.check(
+            heuristic=heuristic, engine=engine,
+            soft_deadline_s=soft_deadline,
+        )
     from repro.engine import DiskPredictionCache
 
     cache = DiskPredictionCache(cache_dir)
@@ -129,10 +140,22 @@ def _checked(session, heuristic: str, args):
             f"disk cache: hit — {seeded} partition prediction lists "
             f"seeded from {cache.directory}"
         )
-    result = session.check(heuristic=heuristic, engine=engine)
+    result = session.check(
+        heuristic=heuristic, engine=engine,
+        soft_deadline_s=soft_deadline,
+    )
     if cached is None:
-        cache.store(key, session.export_predictions())
-        print(f"disk cache: miss — predictions stored in {cache.directory}")
+        if cache.store_safely(key, session.export_predictions()):
+            print(
+                f"disk cache: miss — predictions stored in "
+                f"{cache.directory}"
+            )
+        else:
+            print(
+                f"disk cache: write failed after retries — continuing "
+                f"without persistence ({cache.directory})",
+                file=sys.stderr,
+            )
     return result
 
 
@@ -216,6 +239,12 @@ def _check_session(session, heuristic: str, count: int,
     if profiler is not None:
         print(profiler.render())
     letter = "E" if heuristic == "enumeration" else "I"
+    if result.degraded:
+        print(
+            f"note: soft deadline expired after {result.trials} trials "
+            f"— this is a partial (degraded) verdict; feasible designs "
+            f"below are real, but absence of designs is inconclusive"
+        )
     print(results_table([(count, package, letter, result)]))
     best = result.best()
     if best is None:
@@ -326,6 +355,9 @@ def _cmd_export_demo(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal as _signal
+    import threading as _threading
+
     from repro.service import ChopService, make_server
 
     service = ChopService(
@@ -336,8 +368,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         search_workers=args.search_workers,
         disk_cache_dir=args.disk_cache,
         start_method=args.start_method,
+        max_queued=args.max_queued,
+        max_jobs_per_session=args.max_session_jobs,
+        max_body_bytes=args.max_body_kb * 1024,
+        drain_timeout_s=args.drain_timeout,
     )
     server = make_server(service, host=args.host, port=args.port)
+    # port 0 binds an ephemeral port; report the one actually bound so
+    # wrappers (tests, orchestrators) can parse it from the first line.
+    bound_port = server.server_address[1]
     engine_note = (
         f"{args.search_workers} search workers"
         if args.search_workers > 1
@@ -347,15 +386,40 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f", disk cache {args.disk_cache}" if args.disk_cache else ""
     )
     print(
-        f"chop-repro serving on http://{args.host}:{args.port} "
+        f"chop-repro serving on http://{args.host}:{bound_port} "
         f"({args.workers} job threads, {engine_note}, "
-        f"cache {args.cache_size}, max {args.max_sessions} sessions"
-        f"{cache_note})"
+        f"cache {args.cache_size}, max {args.max_sessions} sessions, "
+        f"queue cap {args.max_queued}, drain {args.drain_timeout:g}s"
+        f"{cache_note})",
+        flush=True,
     )
+
+    drained = _threading.Event()
+
+    def _drain_and_stop() -> None:
+        if drained.is_set():
+            return
+        drained.set()
+        print(
+            f"draining: waiting up to {args.drain_timeout:g}s for "
+            f"running jobs",
+            flush=True,
+        )
+        outcome = service.drain()
+        print(f"drained: {outcome}", flush=True)
+        server.shutdown()
+
+    def _on_sigterm(signum, frame) -> None:
+        _threading.Thread(target=_drain_and_stop, daemon=True).start()
+
+    try:
+        _signal.signal(_signal.SIGTERM, _on_sigterm)
+    except ValueError:
+        pass  # not the main thread; the embedder owns signal handling
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        pass
+        _drain_and_stop()
     finally:
         server.shutdown()
         server.server_close()
@@ -395,6 +459,12 @@ def _add_engine_arguments(command: argparse.ArgumentParser) -> None:
         "--profile", action="store_true",
         help="sample the run's wall-clock profile and print the "
         "hottest frames",
+    )
+    command.add_argument(
+        "--soft-deadline", type=float, default=None, metavar="SECONDS",
+        help="stop the search gracefully after SECONDS and report the "
+        "partial (degraded) verdict instead of failing; forces the "
+        "serial path",
     )
 
 
@@ -541,6 +611,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="multiprocessing start method for search workers "
         "(default: platform default, or $CHOP_START_METHOD)",
+    )
+    serve_.add_argument(
+        "--max-queued", type=int, default=64,
+        help="queued background jobs before new submissions get 429 "
+        "with Retry-After (default 64)",
+    )
+    serve_.add_argument(
+        "--max-session-jobs", type=int, default=4,
+        help="concurrent (queued+running) jobs per project before 429 "
+        "(default 4)",
+    )
+    serve_.add_argument(
+        "--max-body-kb", type=int, default=1024,
+        help="request body size cap in KiB; larger bodies get 413 "
+        "(default 1024)",
+    )
+    serve_.add_argument(
+        "--drain-timeout", type=float, default=10.0,
+        help="seconds SIGTERM waits for running jobs before cancelling "
+        "them cooperatively (default 10)",
     )
     serve_.set_defaults(func=_cmd_serve)
 

@@ -230,6 +230,7 @@ class ChopSession:
         engine: Optional["EvaluationEngine"] = None,
         progress: Optional[Callable[[int, int], None]] = None,
         collector: Optional["ExplainCollector"] = None,
+        soft_deadline_s: Optional[float] = None,
     ):
         """Search for feasible implementations of the current partitioning.
 
@@ -248,6 +249,11 @@ class ChopSession:
         on engine runs.  ``collector`` (a
         :class:`repro.obs.ExplainCollector`, enumeration only) records
         the per-constraint failure breakdown and forces the serial path.
+        ``soft_deadline_s`` bounds the search wall clock *gracefully*:
+        instead of raising, an expired budget returns the designs found
+        so far with ``SearchResult.degraded=True`` — a partial verdict
+        beats no verdict inside an interactive loop.  It forces the
+        serial path (see :mod:`repro.search.enumeration`).
         Returns a :class:`repro.search.results.SearchResult`.
         """
         from repro.search.enumeration import enumeration_search
@@ -282,12 +288,13 @@ class ChopSession:
                     partitioning, predictions, self.clocks, self.library,
                     self.criteria, prune=prune, keep_all=keep_all,
                     cancel=cancel, engine=engine, progress=progress,
-                    collector=collector,
+                    collector=collector, soft_deadline_s=soft_deadline_s,
                 )
             elif heuristic == "iterative":
                 result = iterative_search(
                     partitioning, predictions, self.clocks, self.library,
                     self.criteria, keep_all=keep_all, cancel=cancel,
+                    soft_deadline_s=soft_deadline_s,
                 )
             else:
                 raise PredictionError(
@@ -296,6 +303,8 @@ class ChopSession:
                 )
             check_span.add("combinations", result.trials)
             check_span.add("feasible", len(result.feasible))
+            if result.degraded:
+                check_span.put("degraded", True)
             if keep_all and result.space is not None:
                 # The figures count BAD's per-partition predictions too.
                 from repro.search.space import DesignPoint

@@ -12,7 +12,11 @@ unchanged project then skip BAD prediction entirely.
 
 Writes are atomic (temp file + ``os.replace``) so a crashed or
 concurrent writer can never leave a torn entry; a reader that finds a
-corrupt or version-mismatched file treats it as a miss and deletes it.
+corrupt or version-mismatched file treats it as a miss and *quarantines*
+it (renamed to ``*.corrupt`` for post-mortem, never read again), and
+transient write errors are retried under a
+:class:`~repro.resilience.RetryPolicy` — a sick disk degrades the cache
+to a no-op, it never fails a check (see :meth:`DiskPredictionCache.store_safely`).
 """
 
 from __future__ import annotations
@@ -23,12 +27,15 @@ import pathlib
 import pickle
 import tempfile
 import threading
+import time
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.bad.prediction import DesignPrediction
 from repro.bad.styles import ClockScheme
 from repro.library.library import ComponentLibrary
 from repro.obs.tracing import span as trace_span
+from repro.resilience.faults import maybe_inject
+from repro.resilience.retry import RetryPolicy
 
 #: Bump whenever the pickled payload layout or the prediction model's
 #: output semantics change; every older entry becomes a miss.
@@ -63,15 +70,24 @@ class DiskPredictionCache:
         self,
         directory: Union[str, pathlib.Path],
         version: int = CACHE_VERSION,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.directory = pathlib.Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.version = version
+        #: Backoff for transient write errors (``OSError``); reads are
+        #: never retried — a defective entry is a miss by contract.
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_attempts=3, base_delay_s=0.01, max_delay_s=0.2
+        )
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._stores = 0
         self._invalidated = 0
+        self._quarantined = 0
+        self._store_retries = 0
+        self._store_failures = 0
 
     # ------------------------------------------------------------------
     # keys and paths
@@ -100,20 +116,25 @@ class DiskPredictionCache:
         """The cached per-partition prediction lists, or ``None``.
 
         Any defect — missing file, unreadable pickle, version or key
-        mismatch — is a miss; defective files are removed so they cannot
-        fail again.
+        mismatch — is a miss; defective files are quarantined (renamed
+        to ``*.corrupt``) so they cannot fail again, and the next store
+        rewrites the entry.
         """
         with trace_span("diskcache.load", key=key[:12]) as sp:
             path = self.path_for(key)
             try:
+                maybe_inject("cache_load")
                 with path.open("rb") as handle:
                     payload = pickle.load(handle)
             except FileNotFoundError:
                 self._count(hit=False)
                 sp.put("hit", False)
                 return None
-            except (OSError, pickle.UnpicklingError, EOFError,
-                    AttributeError, ImportError, IndexError):
+            except Exception:
+                # Unpickling attacker-grade junk can raise nearly
+                # anything (ValueError for a bad protocol byte,
+                # UnpicklingError, EOFError, AttributeError, ...).  The
+                # contract is uniform: any defect is a quarantined miss.
                 self._discard(path)
                 self._count(hit=False)
                 sp.put("hit", False)
@@ -138,7 +159,13 @@ class DiskPredictionCache:
         key: str,
         predictions: Mapping[str, Sequence[DesignPrediction]],
     ) -> None:
-        """Atomically persist the prediction lists under ``key``."""
+        """Atomically persist the prediction lists under ``key``.
+
+        Transient ``OSError`` s are retried with backoff under the
+        cache's :class:`~repro.resilience.RetryPolicy`; the final
+        failure propagates (use :meth:`store_safely` at call sites
+        where a sick disk must not fail the check).
+        """
         with trace_span(
             "diskcache.store", key=key[:12],
         ) as sp:
@@ -151,32 +178,84 @@ class DiskPredictionCache:
                 },
             }
             sp.add("partitions", len(payload["predictions"]))
-            descriptor, temp_name = tempfile.mkstemp(
-                prefix=".tmp-", suffix=".pkl", dir=self.directory
-            )
-            try:
-                with os.fdopen(descriptor, "wb") as handle:
-                    pickle.dump(payload, handle, pickle.HIGHEST_PROTOCOL)
-                os.replace(temp_name, self.path_for(key))
-            except BaseException:
+            attempt = 0
+            while True:
+                attempt += 1
                 try:
-                    os.unlink(temp_name)
+                    maybe_inject("cache_store_delay")
+                    maybe_inject("cache_store")
+                    self._write(key, payload)
                 except OSError:
-                    pass
-                raise
+                    if attempt >= self.retry_policy.max_attempts:
+                        with self._lock:
+                            self._store_failures += 1
+                        raise
+                    with self._lock:
+                        self._store_retries += 1
+                    sp.add("retries")
+                    time.sleep(self.retry_policy.delay_for(attempt))
+                    continue
+                break
             with self._lock:
                 self._stores += 1
+
+    def store_safely(
+        self,
+        key: str,
+        predictions: Mapping[str, Sequence[DesignPrediction]],
+    ) -> bool:
+        """Best-effort :meth:`store`: swallow exhausted write errors.
+
+        The graceful-degradation entry point for the CLI and the
+        service — a cache that cannot persist degrades to a no-op
+        (visible as ``store_failures`` in :meth:`stats`) instead of
+        failing the feasibility check it rides on.
+        """
+        try:
+            self.store(key, predictions)
+        except OSError:
+            return False
+        return True
+
+    def _write(self, key: str, payload: Dict[str, Any]) -> None:
+        """One atomic temp-file + ``os.replace`` write attempt."""
+        descriptor, temp_name = tempfile.mkstemp(
+            prefix=".tmp-", suffix=".pkl", dir=self.directory
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                pickle.dump(payload, handle, pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_name, self.path_for(key))
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
 
     # ------------------------------------------------------------------
     # bookkeeping
     # ------------------------------------------------------------------
     def _discard(self, path: pathlib.Path) -> None:
+        """Quarantine a defective entry instead of deleting it.
+
+        The rename takes the entry out of the lookup path (the next
+        load is a clean miss, the next store rewrites it) while keeping
+        the bytes on disk for post-mortem.  Repeated corruption of the
+        same key overwrites the single quarantine file, so quarantines
+        cannot accumulate unboundedly.
+        """
+        quarantine = path.with_name(path.name + ".corrupt")
         try:
-            path.unlink()
+            os.replace(path, quarantine)
         except OSError:
-            pass
+            try:
+                path.unlink()
+            except OSError:
+                pass
         with self._lock:
             self._invalidated += 1
+            self._quarantined += 1
 
     def _count(self, hit: bool) -> None:
         with self._lock:
@@ -196,6 +275,9 @@ class DiskPredictionCache:
                 "misses": self._misses,
                 "stores": self._stores,
                 "invalidated": self._invalidated,
+                "quarantined": self._quarantined,
+                "store_retries": self._store_retries,
+                "store_failures": self._store_failures,
                 "hit_rate": (
                     round(self._hits / total, 4) if total else None
                 ),

@@ -60,6 +60,8 @@ from repro.obs.tracing import (
     make_span_record,
     span as trace_span,
 )
+from repro.resilience.faults import maybe_inject
+from repro.resilience.retry import RetryPolicy
 from repro.search.results import FeasibleDesign
 from repro.search.space import DesignPoint, DesignSpace
 
@@ -203,6 +205,7 @@ def evaluate_range(
     space: Optional[DesignSpace] = None,
     collector: Optional[Any] = None,
     counters: Optional[Dict[str, int]] = None,
+    soft_stop: Optional[Callable[[], bool]] = None,
 ) -> Tuple[List[FeasibleDesign], int]:
     """Evaluate the flat combination indices ``[start, stop)`` in order.
 
@@ -217,6 +220,13 @@ def evaluate_range(
     dict (typically a span's counter map) credited with the loop's
     tallies on exit, cancellation included; both hooks cost nothing when
     absent, which is the common case.
+
+    ``soft_stop`` is the graceful-degradation hook (a
+    :class:`repro.resilience.SoftDeadline`): where ``cancel`` raises and
+    discards, an expired soft stop simply ends the walk and returns the
+    partial results found so far.  At least one combination is always
+    evaluated, so a degraded verdict is never an empty non-answer; the
+    caller detects degradation by ``trials < stop - start``.
     """
     feasible: List[FeasibleDesign] = []
     trials = 0
@@ -229,6 +239,8 @@ def evaluate_range(
                     f"enumeration cancelled after {trials} of "
                     f"{stop - start} combinations"
                 )
+            if soft_stop is not None and trials > 0 and soft_stop():
+                break
             trials += 1
             selection = problem.selection(flat)
             ii_main = max(pred.ii_main for pred in selection.values())
@@ -321,6 +333,10 @@ def _evaluate_shard(
     """
     if _WORKER_PROBLEM is None:
         raise RuntimeError("worker used before initialization")
+    # Fault-injection sites (no-ops unless $CHOP_FAULTS names them):
+    # "shard" raises in the task body, "shard_exit" kills the process.
+    maybe_inject("shard_exit", index=shard.index)
+    maybe_inject("shard", index=shard.index)
     cancel = (
         _WORKER_CANCEL.is_set if _WORKER_CANCEL is not None else None
     )
@@ -371,7 +387,7 @@ class EngineRun:
 
     feasible: List[FeasibleDesign]
     trials: int
-    mode: str  # "parallel" | "serial" | "serial-fallback"
+    mode: str  # "parallel" | "serial" | "serial-fallback" | "serial-degraded"
     workers: int
     shard_count: int
     retried_shards: int
@@ -379,6 +395,9 @@ class EngineRun:
     #: Sum of per-shard evaluation time over (wall * workers); 1.0 means
     #: every worker was busy the whole run.  None for serial runs.
     utilization: Optional[float] = None
+    #: Serial re-run attempts spent on dead shards beyond the original
+    #: worker try (the retry policy's backoff/attempt accounting).
+    retry_attempts: int = 0
 
 
 class EvaluationEngine:
@@ -396,6 +415,9 @@ class EvaluationEngine:
         shards_per_worker: int = DEFAULT_SHARDS_PER_WORKER,
         min_combinations: int = DEFAULT_MIN_COMBINATIONS,
         poll_interval_s: float = 0.05,
+        retry_policy: Optional[RetryPolicy] = None,
+        degrade_after: int = 3,
+        degrade_cooldown_s: float = 60.0,
     ) -> None:
         if workers is None:
             workers = os.cpu_count() or 1
@@ -409,18 +431,38 @@ class EvaluationEngine:
             start_method = os.environ.get(START_METHOD_ENV) or None
         self.workers = workers
         self.start_method = start_method
+        if degrade_after < 0:
+            raise ValueError(
+                f"degrade_after must be >= 0, got {degrade_after}"
+            )
         self.shards_per_worker = shards_per_worker
         self.min_combinations = min_combinations
         self.poll_interval_s = poll_interval_s
+        #: Backoff schedule for dead-shard serial re-runs.  The worker's
+        #: own try counts as attempt 1, so the policy's first delay is
+        #: slept before the serial retry.
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_attempts=3, base_delay_s=0.05, max_delay_s=1.0
+        )
+        #: After this many *consecutive* pool failures (pool cannot be
+        #: created, or a run loses workers) the engine stops trying and
+        #: runs serial for ``degrade_cooldown_s``; 0 disables.
+        self.degrade_after = degrade_after
+        self.degrade_cooldown_s = degrade_cooldown_s
+        self._pool_failures = 0
+        self._degraded_until = 0.0
         self._lock = threading.Lock()
         self._stats: Dict[str, Any] = {
             "workers": workers,
             "start_method": start_method or "default",
             "searches_parallel": 0,
             "searches_serial": 0,
+            "searches_degraded": 0,
             "fallbacks": 0,
             "shards_completed": 0,
             "shards_retried": 0,
+            "shard_retry_attempts": 0,
+            "pool_failures_consecutive": 0,
             "combinations_evaluated": 0,
             "last_utilization": None,
         }
@@ -453,6 +495,11 @@ class EvaluationEngine:
             if self.workers <= 1 or total < self.min_combinations:
                 run = self._run_serial(problem, total, started, cancel,
                                        progress, mode="serial")
+            elif self.is_degraded():
+                # Repeated pool failures: stop fighting the platform
+                # and answer serially until the cooldown passes.
+                run = self._run_serial(problem, total, started, cancel,
+                                       progress, mode="serial-degraded")
             else:
                 run = self._run_parallel(
                     problem, total, started, cancel, progress,
@@ -465,13 +512,41 @@ class EvaluationEngine:
             sp.add("combinations", run.trials)
             sp.add("feasible", len(run.feasible))
             sp.add("retried_shards", run.retried_shards)
+            sp.add("retry_attempts", run.retry_attempts)
         self._account(run)
         return run
 
     def stats(self) -> Dict[str, Any]:
         """Cumulative counters for ``/metrics`` (a snapshot copy)."""
         with self._lock:
-            return dict(self._stats)
+            snapshot = dict(self._stats)
+            snapshot["degraded"] = (
+                time.monotonic() < self._degraded_until
+            )
+            return snapshot
+
+    def is_degraded(self) -> bool:
+        """Whether the engine is inside a forced-serial cooldown."""
+        with self._lock:
+            return time.monotonic() < self._degraded_until
+
+    def _note_pool_failure(self) -> None:
+        """One more consecutive pool failure; maybe enter degraded mode."""
+        with self._lock:
+            self._pool_failures += 1
+            self._stats["pool_failures_consecutive"] = self._pool_failures
+            if self.degrade_after and (
+                self._pool_failures >= self.degrade_after
+            ):
+                self._degraded_until = (
+                    time.monotonic() + self.degrade_cooldown_s
+                )
+
+    def _note_pool_ok(self) -> None:
+        """A clean parallel run resets the failure streak."""
+        with self._lock:
+            self._pool_failures = 0
+            self._stats["pool_failures_consecutive"] = 0
 
     # ------------------------------------------------------------------
     # execution modes
@@ -537,6 +612,7 @@ class EvaluationEngine:
             # processes at all: stay correct, run in process.
             with self._lock:
                 self._stats["fallbacks"] += 1
+            self._note_pool_failure()
             return self._run_serial(problem, total, started, cancel,
                                     progress, mode="serial-fallback")
 
@@ -583,17 +659,12 @@ class EvaluationEngine:
             cancel_event.set()
             executor.shutdown(wait=True, cancel_futures=True)
 
+        retry_attempts = 0
         for shard in sorted(dead_shards, key=lambda s: s.start):
-            # Retried in-process, so the span lands on the parent tracer
-            # directly (parented under engine.run by context).
-            with trace_span(
-                "engine.shard", shard=shard.index, start=shard.start,
-                stop=shard.stop, retried=True,
-            ) as sp:
-                feasible, trials = evaluate_range(
-                    problem, shard.start, shard.stop, cancel=cancel,
-                    counters=sp.counters,
-                )
+            feasible, trials, attempts = self._retry_shard(
+                problem, shard, cancel
+            )
+            retry_attempts += attempts
             results.append(
                 ShardResult(
                     shard=shard,
@@ -604,6 +675,10 @@ class EvaluationEngine:
             )
             if progress is not None:
                 progress(len(results), len(shards))
+        if dead_shards:
+            self._note_pool_failure()
+        else:
+            self._note_pool_ok()
 
         with trace_span("engine.merge", shards=len(results)) as merge_sp:
             if tracer is not None:
@@ -636,7 +711,45 @@ class EvaluationEngine:
                 round(busy / (wall * self.workers), 4) if wall > 0
                 else None
             ),
+            retry_attempts=retry_attempts,
         )
+
+    def _retry_shard(
+        self,
+        problem: EvaluationProblem,
+        shard: Shard,
+        cancel: Optional[Callable[[], bool]],
+    ) -> Tuple[List[FeasibleDesign], int, int]:
+        """Serially re-run a shard whose worker died, with backoff.
+
+        The dead worker's try counts as attempt 1 of the retry policy,
+        so the first serial re-run already backs off.  Returns
+        ``(feasible, trials, retries)`` where ``retries`` is the number
+        of re-run attempts spent (>= 1).
+        """
+        policy = self.retry_policy
+        attempt = 1
+        while True:
+            time.sleep(policy.delay_for(attempt))
+            attempt += 1
+            # Retried in-process, so the span lands on the parent
+            # tracer directly (parented under engine.run by context).
+            with trace_span(
+                "engine.shard", shard=shard.index, start=shard.start,
+                stop=shard.stop, retried=True, attempt=attempt,
+            ) as sp:
+                try:
+                    feasible, trials = evaluate_range(
+                        problem, shard.start, shard.stop, cancel=cancel,
+                        counters=sp.counters,
+                    )
+                except SearchCancelled:
+                    raise
+                except policy.retryable:
+                    if attempt >= policy.max_attempts:
+                        raise
+                    continue
+            return feasible, trials, attempt - 1
 
     # ------------------------------------------------------------------
     # accounting
@@ -647,8 +760,11 @@ class EvaluationEngine:
                 self._stats["searches_parallel"] += 1
             else:
                 self._stats["searches_serial"] += 1
+            if run.mode == "serial-degraded":
+                self._stats["searches_degraded"] += 1
             self._stats["shards_completed"] += run.shard_count
             self._stats["shards_retried"] += run.retried_shards
+            self._stats["shard_retry_attempts"] += run.retry_attempts
             self._stats["combinations_evaluated"] += run.trials
             if run.utilization is not None:
                 self._stats["last_utilization"] = run.utilization

@@ -113,6 +113,26 @@ class CombinationExplosionError(PredictionError):
         }
 
 
+class QueueFullError(ChopError):
+    """The job queue (or a per-session quota) refused an admission.
+
+    Carries ``retry_after_s`` so the serving layer can answer 429 with a
+    concrete ``Retry-After`` header instead of "try again sometime".
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = max(1.0, float(retry_after_s))
+
+
+class DrainingError(ChopError):
+    """The service is draining and no longer admits new work.
+
+    The serving layer maps this to 503 (and ``/readyz`` reports the same
+    state); clients should fail over to another instance.
+    """
+
+
 class InfeasibleError(ChopError):
     """No feasible implementation exists for the request.
 

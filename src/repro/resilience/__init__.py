@@ -1,0 +1,39 @@
+"""repro.resilience — retries, fault injection, graceful degradation.
+
+The serving stack's answer to *what happens when things break*:
+
+* :mod:`~repro.resilience.retry` — :class:`RetryPolicy` (exponential
+  backoff + jitter + retryable-exception classification) and the
+  :class:`RetryStats` ledger behind the ``retries`` metrics block;
+* :mod:`~repro.resilience.faults` — the ``$CHOP_FAULTS`` deterministic
+  fault-injection harness wired into the engine workers, the disk
+  cache and service job bodies;
+* :mod:`~repro.resilience.degrade` — :class:`SoftDeadline`, the
+  soft-stop hook behind ``check(soft_deadline_s=…)`` partial verdicts.
+
+The full fault → behavior → status → metric contract lives in
+``docs/resilience.md``.
+"""
+
+from repro.resilience.degrade import SoftDeadline
+from repro.resilience.faults import (
+    FAULTS_ENV,
+    FaultPlan,
+    InjectedFault,
+    active_plan,
+    maybe_inject,
+    reset_counters,
+)
+from repro.resilience.retry import RetryPolicy, RetryStats
+
+__all__ = [
+    "FAULTS_ENV",
+    "FaultPlan",
+    "InjectedFault",
+    "RetryPolicy",
+    "RetryStats",
+    "SoftDeadline",
+    "active_plan",
+    "maybe_inject",
+    "reset_counters",
+]

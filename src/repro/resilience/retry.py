@@ -1,0 +1,164 @@
+"""Retry policies: exponential backoff with jitter and a retry ledger.
+
+Every transient-failure site in the system — the engine's crashed-shard
+path, disk-cache writes, service job bodies — retries through one
+:class:`RetryPolicy` so backoff behavior, exception classification and
+accounting are uniform.  The policy is immutable and thread-safe; the
+mutable tallies live in a :class:`RetryStats` ledger that subsystems
+register as a ``/metrics`` gauge block.
+
+Determinism matters more here than spread: tests drive policies with
+``jitter=0`` (pure exponential) or an injected ``rng``, and production
+sites use a small multiplicative jitter so a herd of simultaneous
+failures does not retry in lockstep.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple, Type
+
+from repro.obs.tracing import span as trace_span
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often, how long, and for which exceptions to retry.
+
+    ``max_attempts`` counts the first try: ``3`` means one call and up
+    to two retries.  The delay before retry *n* (1-based) is
+    ``base_delay_s * multiplier**(n-1)`` capped at ``max_delay_s``, then
+    widened by up to ``jitter`` (a fraction — ``0.1`` adds 0..10%).
+    ``retryable`` classifies exceptions: anything else propagates
+    immediately, attempts be damned.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.1
+    retryable: Tuple[Type[BaseException], ...] = (OSError,)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
+
+    def is_retryable(self, exc: BaseException) -> bool:
+        """Whether this failure is worth another attempt."""
+        return isinstance(exc, self.retryable)
+
+    def delay_for(
+        self,
+        attempt: int,
+        rng: Optional[random.Random] = None,
+    ) -> float:
+        """Backoff before retrying after failed attempt ``attempt``."""
+        if attempt < 1:
+            raise ValueError(f"attempt is 1-based, got {attempt}")
+        delay = min(
+            self.base_delay_s * self.multiplier ** (attempt - 1),
+            self.max_delay_s,
+        )
+        if self.jitter > 0:
+            draw = (rng or random).random()
+            delay *= 1.0 + self.jitter * draw
+        return delay
+
+    def call(
+        self,
+        fn: Callable[[], Any],
+        site: str = "call",
+        sleep: Callable[[float], None] = time.sleep,
+        stats: Optional["RetryStats"] = None,
+        rng: Optional[random.Random] = None,
+    ) -> Any:
+        """Run ``fn`` under this policy; return its result.
+
+        Non-retryable exceptions and the final retryable failure
+        propagate unchanged.  The whole attempt loop runs inside a
+        ``retry.<site>`` span whose counters carry ``attempts`` and
+        ``retries``, so traced runs show exactly how hard a site fought.
+        """
+        with trace_span(f"retry.{site}", max_attempts=self.max_attempts) as sp:
+            for attempt in range(1, self.max_attempts + 1):
+                try:
+                    result = fn()
+                except BaseException as exc:
+                    retryable = (
+                        self.is_retryable(exc)
+                        and attempt < self.max_attempts
+                    )
+                    if not retryable:
+                        sp.add("attempts", attempt)
+                        if stats is not None:
+                            stats.record(site, attempt, exhausted=True)
+                        raise
+                    sp.add("retries")
+                    sleep(self.delay_for(attempt, rng=rng))
+                else:
+                    sp.add("attempts", attempt)
+                    if stats is not None:
+                        stats.record(site, attempt, exhausted=False)
+                    return result
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+@dataclass
+class RetryStats:
+    """A thread-safe ledger of retry activity across sites.
+
+    One ledger typically serves a whole subsystem (the service holds
+    one and registers :meth:`stats` as the ``retries`` gauge block);
+    ``record`` is what :meth:`RetryPolicy.call` and the hand-rolled
+    retry loops feed.
+    """
+
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+    _calls: int = 0
+    _retries: int = 0
+    _exhausted: int = 0
+    _by_site: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def record(self, site: str, attempts: int, exhausted: bool) -> None:
+        """Account one completed attempt loop (``attempts`` >= 1)."""
+        with self._lock:
+            self._calls += 1
+            self._retries += max(0, attempts - 1)
+            if exhausted:
+                self._exhausted += 1
+            entry = self._by_site.setdefault(
+                site, {"calls": 0, "retries": 0, "exhausted": 0}
+            )
+            entry["calls"] += 1
+            entry["retries"] += max(0, attempts - 1)
+            if exhausted:
+                entry["exhausted"] += 1
+
+    def stats(self) -> Dict[str, Any]:
+        """Snapshot for ``/metrics`` (totals plus per-site tallies)."""
+        with self._lock:
+            return {
+                "calls": self._calls,
+                "retries": self._retries,
+                "exhausted": self._exhausted,
+                "sites": {
+                    site: dict(entry)
+                    for site, entry in sorted(self._by_site.items())
+                },
+            }

@@ -35,6 +35,7 @@ from repro.engine.workers import EvaluationProblem, evaluate_range
 from repro.errors import CombinationExplosionError, PredictionError
 from repro.library.library import ComponentLibrary
 from repro.obs.tracing import span as trace_span
+from repro.resilience.degrade import SoftDeadline
 from repro.search.results import SearchResult
 from repro.search.space import DesignSpace
 
@@ -58,6 +59,7 @@ def enumeration_search(
     engine: Optional["EvaluationEngine"] = None,
     progress: Optional[Callable[[int, int], None]] = None,
     collector: Optional[object] = None,
+    soft_deadline_s: Optional[float] = None,
 ) -> SearchResult:
     """Try every combination of per-partition implementations.
 
@@ -77,6 +79,14 @@ def enumeration_search(
     path — it records the per-combination failure breakdown, which is
     per-combination payload by definition.  ``progress`` (engine runs
     only) receives ``(shards_done, shards_total)`` as shards complete.
+
+    ``soft_deadline_s`` is the graceful-degradation hook (paper framing:
+    *interactive* means "fast, or degraded, but never nothing"): once the
+    budget elapses the walk stops after the current combination and the
+    partial result comes back with ``degraded=True`` instead of raising.
+    At least one combination is always evaluated.  A soft deadline
+    forces the serial path — shard boundaries would make the visited
+    prefix nondeterministic.
     """
     names = sorted(partitioning.partitions)
     missing = [n for n in names if not predictions.get(n)]
@@ -96,12 +106,19 @@ def enumeration_search(
             list_sizes=problem.list_sizes(),
         )
 
+    soft_stop: Optional[Callable[[], bool]] = None
+    if soft_deadline_s is not None:
+        soft_stop = SoftDeadline(soft_deadline_s)
+
     started = time.perf_counter()
     with trace_span(
         "search.enumeration", prune=prune, space=combination_count,
         partitions=len(names),
     ) as sp:
-        if engine is not None and not keep_all and collector is None:
+        if (
+            engine is not None and not keep_all and collector is None
+            and soft_stop is None
+        ):
             run = engine.run(problem, cancel=cancel, progress=progress)
             sp.add("combinations", run.trials)
             sp.add("feasible", len(run.feasible))
@@ -117,11 +134,16 @@ def enumeration_search(
         feasible, trials = evaluate_range(
             problem, 0, combination_count, cancel=cancel, space=space,
             collector=collector, counters=sp.counters,
+            soft_stop=soft_stop,
         )
+        degraded = trials < combination_count
+        if degraded:
+            sp.put("degraded", True)
         return SearchResult(
             heuristic="enumeration",
             trials=trials,
             feasible=feasible,
             cpu_seconds=time.perf_counter() - started,
             space=space,
+            degraded=degraded,
         )

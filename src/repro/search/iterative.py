@@ -38,6 +38,7 @@ from repro.core.tasks import TaskGraph, build_task_graph
 from repro.errors import InfeasibleError, PredictionError, SearchCancelled
 from repro.library.library import ComponentLibrary
 from repro.obs.tracing import span as trace_span
+from repro.resilience.degrade import SoftDeadline
 from repro.search.results import FeasibleDesign, SearchResult
 from repro.search.space import DesignPoint, DesignSpace
 
@@ -55,12 +56,19 @@ def iterative_search(
     criteria: FeasibilityCriteria,
     keep_all: bool = False,
     cancel: Optional[Callable[[], bool]] = None,
+    soft_deadline_s: Optional[float] = None,
 ) -> SearchResult:
     """Run the Figure 5 algorithm over every feasible initiation interval.
 
     ``cancel`` is a cooperative cancellation hook polled between
     serialization rounds; when it returns ``True`` the search raises
     :class:`repro.errors.SearchCancelled`.
+
+    ``soft_deadline_s`` degrades instead of cancelling: once the budget
+    elapses the search stops after the current round and returns the
+    intervals explored so far with ``degraded=True``.  At least one
+    integration trial always runs, so a degraded verdict is never empty
+    of evidence.
     """
     names = sorted(partitioning.partitions)
     missing = [n for n in names if not predictions.get(n)]
@@ -75,6 +83,11 @@ def iterative_search(
     space = DesignSpace() if keep_all else None
     feasible: List[FeasibleDesign] = []
     trials = 0
+    degraded = False
+    soft_stop = (
+        SoftDeadline(soft_deadline_s)
+        if soft_deadline_s is not None else None
+    )
     started = time.perf_counter()
 
     intervals = _feasible_intervals(sorted_preds, criteria, clocks)
@@ -84,6 +97,8 @@ def iterative_search(
     ) as sp:
         try:
             for l in intervals:
+                if degraded:
+                    break
                 indices = _initial_indices(sorted_preds, names, l)
                 if indices is None:
                     continue
@@ -96,6 +111,12 @@ def iterative_search(
                             f"iterative search cancelled after {trials} "
                             f"trials"
                         )
+                    if (
+                        soft_stop is not None and trials > 0
+                        and soft_stop()
+                    ):
+                        degraded = True
+                        break
                     selection = {
                         name: sorted_preds[name][indices[name]]
                         for name in names
@@ -137,6 +158,8 @@ def iterative_search(
         finally:
             sp.add("combinations", trials)
             sp.add("feasible", len(feasible))
+            if degraded:
+                sp.put("degraded", True)
 
     return SearchResult(
         heuristic="iterative",
@@ -144,6 +167,7 @@ def iterative_search(
         feasible=feasible,
         cpu_seconds=time.perf_counter() - started,
         space=space,
+        degraded=degraded,
     )
 
 

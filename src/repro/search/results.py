@@ -67,6 +67,11 @@ class SearchResult:
     feasible: List[FeasibleDesign]
     cpu_seconds: float
     space: Optional[DesignSpace] = None
+    #: ``True`` when a soft deadline stopped the search before the full
+    #: space was visited — the verdict is a lower bound ("at least these
+    #: designs are feasible"), not a complete answer, and must not be
+    #: cached as one.
+    degraded: bool = False
 
     @property
     def feasible_trials(self) -> int:
@@ -119,6 +124,7 @@ class SearchResult:
             "feasible_trials": self.feasible_trials,
             "cpu_seconds": round(self.cpu_seconds, 6),
             "feasible": bool(self.feasible),
+            "degraded": self.degraded,
             "non_inferior": [d.to_dict() for d in self.non_inferior()],
             "best": best.to_dict() if best is not None else None,
         }

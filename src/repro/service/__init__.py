@@ -11,8 +11,10 @@ share one process:
   loaded :class:`~repro.core.chop.ChopSession` state;
 * :mod:`repro.service.cache` — single-flight LRU memoization of check
   verdicts (the hot path: re-checking after small edits);
-* :mod:`repro.service.jobs` — worker pool for long enumerations, with
-  cooperative timeout and cancellation;
+* :mod:`repro.service.jobs` — bounded worker pool for long enumerations,
+  with cooperative timeout/cancellation, admission control (queue and
+  per-session caps), retry of infrastructure failures and graceful
+  drain;
 * :mod:`repro.service.metrics` — request/latency/cache/queue counters
   behind ``GET /metrics``.
 

@@ -17,15 +17,20 @@ Endpoints::
     POST /jobs/{id}/cancel          cooperative cancellation
     GET  /jobs/{id}/trace           the job's finished span records
     GET  /jobs/{id}/explain         per-constraint feasibility breakdown
-    GET  /healthz                   liveness
+    GET  /healthz                   liveness (200 while the process runs)
+    GET  /readyz                    readiness (503 while draining)
     GET  /metrics                   counters, latencies, cache, queue
                                     (?format=prometheus for text format)
 
 All request and response bodies are JSON (``/metrics`` can also render
 the Prometheus text exposition format).  Errors come back as
 ``{"error": msg, "type": kind}`` with 400 (malformed input), 404
-(unknown id), 409 (right route, wrong job state) or 422 (well-formed
-but un-servable, e.g. no feasible prediction survives pruning).
+(unknown id), 409 (right route, wrong job state), 413 (body over the
+size cap), 422 (well-formed but un-servable, e.g. no feasible
+prediction survives pruning), 429 (queue or per-session quota full —
+with a ``Retry-After`` header) or 503 (draining; also ``Retry-After``).
+The failure-mode contract — which fault produces which status, metric
+and recovery — is documented in ``docs/resilience.md``.
 
 Every background job is traced: the whole search runs under a
 ``service.job`` span, the finished span tree (including the engine's
@@ -44,16 +49,24 @@ from __future__ import annotations
 import datetime
 import json
 import re
+import signal
+import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.engine import DiskPredictionCache, EvaluationEngine
-from repro.errors import ChopError, SpecificationError
+from repro.errors import (
+    ChopError,
+    DrainingError,
+    QueueFullError,
+    SpecificationError,
+)
 from repro.obs.explain import ExplainCollector
 from repro.obs.profiling import peak_rss_bytes
 from repro.obs.prometheus import render_prometheus
 from repro.obs.tracing import Tracer, activate
+from repro.resilience.retry import RetryPolicy, RetryStats
 from repro.service.cache import LRUCache, check_cache_key
 from repro.service.jobs import DONE, FAILED, CANCELLED, JobQueue
 from repro.service.metrics import Metrics
@@ -64,16 +77,33 @@ HEURISTICS = ("iterative", "enumeration")
 #: Accepted shape of a client-supplied ``X-Trace-Id`` header.
 _TRACE_ID_RE = re.compile(r"^[0-9A-Za-z][0-9A-Za-z._-]{3,127}$")
 
-#: The payload is a JSON document, or pre-rendered text (Prometheus).
-Response = Tuple[int, Any, str]
+#: ``(status, payload, route label, extra headers)``.  The payload is a
+#: JSON document, or pre-rendered text (Prometheus); extra headers carry
+#: backpressure hints (``Retry-After`` on 429/503).
+Response = Tuple[int, Any, str, Dict[str, str]]
+
+#: Internal routing result, before headers are attached.
+_Routed = Tuple[int, Any, str]
 
 
 class ServiceError(Exception):
-    """An error with a definite HTTP status."""
+    """An error with a definite HTTP status (and optional headers).
 
-    def __init__(self, status: int, message: str) -> None:
+    ``kind`` becomes the payload's ``type`` field so clients can branch
+    on the failure mode without parsing messages.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        headers: Optional[Mapping[str, str]] = None,
+        kind: str = "service",
+    ) -> None:
         super().__init__(message)
         self.status = status
+        self.headers = dict(headers or {})
+        self.kind = kind
 
 
 class ChopService:
@@ -88,11 +118,33 @@ class ChopService:
         search_workers: int = 0,
         disk_cache_dir: Optional[str] = None,
         start_method: Optional[str] = None,
+        max_queued: Optional[int] = 64,
+        max_jobs_per_session: Optional[int] = 4,
+        max_body_bytes: int = 1_000_000,
+        job_retry: Optional[RetryPolicy] = None,
+        drain_timeout_s: float = 10.0,
     ) -> None:
+        if max_body_bytes < 1:
+            raise ValueError(
+                f"max_body_bytes must be >= 1, got {max_body_bytes}"
+            )
+        self.max_body_bytes = max_body_bytes
+        self.drain_timeout_s = drain_timeout_s
+        self.retry_stats = RetryStats()
+        self._draining = threading.Event()
         self.sessions = SessionRegistry(capacity=max_sessions)
         self.cache = LRUCache(capacity=cache_size)
         self.jobs = JobQueue(
-            workers=workers, default_timeout_s=job_timeout_s
+            workers=workers,
+            default_timeout_s=job_timeout_s,
+            max_queued=max_queued,
+            max_per_session=max_jobs_per_session,
+            retry_policy=(
+                job_retry
+                if job_retry is not None
+                else RetryPolicy(max_attempts=3, base_delay_s=0.05)
+            ),
+            retry_stats=self.retry_stats,
         )
         # ``workers`` threads drain the job queue; ``search_workers``
         # processes shard each enumeration's combination walk.
@@ -120,9 +172,31 @@ class ChopService:
             )
         self.started_at = time.time()
         self.metrics.register_gauges("process", self._process_stats)
+        self.metrics.register_gauges("retries", self.retry_stats.stats)
 
     def close(self) -> None:
+        self._draining.set()
         self.jobs.shutdown()
+
+    @property
+    def draining(self) -> bool:
+        """Whether the service has stopped admitting new work."""
+        return self._draining.is_set() or self.jobs.draining
+
+    def drain(self, timeout_s: Optional[float] = None) -> Dict[str, Any]:
+        """Graceful shutdown: refuse admissions, settle jobs, release.
+
+        From the first moment ``/readyz`` answers 503 and every POST is
+        refused with 503; in-flight jobs get ``timeout_s`` (default:
+        the configured ``drain_timeout_s``) to finish before they are
+        cancelled cooperatively.  Returns the job-queue drain summary.
+        """
+        self._draining.set()
+        return self.jobs.drain(
+            timeout_s=(
+                self.drain_timeout_s if timeout_s is None else timeout_s
+            )
+        )
 
     # ------------------------------------------------------------------
     # dispatch
@@ -134,27 +208,59 @@ class ChopService:
         body: Optional[bytes],
         trace_id: Optional[str] = None,
     ) -> Response:
-        """Serve one request; returns (status, payload, route label).
+        """Serve one request; returns (status, payload, route, headers).
 
         The route label is the metrics key — the path template with ids
         elided, so per-endpoint latencies aggregate across tenants.
         ``trace_id`` is the client's ``X-Trace-Id`` header, adopted by
         traced background jobs so a caller can correlate its own trace
-        with the server-side span tree.
+        with the server-side span tree.  The headers dict carries
+        backpressure hints — ``Retry-After`` on 429 (queue or session
+        quota) and 503 (draining).
         """
+        fallback = f"{method} {path}"
         try:
-            return self._route(method, path, body, trace_id)
+            if (
+                body is not None
+                and len(body) > self.max_body_bytes
+            ):
+                raise ServiceError(
+                    413,
+                    f"request body of {len(body)} bytes exceeds the "
+                    f"{self.max_body_bytes}-byte cap",
+                    kind="body_too_large",
+                )
+            status, payload, route = self._route(
+                method, path, body, trace_id
+            )
+            return status, payload, route, {}
         except ServiceError as exc:
             return (
                 exc.status,
-                {"error": str(exc), "type": "service"},
-                f"{method} {path}",
+                {"error": str(exc), "type": exc.kind},
+                fallback,
+                dict(exc.headers),
             )
         except SpecificationError as exc:
             return (
                 400,
                 {"error": str(exc), "type": "specification"},
-                f"{method} {path}",
+                fallback,
+                {},
+            )
+        except QueueFullError as exc:
+            return (
+                429,
+                {"error": str(exc), "type": "queue_full"},
+                fallback,
+                {"Retry-After": str(int(round(exc.retry_after_s)))},
+            )
+        except DrainingError as exc:
+            return (
+                503,
+                {"error": str(exc), "type": "draining"},
+                fallback,
+                {"Retry-After": str(int(round(self.drain_timeout_s)))},
             )
         except ChopError as exc:
             payload: Dict[str, Any] = {
@@ -166,7 +272,7 @@ class ChopService:
                 # Structured errors (e.g. CombinationExplosionError)
                 # carry actionable data — ship it with the 4xx.
                 payload["detail"] = detail()
-            return 422, payload, f"{method} {path}"
+            return 422, payload, fallback, {}
 
     def _route(
         self,
@@ -174,13 +280,21 @@ class ChopService:
         path: str,
         body: Optional[bytes],
         trace_id: Optional[str] = None,
-    ) -> Response:
+    ) -> _Routed:
         path, _, query = path.partition("?")
         parts = [p for p in path.split("/") if p]
         if method == "GET" and parts == ["healthz"]:
             return 200, self._healthz(), "GET /healthz"
+        if method == "GET" and parts == ["readyz"]:
+            return self._readyz() + ("GET /readyz",)
         if method == "GET" and parts == ["metrics"]:
             return 200, self._metrics(query), "GET /metrics"
+        if method == "POST" and self.draining and parts[:1] != ["jobs"]:
+            # Liveness, readiness, metrics, job polling and cancellation
+            # stay up during a drain; anything that admits work does not.
+            raise DrainingError(
+                "service is draining; no new work is admitted"
+            )
         if method == "POST" and parts == ["projects"]:
             status, payload = self._upload(self._json_body(body))
             return status, payload, "POST /projects"
@@ -220,10 +334,17 @@ class ChopService:
     # endpoint bodies
     # ------------------------------------------------------------------
     def _healthz(self) -> Dict[str, Any]:
+        """Liveness: 200 for as long as the process can answer at all."""
         return {
             "status": "ok",
             "uptime_s": round(time.time() - self.started_at, 3),
         }
+
+    def _readyz(self) -> Tuple[int, Dict[str, Any]]:
+        """Readiness: 503 once draining so balancers stop routing here."""
+        if self.draining:
+            return 503, {"status": "draining"}
+        return 200, {"status": "ready"}
 
     def _metrics(self, query: str = "") -> Any:
         # Subsystem gauges (cache, jobs, sessions, engine, disk_cache,
@@ -265,12 +386,41 @@ class ChopService:
     ) -> Dict[str, Any]:
         heuristic = options.get("heuristic", "iterative")
         prune = bool(options.get("prune", True))
+        soft_deadline_s = options.get("soft_deadline_s")
         if heuristic not in HEURISTICS:
             raise ServiceError(
                 400,
                 f"unknown heuristic {heuristic!r}; use one of "
                 f"{list(HEURISTICS)}",
             )
+        if soft_deadline_s is not None:
+            try:
+                soft_deadline_s = float(soft_deadline_s)
+            except (TypeError, ValueError):
+                raise ServiceError(
+                    400,
+                    f"soft_deadline_s must be a number, "
+                    f"got {soft_deadline_s!r}",
+                ) from None
+            if soft_deadline_s <= 0:
+                raise ServiceError(
+                    400, "soft_deadline_s must be positive"
+                )
+            # A soft-deadlined check may return a *partial* verdict;
+            # partial verdicts are never memoized (a later full check
+            # must not inherit them) so this path bypasses the cache.
+            with entry.lock:
+                result = self._checked(
+                    entry,
+                    heuristic=heuristic,
+                    prune=prune,
+                    soft_deadline_s=soft_deadline_s,
+                ).to_dict()
+            return {
+                "project_id": entry.project_id,
+                "cache_hit": False,
+                "result": result,
+            }
         key = check_cache_key(entry.fingerprint, heuristic, prune)
 
         def compute() -> Dict[str, Any]:
@@ -306,7 +456,10 @@ class ChopService:
             session.seed_predictions(cached)
         result = session.check(**options)
         if cached is None:
-            self.disk_cache.store(
+            # Best-effort: a sick cache disk degrades persistence to a
+            # no-op (counted in disk_cache.store_failures), it never
+            # fails the check that just succeeded.
+            self.disk_cache.store_safely(
                 disk_key, session.export_predictions()
             )
         return result
@@ -379,6 +532,7 @@ class ChopService:
             kind=f"{heuristic}:{entry.project_id}",
             timeout_s=timeout_s,
             pass_job=True,
+            session_key=entry.project_id,
         )
         job.trace_id = tracer.trace_id
         return job.to_dict()
@@ -476,11 +630,29 @@ class _Handler(BaseHTTPRequestHandler):
     def _dispatch(self, method: str) -> None:
         started = time.perf_counter()
         length = int(self.headers.get("Content-Length") or 0)
-        body = self.rfile.read(length) if length else None
-        status, payload, route = self.service.handle(
-            method, self.path, body,
-            trace_id=self.headers.get("X-Trace-Id"),
-        )
+        if length > self.service.max_body_bytes:
+            # Reject from the declared length alone — never buffer an
+            # oversized body into memory.  The unread body makes the
+            # connection unusable for keep-alive, so close it.
+            status, payload, route, extra = (
+                413,
+                {
+                    "error": (
+                        f"request body of {length} bytes exceeds the "
+                        f"{self.service.max_body_bytes} byte cap"
+                    ),
+                    "type": "body_too_large",
+                },
+                "(oversized)",
+                {},
+            )
+            self.close_connection = True
+        else:
+            body = self.rfile.read(length) if length else None
+            status, payload, route, extra = self.service.handle(
+                method, self.path, body,
+                trace_id=self.headers.get("X-Trace-Id"),
+            )
         if isinstance(payload, str):
             # Pre-rendered text (the Prometheus exposition format).
             data = payload.encode("utf-8")
@@ -491,6 +663,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
+        for name, value in extra.items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(data)
         self.service.metrics.observe(
@@ -513,14 +687,44 @@ def make_server(
 
 
 def serve(
-    service: ChopService, host: str = "127.0.0.1", port: int = 8080
+    service: ChopService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    drain_timeout_s: Optional[float] = None,
 ) -> None:
-    """Run the server until interrupted (the CLI entry point)."""
+    """Run the server until interrupted (the CLI entry point).
+
+    ``SIGTERM`` triggers a graceful drain: admissions stop immediately
+    (``/readyz`` flips to 503, new ``POST`` s get the same), running
+    jobs get up to the drain timeout to finish, stragglers are
+    cancelled cooperatively, and only then does the socket close.
+    ``KeyboardInterrupt`` (Ctrl-C) takes the same path.
+    """
     server = make_server(service, host, port)
+    drained = threading.Event()
+
+    def _drain_and_stop() -> None:
+        if drained.is_set():
+            return
+        drained.set()
+        service.drain(timeout_s=drain_timeout_s)
+        server.shutdown()
+
+    def _on_sigterm(signum: Any, frame: Any) -> None:
+        # serve_forever holds the main thread; drain from a helper so
+        # the signal handler returns immediately.
+        threading.Thread(target=_drain_and_stop, daemon=True).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:
+        # Not the main thread (embedded/test use) — SIGTERM handling
+        # is the embedder's job; drain() is still callable directly.
+        pass
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        pass
+        _drain_and_stop()
     finally:
         server.shutdown()
         server.server_close()

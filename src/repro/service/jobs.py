@@ -12,6 +12,18 @@ and cancellation are *cooperative*: the job function receives a
 hooks (see :meth:`repro.core.chop.ChopSession.check`), which starts
 returning ``True`` once the job is cancelled or its wall-clock budget is
 spent.  A queued job that is cancelled never starts.
+
+Resilience (see ``docs/resilience.md``):
+
+* **admission control** — ``max_queued`` bounds the backlog
+  (:class:`~repro.errors.QueueFullError` → HTTP 429 + ``Retry-After``)
+  and ``max_per_session`` bounds one tenant's concurrent jobs;
+* **retry** — a retryable job-body failure (``OSError``, notably
+  injected faults) is re-attempted under the queue's
+  :class:`~repro.resilience.RetryPolicy` with backoff;
+* **drain** — :meth:`JobQueue.drain` closes admissions
+  (:class:`~repro.errors.DrainingError` → HTTP 503), waits for in-flight
+  jobs up to a timeout, then cancels the stragglers cooperatively.
 """
 
 from __future__ import annotations
@@ -22,13 +34,18 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
-from repro.errors import SearchCancelled
+from repro.errors import DrainingError, QueueFullError, SearchCancelled
+from repro.resilience.faults import maybe_inject
+from repro.resilience.retry import RetryPolicy, RetryStats
 
 QUEUED = "queued"
 RUNNING = "running"
 DONE = "done"
 FAILED = "failed"
 CANCELLED = "cancelled"
+
+#: States a job never leaves.
+TERMINAL = (DONE, FAILED, CANCELLED)
 
 
 @dataclass
@@ -53,6 +70,11 @@ class Job:
     #: ``"explain"``.  Written once, after the run; served by
     #: ``GET /jobs/{id}/trace`` and ``GET /jobs/{id}/explain``.
     artifacts: Dict[str, Any] = field(default_factory=dict)
+    #: Admission-control scope (the project id for enumerations); jobs
+    #: sharing a key count against ``max_per_session`` together.
+    session_key: Optional[str] = None
+    #: Executions of the job body (> 1 after retried failures).
+    attempts: int = 0
     _deadline: Optional[float] = None
 
     def should_stop(self) -> bool:
@@ -79,6 +101,7 @@ class Job:
             "started_at": self.started_at,
             "finished_at": self.finished_at,
             "timeout_s": self.timeout_s,
+            "attempts": self.attempts,
         }
         if self.progress is not None:
             doc["progress"] = self.progress
@@ -98,17 +121,42 @@ class JobQueue:
         self,
         workers: int = 2,
         default_timeout_s: Optional[float] = 300.0,
+        max_queued: Optional[int] = None,
+        max_per_session: Optional[int] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        retry_stats: Optional[RetryStats] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
+        if max_queued is not None and max_queued < 1:
+            raise ValueError(
+                f"max_queued must be >= 1 (or None), got {max_queued}"
+            )
+        if max_per_session is not None and max_per_session < 1:
+            raise ValueError(
+                f"max_per_session must be >= 1 (or None), "
+                f"got {max_per_session}"
+            )
         self.workers = workers
         self.default_timeout_s = default_timeout_s
+        self.max_queued = max_queued
+        self.max_per_session = max_per_session
+        #: Backoff schedule for retryable job-body failures; ``None``
+        #: disables retries (first failure is terminal).
+        self.retry_policy = retry_policy
+        self.retry_stats = retry_stats
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="chop-job"
         )
         self._lock = threading.Lock()
         self._jobs: Dict[str, Job] = {}
         self._counter = 0
+        self._draining = False
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
 
     # ------------------------------------------------------------------
     # submission and execution
@@ -119,6 +167,7 @@ class JobQueue:
         kind: str = "job",
         timeout_s: Optional[float] = None,
         pass_job: bool = False,
+        session_key: Optional[str] = None,
     ) -> Job:
         """Queue ``fn(should_stop)``; returns the job record immediately.
 
@@ -127,15 +176,51 @@ class JobQueue:
         function receives the whole :class:`Job` instead of just the
         ``should_stop`` hook — engine-backed searches use this to wire
         :meth:`Job.report_progress` into per-shard callbacks.
+
+        Raises :class:`~repro.errors.DrainingError` once the queue is
+        draining, and :class:`~repro.errors.QueueFullError` when the
+        backlog cap or the ``session_key``'s concurrent-job quota is
+        hit — both *before* the job exists, so rejected work leaves no
+        registry residue.
         """
         if timeout_s is None:
             timeout_s = self.default_timeout_s
         if timeout_s is not None and timeout_s <= 0:
             timeout_s = None
         with self._lock:
+            if self._draining:
+                raise DrainingError(
+                    "job queue is draining; no new work is admitted"
+                )
+            queued = sum(
+                1 for j in self._jobs.values() if j.state == QUEUED
+            )
+            if self.max_queued is not None and queued >= self.max_queued:
+                raise QueueFullError(
+                    f"job queue is full ({queued} queued, cap "
+                    f"{self.max_queued}); retry later",
+                    retry_after_s=1.0 + queued,
+                )
+            if self.max_per_session is not None and session_key:
+                active = sum(
+                    1
+                    for j in self._jobs.values()
+                    if j.session_key == session_key
+                    and j.state in (QUEUED, RUNNING)
+                )
+                if active >= self.max_per_session:
+                    raise QueueFullError(
+                        f"session {session_key!r} already has {active} "
+                        f"active jobs (cap {self.max_per_session}); "
+                        f"wait for one to finish",
+                        retry_after_s=2.0,
+                    )
             self._counter += 1
             job = Job(
-                id=f"job-{self._counter}", kind=kind, timeout_s=timeout_s
+                id=f"job-{self._counter}",
+                kind=kind,
+                timeout_s=timeout_s,
+                session_key=session_key,
             )
             self._jobs[job.id] = job
         self._executor.submit(self._run, job, fn, pass_job)
@@ -154,33 +239,52 @@ class JobQueue:
             job.started_at = time.time()
             if job.timeout_s is not None:
                 job._deadline = time.monotonic() + job.timeout_s
-        try:
-            result = fn(job) if pass_job else fn(job.should_stop)
-        except SearchCancelled as exc:
-            with self._lock:
-                job.finished_at = time.time()
-                if job.cancel_event.is_set():
-                    job.state = CANCELLED
-                    job.error = f"cancelled: {exc}"
-                elif job.timeout_s is not None:
+        policy = self.retry_policy
+        while True:
+            job.attempts += 1
+            try:
+                maybe_inject("job")
+                result = fn(job) if pass_job else fn(job.should_stop)
+            except SearchCancelled as exc:
+                with self._lock:
+                    job.finished_at = time.time()
+                    if job.cancel_event.is_set():
+                        job.state = CANCELLED
+                        job.error = f"cancelled: {exc}"
+                    elif job.timeout_s is not None:
+                        job.state = FAILED
+                        job.error = (
+                            f"timed out after {job.timeout_s:g} s: {exc}"
+                        )
+                    else:
+                        job.state = FAILED
+                        job.error = f"SearchCancelled: {exc}"
+                return
+            except Exception as exc:  # noqa: BLE001 — job boundary
+                if (
+                    policy is not None
+                    and policy.is_retryable(exc)
+                    and job.attempts < policy.max_attempts
+                    and not job.should_stop()
+                ):
+                    time.sleep(policy.delay_for(job.attempts))
+                    continue
+                with self._lock:
                     job.state = FAILED
-                    job.error = (
-                        f"timed out after {job.timeout_s:g} s: {exc}"
+                    job.finished_at = time.time()
+                    job.error = f"{type(exc).__name__}: {exc}"
+                if self.retry_stats is not None:
+                    self.retry_stats.record(
+                        "job", job.attempts, exhausted=True
                     )
-                else:
-                    job.state = FAILED
-                    job.error = f"SearchCancelled: {exc}"
-            return
-        except Exception as exc:  # noqa: BLE001 — job boundary
-            with self._lock:
-                job.state = FAILED
-                job.finished_at = time.time()
-                job.error = f"{type(exc).__name__}: {exc}"
-            return
+                return
+            break
         with self._lock:
             job.state = DONE
             job.finished_at = time.time()
             job.result = result
+        if self.retry_stats is not None:
+            self.retry_stats.record("job", job.attempts, exhausted=False)
 
     # ------------------------------------------------------------------
     # lifecycle queries
@@ -198,14 +302,17 @@ class JobQueue:
             job.cancel_event.set()
             return job
 
-    def depth(self) -> Dict[str, int]:
+    def depth(self) -> Dict[str, Any]:
         """Queue-depth gauges for ``/metrics``."""
         with self._lock:
             states = [job.state for job in self._jobs.values()]
+            draining = self._draining
         return {
             "queued": states.count(QUEUED),
             "running": states.count(RUNNING),
             "total": len(states),
+            "max_queued": self.max_queued,
+            "draining": draining,
         }
 
     def wait(self, job_id: str, timeout: float = 30.0) -> Job:
@@ -213,15 +320,85 @@ class JobQueue:
         deadline = time.monotonic() + timeout
         while time.monotonic() < deadline:
             job = self.get(job_id)
-            if job is not None and job.state in (DONE, FAILED, CANCELLED):
+            if job is not None and job.state in TERMINAL:
                 return job
             time.sleep(0.01)
         raise TimeoutError(f"job {job_id} did not finish in {timeout} s")
 
-    def shutdown(self) -> None:
-        """Cancel everything and release the worker threads."""
+    # ------------------------------------------------------------------
+    # drain and shutdown
+    # ------------------------------------------------------------------
+    def _active(self) -> int:
         with self._lock:
+            return sum(
+                1
+                for job in self._jobs.values()
+                if job.state in (QUEUED, RUNNING)
+            )
+
+    def drain(
+        self,
+        timeout_s: float = 10.0,
+        grace_s: float = 5.0,
+        poll_s: float = 0.02,
+    ) -> Dict[str, Any]:
+        """Graceful shutdown: stop admissions, wait, cancel, release.
+
+        1. close admissions (``submit`` raises ``DrainingError``);
+        2. wait up to ``timeout_s`` for queued/running jobs to finish;
+        3. cancel the stragglers cooperatively and give them
+           ``grace_s`` to observe the hook;
+        4. :meth:`shutdown` the pool (queued leftovers are terminally
+           cancelled in the registry).
+
+        Returns a summary of terminal states for logging/metrics.
+        """
+        with self._lock:
+            self._draining = True
+        deadline = time.monotonic() + max(0.0, timeout_s)
+        while self._active() and time.monotonic() < deadline:
+            time.sleep(poll_s)
+        forced = self._active()
+        if forced:
+            with self._lock:
+                stragglers = [
+                    job
+                    for job in self._jobs.values()
+                    if job.state in (QUEUED, RUNNING)
+                ]
+            for job in stragglers:
+                job.cancel_event.set()
+            grace_deadline = time.monotonic() + max(0.0, grace_s)
+            while self._active() and time.monotonic() < grace_deadline:
+                time.sleep(poll_s)
+        self.shutdown()
+        with self._lock:
+            states = [job.state for job in self._jobs.values()]
+        return {
+            "drained": forced == 0,
+            "forced": forced,
+            "done": states.count(DONE),
+            "failed": states.count(FAILED),
+            "cancelled": states.count(CANCELLED),
+        }
+
+    def shutdown(self) -> None:
+        """Cancel everything and release the worker threads.
+
+        Queued jobs whose futures the executor drops must still reach a
+        terminal state in the registry — a client polling them would
+        otherwise wait forever — so anything still ``queued`` after the
+        executor shutdown is marked ``cancelled`` here.
+        """
+        with self._lock:
+            self._draining = True
             jobs = list(self._jobs.values())
         for job in jobs:
             job.cancel_event.set()
         self._executor.shutdown(wait=False, cancel_futures=True)
+        with self._lock:
+            for job in self._jobs.values():
+                if job.state == QUEUED:
+                    job.state = CANCELLED
+                    job.finished_at = time.time()
+                    job.error = "cancelled: queue shut down"

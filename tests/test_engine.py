@@ -421,12 +421,20 @@ class TestDiskCache:
         assert not cache.path_for(key).exists()
         assert cache.stats()["invalidated"] == 1
 
-    def test_corrupt_file_is_a_miss_and_removed(self, tmp_path, session):
+    def test_corrupt_file_is_a_miss_and_quarantined(
+        self, tmp_path, session
+    ):
         cache = DiskPredictionCache(tmp_path)
         key = cache.key_for("fp", session.library, session.clocks)
-        cache.path_for(key).write_bytes(b"\x00not a pickle")
+        path = cache.path_for(key)
+        path.write_bytes(b"\x00not a pickle")
         assert cache.load(key) is None
-        assert not cache.path_for(key).exists()
+        # The defective bytes move aside for post-mortem instead of
+        # being destroyed; the lookup path is clear for the next store.
+        assert not path.exists()
+        quarantine = path.with_name(path.name + ".corrupt")
+        assert quarantine.read_bytes() == b"\x00not a pickle"
+        assert cache.stats()["quarantined"] == 1
 
     def test_store_leaves_no_temp_files(self, tmp_path, session):
         cache = DiskPredictionCache(tmp_path)

@@ -1,0 +1,294 @@
+"""Fault-injection tests: the harness itself, then the recovery paths.
+
+The point of ``$CHOP_FAULTS`` is that an injected fault travels the
+*same* code path as the real failure it mimics (``InjectedFault`` is an
+``OSError``), so these tests assert end-to-end recovery — a killed shard
+is retried with backoff and the merged result is byte-identical to the
+serial run; a failing cache write is retried and then succeeds; a
+failing job body is re-attempted by the queue.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.engine import DiskPredictionCache, EvaluationEngine
+from repro.experiments import experiment1_session, experiment2_session
+from repro.resilience import (
+    FAULTS_ENV,
+    FaultPlan,
+    InjectedFault,
+    RetryPolicy,
+    RetryStats,
+    active_plan,
+    maybe_inject,
+    reset_counters,
+)
+from repro.service.jobs import DONE, JobQueue
+
+
+@pytest.fixture(autouse=True)
+def clean_faults(monkeypatch):
+    """No leftover spec or first-K tallies between tests."""
+    monkeypatch.delenv(FAULTS_ENV, raising=False)
+    reset_counters()
+    yield
+    reset_counters()
+
+
+def result_doc(result):
+    doc = result.to_dict()
+    doc.pop("cpu_seconds", None)
+    return doc
+
+
+# ----------------------------------------------------------------------
+# the harness itself
+# ----------------------------------------------------------------------
+class TestFaultPlan:
+    def test_parses_mixed_spec(self):
+        plan = FaultPlan("shard=2,cache_store=1,cache_store_delay=0.05")
+        assert plan.value("shard") == 2
+        assert plan.value("cache_store") == 1
+        assert plan.value("cache_store_delay") == 0.05
+        assert plan.value("job") is None
+
+    def test_empty_spec_has_no_sites(self):
+        assert FaultPlan("").sites == {}
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["bogus_site=1", "shard", "shard=x", "shard=-1", "=3"],
+    )
+    def test_rejects_bad_specs(self, spec):
+        with pytest.raises(ValueError):
+            FaultPlan(spec)
+
+    def test_active_plan_reads_environment(self, monkeypatch):
+        assert active_plan() is None
+        monkeypatch.setenv(FAULTS_ENV, "job=1")
+        plan = active_plan()
+        assert plan is not None and plan.value("job") == 1
+
+    def test_injected_fault_is_oserror(self):
+        # Load-bearing: this is why injected faults reuse the engine's
+        # and cache's real OSError recovery branches.
+        assert issubclass(InjectedFault, OSError)
+
+
+class TestMaybeInject:
+    def test_noop_without_env(self):
+        maybe_inject("cache_store")  # must not raise
+        maybe_inject("shard", index=0)
+
+    def test_counted_site_fires_first_k_only(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "cache_store=2")
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                maybe_inject("cache_store")
+        maybe_inject("cache_store")  # third call: spent
+        maybe_inject("cache_store")
+
+    def test_counters_survive_replans(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "job=1")
+        with pytest.raises(InjectedFault):
+            maybe_inject("job")
+        # Re-setting the same spec must not rearm a spent counter.
+        monkeypatch.setenv(FAULTS_ENV, "job=1")
+        maybe_inject("job")
+
+    def test_indexed_site_matches_exact_index(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "shard=2")
+        maybe_inject("shard", index=0)
+        maybe_inject("shard", index=1)
+        with pytest.raises(InjectedFault):
+            maybe_inject("shard", index=2)
+        # Indexed sites re-fire every time the index matches.
+        with pytest.raises(InjectedFault):
+            maybe_inject("shard", index=2)
+
+    def test_delay_site_sleeps_instead_of_raising(self, monkeypatch):
+        import time
+
+        monkeypatch.setenv(FAULTS_ENV, "cache_store_delay=0.02")
+        started = time.perf_counter()
+        maybe_inject("cache_store_delay")
+        assert time.perf_counter() - started >= 0.015
+
+
+# ----------------------------------------------------------------------
+# engine: a killed shard is retried with backoff, merge is identical
+# ----------------------------------------------------------------------
+class TestEngineShardRecovery:
+    def test_injected_shard_fault_retried_to_identical_result(
+        self, monkeypatch
+    ):
+        session = experiment2_session(partition_count=3)
+        serial = session.check(heuristic="enumeration")
+
+        monkeypatch.setenv(FAULTS_ENV, "shard=0")
+        engine = EvaluationEngine(workers=2, min_combinations=1)
+        survived = session.check(heuristic="enumeration", engine=engine)
+
+        assert result_doc(survived) == result_doc(serial)
+        stats = engine.stats()
+        assert stats["shards_retried"] >= 1
+        assert stats["shard_retry_attempts"] >= 1
+
+    def test_hard_worker_exit_retried_to_identical_result(
+        self, monkeypatch
+    ):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("shard_exit needs the fork start method")
+        session = experiment2_session(partition_count=3)
+        serial = session.check(heuristic="enumeration")
+
+        monkeypatch.setenv(FAULTS_ENV, "shard_exit=0")
+        engine = EvaluationEngine(
+            workers=2, min_combinations=1, start_method="fork"
+        )
+        survived = session.check(heuristic="enumeration", engine=engine)
+
+        assert result_doc(survived) == result_doc(serial)
+        assert engine.stats()["shards_retried"] >= 1
+
+    def test_backoff_sleeps_before_serial_rerun(self, monkeypatch):
+        slept = []
+        import repro.engine.workers as workers_module
+
+        monkeypatch.setattr(
+            workers_module.time, "sleep", slept.append
+        )
+        monkeypatch.setenv(FAULTS_ENV, "shard=0")
+        session = experiment2_session(partition_count=3)
+        engine = EvaluationEngine(workers=2, min_combinations=1)
+        session.check(heuristic="enumeration", engine=engine)
+        # The dead-worker try counts as attempt 1, so the serial re-run
+        # waits out the policy's first backoff delay.
+        assert any(
+            delay >= engine.retry_policy.base_delay_s for delay in slept
+        )
+
+
+# ----------------------------------------------------------------------
+# disk cache: transient write errors retried, reads degrade to a miss
+# ----------------------------------------------------------------------
+class TestDiskCacheFaults:
+    def test_store_retries_through_injected_faults(
+        self, tmp_path, monkeypatch
+    ):
+        session = experiment1_session(partition_count=2)
+        cache = DiskPredictionCache(
+            tmp_path,
+            retry_policy=RetryPolicy(
+                max_attempts=3, base_delay_s=0.001, jitter=0.0
+            ),
+        )
+        key = cache.key_for("fp", session.library, session.clocks)
+        monkeypatch.setenv(FAULTS_ENV, "cache_store=2")
+        cache.store(key, session.export_predictions())
+        assert cache.load(key) is not None
+        stats = cache.stats()
+        assert stats["store_retries"] == 2
+        assert stats["store_failures"] == 0
+
+    def test_store_exhaustion_raises_and_store_safely_swallows(
+        self, tmp_path, monkeypatch
+    ):
+        session = experiment1_session(partition_count=2)
+        cache = DiskPredictionCache(
+            tmp_path,
+            retry_policy=RetryPolicy(
+                max_attempts=2, base_delay_s=0.001, jitter=0.0
+            ),
+        )
+        key = cache.key_for("fp", session.library, session.clocks)
+        exported = session.export_predictions()
+
+        monkeypatch.setenv(FAULTS_ENV, "cache_store=10")
+        with pytest.raises(OSError):
+            cache.store(key, exported)
+        assert cache.stats()["store_failures"] == 1
+
+        reset_counters()
+        monkeypatch.setenv(FAULTS_ENV, "cache_store=10")
+        assert cache.store_safely(key, exported) is False
+        assert cache.stats()["store_failures"] == 2
+
+    def test_injected_read_fault_is_a_miss(self, tmp_path, monkeypatch):
+        session = experiment1_session(partition_count=2)
+        cache = DiskPredictionCache(tmp_path)
+        key = cache.key_for("fp", session.library, session.clocks)
+        cache.store(key, session.export_predictions())
+
+        monkeypatch.setenv(FAULTS_ENV, "cache_load=1")
+        assert cache.load(key) is None  # fault -> degraded to a miss
+        monkeypatch.delenv(FAULTS_ENV)
+        # The faulted read quarantined the entry; a rewrite restores it.
+        cache.store(key, session.export_predictions())
+        assert cache.load(key) is not None
+
+
+# ----------------------------------------------------------------------
+# job queue: retryable body failures are re-attempted with backoff
+# ----------------------------------------------------------------------
+class TestJobRetry:
+    def test_job_body_fault_retried_to_success(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "job=2")
+        stats = RetryStats()
+        queue = JobQueue(
+            workers=1,
+            retry_policy=RetryPolicy(
+                max_attempts=3, base_delay_s=0.001, jitter=0.0
+            ),
+            retry_stats=stats,
+        )
+        try:
+            job = queue.submit(lambda should_stop: "survived")
+            finished = queue.wait(job.id, timeout=10)
+            assert finished.state == DONE
+            assert finished.result == "survived"
+            assert finished.attempts == 3
+            snap = stats.stats()
+            assert snap["sites"]["job"]["retries"] == 2
+            assert snap["exhausted"] == 0
+        finally:
+            queue.shutdown()
+
+    def test_exhausted_job_fails_with_attempt_count(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "job=10")
+        stats = RetryStats()
+        queue = JobQueue(
+            workers=1,
+            retry_policy=RetryPolicy(
+                max_attempts=2, base_delay_s=0.001, jitter=0.0
+            ),
+            retry_stats=stats,
+        )
+        try:
+            job = queue.submit(lambda should_stop: "never")
+            finished = queue.wait(job.id, timeout=10)
+            assert finished.state == "failed"
+            assert finished.attempts == 2
+            assert "InjectedFault" in (finished.error or "")
+            assert stats.stats()["exhausted"] == 1
+        finally:
+            queue.shutdown()
+
+    def test_non_retryable_failure_is_terminal_on_first_attempt(self):
+        queue = JobQueue(
+            workers=1, retry_policy=RetryPolicy(max_attempts=3)
+        )
+        try:
+
+            def broken(should_stop):
+                raise ValueError("logic bug")
+
+            job = queue.submit(broken)
+            finished = queue.wait(job.id, timeout=10)
+            assert finished.state == "failed"
+            assert finished.attempts == 1
+        finally:
+            queue.shutdown()

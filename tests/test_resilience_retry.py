@@ -1,0 +1,163 @@
+"""Unit tests for repro.resilience.retry (policy + ledger).
+
+The retry policy is the one backoff implementation every transient-
+failure site shares, so its arithmetic (growth, cap, jitter) and its
+exception classification are tested exactly, with ``jitter=0`` or an
+injected rng keeping everything deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.resilience import RetryPolicy, RetryStats
+
+
+class TestDelaySchedule:
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay_s=0.1, max_delay_s=10.0,
+            multiplier=2.0, jitter=0.0,
+        )
+        delays = [policy.delay_for(n) for n in (1, 2, 3, 4)]
+        assert delays == [0.1, 0.2, 0.4, 0.8]
+
+    def test_cap_applies(self):
+        policy = RetryPolicy(
+            max_attempts=10, base_delay_s=1.0, max_delay_s=3.0,
+            multiplier=2.0, jitter=0.0,
+        )
+        assert policy.delay_for(1) == 1.0
+        assert policy.delay_for(2) == 2.0
+        assert policy.delay_for(3) == 3.0  # capped, not 4.0
+        assert policy.delay_for(9) == 3.0
+
+    def test_jitter_widens_but_never_shrinks(self):
+        policy = RetryPolicy(
+            max_attempts=3, base_delay_s=1.0, max_delay_s=10.0,
+            multiplier=1.0, jitter=0.5,
+        )
+        rng = random.Random(42)
+        for _ in range(100):
+            delay = policy.delay_for(1, rng=rng)
+            assert 1.0 <= delay <= 1.5
+
+    def test_jitter_deterministic_with_seeded_rng(self):
+        policy = RetryPolicy(jitter=0.2)
+        a = policy.delay_for(2, rng=random.Random(7))
+        b = policy.delay_for(2, rng=random.Random(7))
+        assert a == b
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay_for(0)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+
+class TestClassification:
+    def test_default_retries_oserror_only(self):
+        policy = RetryPolicy()
+        assert policy.is_retryable(OSError("disk"))
+        assert policy.is_retryable(ConnectionResetError())  # an OSError
+        assert not policy.is_retryable(ValueError("logic bug"))
+        assert not policy.is_retryable(KeyError("missing"))
+
+    def test_custom_retryable_tuple(self):
+        policy = RetryPolicy(retryable=(KeyError, TimeoutError))
+        assert policy.is_retryable(KeyError("x"))
+        assert not policy.is_retryable(OSError("disk"))
+
+
+class TestCall:
+    def _policy(self, attempts=3):
+        return RetryPolicy(
+            max_attempts=attempts, base_delay_s=0.01, jitter=0.0
+        )
+
+    def test_success_first_try(self):
+        stats = RetryStats()
+        result = self._policy().call(
+            lambda: 42, site="t", sleep=lambda _: None, stats=stats
+        )
+        assert result == 42
+        snap = stats.stats()
+        assert snap["calls"] == 1
+        assert snap["retries"] == 0
+        assert snap["exhausted"] == 0
+
+    def test_retries_then_succeeds(self):
+        calls = {"n": 0}
+        slept = []
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError("transient")
+            return "ok"
+
+        stats = RetryStats()
+        result = self._policy().call(
+            flaky, site="t", sleep=slept.append, stats=stats
+        )
+        assert result == "ok"
+        assert calls["n"] == 3
+        # Backoff slept once per failed attempt, growing exponentially.
+        assert slept == [0.01, 0.02]
+        snap = stats.stats()
+        assert snap["retries"] == 2
+        assert snap["sites"]["t"] == {
+            "calls": 1, "retries": 2, "exhausted": 0,
+        }
+
+    def test_exhaustion_raises_last_error(self):
+        stats = RetryStats()
+        with pytest.raises(OSError, match="always"):
+            self._policy(attempts=2).call(
+                lambda: (_ for _ in ()).throw(OSError("always")),
+                site="t", sleep=lambda _: None, stats=stats,
+            )
+        snap = stats.stats()
+        assert snap["exhausted"] == 1
+        assert snap["retries"] == 1  # 2 attempts = 1 retry
+
+    def test_non_retryable_propagates_immediately(self):
+        calls = {"n": 0}
+
+        def broken():
+            calls["n"] += 1
+            raise ValueError("logic bug")
+
+        with pytest.raises(ValueError):
+            self._policy().call(broken, sleep=lambda _: None)
+        assert calls["n"] == 1
+
+
+class TestRetryStatsThreading:
+    def test_concurrent_records_tally_exactly(self):
+        import threading
+
+        stats = RetryStats()
+
+        def hammer():
+            for _ in range(200):
+                stats.record("site", attempts=2, exhausted=False)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = stats.stats()
+        assert snap["calls"] == 800
+        assert snap["retries"] == 800

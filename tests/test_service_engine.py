@@ -32,7 +32,7 @@ def big_project_doc():
 
 def call(service, method, path, payload=None):
     body = None if payload is None else json.dumps(payload).encode()
-    status, doc, _route = service.handle(method, path, body)
+    status, doc, _route, _headers = service.handle(method, path, body)
     return status, doc
 
 
