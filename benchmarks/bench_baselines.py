@@ -10,7 +10,11 @@ the actual design constraints.
 
 from __future__ import annotations
 
-from repro.baselines.kernighan_lin import cut_bits, kl_bipartition
+from repro.baselines.kernighan_lin import (
+    cut_bits,
+    edge_weights,
+    kl_bipartition,
+)
 from repro.baselines.repair import make_acyclic
 from repro.core.partition import Partition
 from repro.core.schemes import horizontal_cut
@@ -23,15 +27,16 @@ def test_baseline_kl_vs_horizontal(benchmark, save_artifact):
 
     def run():
         graph = ar_lattice_filter()
+        weights = edge_weights(graph)
 
         # Horizontal (constraint-driven protocol) cut.
         horizontal = horizontal_cut(graph, 2)
-        h_cut = cut_bits(graph, set(horizontal[0].op_ids))
+        h_cut = cut_bits(graph, set(horizontal[0].op_ids), weights=weights)
 
         # KL min-cut, repaired to one-way data flow.
         side_a, side_b, kl_cut_raw = kl_bipartition(graph)
         new_a, new_b, moved = make_acyclic(graph, side_a, side_b)
-        kl_cut = cut_bits(graph, new_a)
+        kl_cut = cut_bits(graph, new_a, weights=weights)
 
         # Run both through CHOP.
         session_h = experiment1_session(2, 2)

@@ -60,7 +60,7 @@ def test_bad_prediction_speed(benchmark, count):
     session = experiment1_session(2, count)
 
     def predict_fresh():
-        session._prediction_cache.clear()
+        session.clear_prediction_caches()
         return session.predict_all()
 
     result = benchmark.pedantic(predict_fresh, rounds=3, iterations=1)

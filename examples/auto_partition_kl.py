@@ -25,7 +25,12 @@ from repro import (
     horizontal_cut,
     mosis_package,
 )
-from repro.baselines import cut_bits, kl_bipartition, make_acyclic
+from repro.baselines import (
+    cut_bits,
+    edge_weights,
+    kl_bipartition,
+    make_acyclic,
+)
 
 
 def session_for(graph, partitions) -> ChopSession:
@@ -69,7 +74,8 @@ def main() -> None:
 
     # Constraint-driven protocol: a balanced horizontal cut.
     horizontal = horizontal_cut(graph, 2)
-    h_cut = cut_bits(graph, set(horizontal[0].op_ids))
+    weights = edge_weights(graph)
+    h_cut = cut_bits(graph, set(horizontal[0].op_ids), weights=weights)
     print(f"Horizontal cut: {h_cut} bits cross the boundary")
     h_best = describe("horizontal", session_for(graph, horizontal))
     print()
@@ -80,7 +86,7 @@ def main() -> None:
     new_a, new_b, moved = make_acyclic(graph, side_a, side_b)
     print(
         f"  repaired to one-way flow by moving {moved} operations; "
-        f"cut is now {cut_bits(graph, new_a)} bits"
+        f"cut is now {cut_bits(graph, new_a, weights=weights)} bits"
     )
     kl_parts = [Partition.of("P1", new_a), Partition.of("P2", new_b)]
     kl_best = describe("kl-repaired", session_for(graph, kl_parts))

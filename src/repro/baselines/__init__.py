@@ -12,6 +12,7 @@ them with the constraint-driven cuts.
 
 from repro.baselines.kernighan_lin import (
     cut_bits,
+    edge_weights,
     kl_bipartition,
     recursive_bisection,
 )
@@ -29,6 +30,7 @@ from repro.baselines.repair import make_acyclic
 __all__ = [
     "PartitionSearchOutcome",
     "cut_bits",
+    "edge_weights",
     "kl_bipartition",
     "recursive_bisection",
     "random_level_partitions",

@@ -131,6 +131,7 @@ def exhaustive_bipartition_search(
         "baseline.exhaustive", heuristic=heuristic,
         chips=f"{chip_a},{chip_b}",
     ) as sp:
+        eval_before = session.eval_stats()
         try:
             for side_a, side_b in exhaustive_bipartitions(session.graph):
                 outcome.candidates += 1
@@ -168,4 +169,15 @@ def exhaustive_bipartition_search(
             outcome.cpu_seconds = time.perf_counter() - started
             sp.add("candidates", outcome.candidates)
             sp.add("infeasible", outcome.infeasible)
+            eval_after = session.eval_stats()
+            # How much of the sweep the shared evaluation context
+            # absorbed: cuts re-using a side hit instead of re-predict.
+            sp.add(
+                "context_hits",
+                eval_after["hits"] - eval_before["hits"],
+            )
+            sp.add(
+                "context_misses",
+                eval_after["misses"] - eval_before["misses"],
+            )
     return outcome

@@ -16,8 +16,13 @@ from repro.dfg.graph import DataFlowGraph
 from repro.errors import PartitioningError
 
 
-def _edge_weights(graph: DataFlowGraph) -> Dict[Tuple[str, str], int]:
-    """Undirected op-to-op edge weights from shared values."""
+def edge_weights(graph: DataFlowGraph) -> Dict[Tuple[str, str], int]:
+    """Undirected op-to-op edge weights from shared values.
+
+    O(values) to derive; callers evaluating many cuts of one graph
+    (sweep loops, benchmarks) should compute this once and pass it to
+    :func:`cut_bits`.
+    """
     weights: Dict[Tuple[str, str], int] = {}
     for value in graph.values.values():
         if value.producer is None:
@@ -31,15 +36,31 @@ def _edge_weights(graph: DataFlowGraph) -> Dict[Tuple[str, str], int]:
     return weights
 
 
-def cut_bits(graph: DataFlowGraph, side_a: Set[str]) -> int:
-    """Total bit width of values crossing the (side_a, rest) boundary."""
+#: Backwards-compatible private alias.
+_edge_weights = edge_weights
+
+
+def cut_bits(
+    graph: DataFlowGraph,
+    side_a: Set[str],
+    weights: Optional[Dict[Tuple[str, str], int]] = None,
+) -> int:
+    """Total bit width of values crossing the (side_a, rest) boundary.
+
+    ``weights`` accepts the precomputed :func:`_edge_weights` map of
+    ``graph`` so loops evaluating many cuts of the same graph (the KL
+    pass itself, the baseline sweeps) pay the O(values) derivation once
+    instead of per call.
+    """
     unknown = side_a - set(graph.operations)
     if unknown:
         raise PartitioningError(
             f"cut references unknown operations: {sorted(unknown)[:5]}"
         )
+    if weights is None:
+        weights = edge_weights(graph)
     total = 0
-    for (a, b), weight in _edge_weights(graph).items():
+    for (a, b), weight in weights.items():
         if (a in side_a) != (b in side_a):
             total += weight
     return total
@@ -69,7 +90,7 @@ def kl_bipartition(
             raise PartitioningError("side A must be a proper non-empty subset")
     side_b = set(ops) - side_a
 
-    weights = _edge_weights(graph)
+    weights = edge_weights(graph)
     neighbour: Dict[str, Dict[str, int]] = {op: {} for op in ops}
     for (a, b), weight in weights.items():
         neighbour[a][b] = weight
@@ -132,7 +153,7 @@ def kl_bipartition(
             side_a.add(b_op)
             side_b.discard(b_op)
             side_b.add(a_op)
-    return side_a, side_b, cut_bits(graph, side_a)
+    return side_a, side_b, cut_bits(graph, side_a, weights=weights)
 
 
 def recursive_bisection(

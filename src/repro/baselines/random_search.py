@@ -89,6 +89,7 @@ def random_partition_search(
     with trace_span(
         "baseline.random", heuristic=heuristic, samples=count,
     ) as sp:
+        eval_before = session.eval_stats()
         try:
             for _ in range(count):
                 sides = random_level_partitions(
@@ -128,4 +129,15 @@ def random_partition_search(
             outcome.cpu_seconds = time.perf_counter() - started
             sp.add("candidates", outcome.candidates)
             sp.add("infeasible", outcome.infeasible)
+            eval_after = session.eval_stats()
+            # Samples sharing partition contents hit the evaluation
+            # context instead of re-running BAD.
+            sp.add(
+                "context_hits",
+                eval_after["hits"] - eval_before["hits"],
+            )
+            sp.add(
+                "context_misses",
+                eval_after["misses"] - eval_before["misses"],
+            )
     return outcome

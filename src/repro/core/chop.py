@@ -26,7 +26,7 @@ from typing import (
 )
 
 from repro.bad.prediction import DesignPrediction
-from repro.bad.predictor import BADPredictor, PredictorParameters
+from repro.bad.predictor import PredictorParameters
 from repro.bad.styles import ArchitectureStyle, ClockScheme
 from repro.chips.chip import Chip, POWER_GROUND_PINS
 from repro.chips.package import ChipPackage
@@ -35,6 +35,7 @@ from repro.core.partition import Partition
 from repro.core.partitioning import Partitioning
 from repro.dfg.graph import DataFlowGraph
 from repro.errors import PartitioningError, PredictionError
+from repro.eval.context import DEFAULT_CACHE_CAPACITY, EvaluationContext
 from repro.library.library import ComponentLibrary
 from repro.memory.module import MemoryModule
 from repro.obs.tracing import span as trace_span
@@ -56,6 +57,7 @@ class ChopSession:
         criteria: FeasibilityCriteria,
         memories: Iterable[MemoryModule] = (),
         predictor_params: Optional[PredictorParameters] = None,
+        prediction_cache_size: int = DEFAULT_CACHE_CAPACITY,
     ) -> None:
         self.graph = graph
         self.library = library
@@ -69,14 +71,31 @@ class ChopSession:
         self.memory_chip: Dict[str, str] = {}
         self._partitions: Dict[str, Partition] = {}
         self._partition_chip: Dict[str, str] = {}
-        self._predictor = BADPredictor(
+        self._eval = EvaluationContext(
+            graph=graph,
             library=library,
             clocks=clocks,
             style=style,
+            criteria=criteria,
             memories=self.memories,
-            params=predictor_params,
+            predictor_params=predictor_params,
+            cache_capacity=prediction_cache_size,
         )
-        self._prediction_cache: Dict[frozenset, List[DesignPrediction]] = {}
+        self._predictor = self._eval.predictor
+        self._partitioning_cache: Optional[Partitioning] = None
+
+    @property
+    def _prediction_cache(self):
+        """The raw per-content prediction store (compatibility alias)."""
+        return self._eval._raw
+
+    def clear_prediction_caches(self) -> None:
+        """Drop every cached prediction / task-graph artifact (cold path)."""
+        self._eval.clear()
+
+    def eval_stats(self) -> Dict[str, object]:
+        """Evaluation-context counters (cache hits, evictions, deltas)."""
+        return self._eval.stats()
 
     # ------------------------------------------------------------------
     # designer inputs and modifications (section 2.7)
@@ -87,6 +106,8 @@ class ChopSession:
             raise PartitioningError(f"duplicate chip name {name!r}")
         chip = Chip(name=name, package=package)
         self.chips[name] = chip
+        self._partitioning_cache = None
+        self._eval.mark_placement_dirty()
         return chip
 
     def set_partitions(
@@ -94,10 +115,25 @@ class ChopSession:
         partitions: Sequence[Partition],
         assignment: Mapping[str, str],
     ) -> None:
-        """Define the tentative partitions and their chip assignments."""
+        """Define the tentative partitions and their chip assignments.
+
+        Validates eagerly; on a bad input the previous partitioning is
+        restored, so a rejected proposal never leaves the session in an
+        unusable state (the baselines' sweep loops rely on this).
+        """
+        prev_partitions = self._partitions
+        prev_chip = self._partition_chip
         self._partitions = {p.name: p for p in partitions}
         self._partition_chip = dict(assignment)
-        self.partitioning()  # validate eagerly; raises on bad input
+        self._partitioning_cache = None
+        self._eval.mark_membership_dirty(self._partitions)
+        try:
+            self.partitioning()
+        except PartitioningError:
+            self._partitions = prev_partitions
+            self._partition_chip = prev_chip
+            self._partitioning_cache = None
+            raise
 
     def assign_memory(self, memory_name: str, chip_name: str) -> None:
         """Place an on-chip memory block on a design chip."""
@@ -106,6 +142,8 @@ class ChopSession:
         if chip_name not in self.chips:
             raise PartitioningError(f"unknown chip {chip_name!r}")
         self.memory_chip[memory_name] = chip_name
+        self._partitioning_cache = None
+        self._eval.mark_placement_dirty()
 
     def move_partition(self, partition_name: str, chip_name: str) -> None:
         """Migrate one partition to another chip."""
@@ -113,8 +151,19 @@ class ChopSession:
             raise PartitioningError(f"unknown partition {partition_name!r}")
         if chip_name not in self.chips:
             raise PartitioningError(f"unknown chip {chip_name!r}")
+        prev = self._partition_chip.get(partition_name)
         self._partition_chip[partition_name] = chip_name
-        self.partitioning()
+        self._partitioning_cache = None
+        self._eval.mark_placement_dirty()
+        try:
+            self.partitioning()
+        except PartitioningError:
+            if prev is None:
+                del self._partition_chip[partition_name]
+            else:
+                self._partition_chip[partition_name] = prev
+            self._partitioning_cache = None
+            raise
 
     def migrate_operations(
         self, from_partition: str, to_partition: str, op_ids: Iterable[str]
@@ -130,39 +179,51 @@ class ChopSession:
         new_src, new_dst = src.migrate(dst, set(op_ids))
         self._partitions[from_partition] = new_src
         self._partitions[to_partition] = new_dst
-        self.partitioning()  # re-validate (may raise on mutual dependency)
+        self._partitioning_cache = None
+        self._eval.mark_membership_dirty((from_partition, to_partition))
+        try:
+            self.partitioning()  # re-validate (may raise on mutual dep.)
+        except PartitioningError:
+            # A rejected migration must not corrupt the session: restore
+            # both partitions so the designer (or a sweep loop) can try
+            # the next candidate.
+            self._partitions[from_partition] = src
+            self._partitions[to_partition] = dst
+            self._partitioning_cache = None
+            raise
 
     # ------------------------------------------------------------------
     # prediction and search
     # ------------------------------------------------------------------
     def partitioning(self) -> Partitioning:
-        """The current tentative partitioning (validated)."""
+        """The current tentative partitioning (validated, cached).
+
+        Construction validates coverage and acyclicity — O(graph) work —
+        so the snapshot is cached and every section-2.7 mutator drops
+        it.  :class:`Partitioning` copies its inputs at construction, so
+        the cached object can never observe later session mutations.
+        """
         if not self._partitions:
             raise PartitioningError(
                 "no partitions defined; call set_partitions first"
             )
-        return Partitioning(
-            graph=self.graph,
-            partitions=self._partitions.values(),
-            chips=self.chips.values(),
-            partition_chip=self._partition_chip,
-            memories=self.memories.values(),
-            memory_chip=self.memory_chip,
-        )
+        if self._partitioning_cache is None:
+            self._partitioning_cache = Partitioning(
+                graph=self.graph,
+                partitions=self._partitions.values(),
+                chips=self.chips.values(),
+                partition_chip=self._partition_chip,
+                memories=self.memories.values(),
+                memory_chip=self.memory_chip,
+            )
+        return self._partitioning_cache
 
     def predict(self, partition_name: str) -> List[DesignPrediction]:
         """BAD's raw prediction list for one partition (cached)."""
         partition = self._partitions.get(partition_name)
         if partition is None:
             raise PartitioningError(f"unknown partition {partition_name!r}")
-        key = partition.op_ids
-        cached = self._prediction_cache.get(key)
-        if cached is None:
-            cached = self._predictor.predict_partition(
-                self.graph, partition.op_ids, name=partition_name
-            )
-            self._prediction_cache[key] = cached
-        return list(cached)
+        return list(self._eval.raw_predictions(partition_name, partition))
 
     def predict_all(self) -> Dict[str, List[DesignPrediction]]:
         """Raw predictions for every partition."""
@@ -193,7 +254,7 @@ class ChopSession:
             preds = predictions.get(name)
             if not preds:
                 continue
-            self._prediction_cache[partition.op_ids] = list(preds)
+            self._eval.seed_predictions(partition, preds)
             seeded += 1
         return seeded
 
@@ -209,17 +270,17 @@ class ChopSession:
     def pruned_predictions(
         self, drop_inferior: bool = True
     ) -> Dict[str, List[DesignPrediction]]:
-        """Level-1 pruned predictions for every partition."""
-        from repro.search.pruning import level1_prune
+        """Level-1 pruned predictions for every partition (cached).
 
+        Served from the evaluation context: a partition whose content is
+        unchanged since the last check reuses both its raw and pruned
+        lists, so a warm re-check after one migration only re-predicts
+        the two touched partitions.
+        """
         usable = self.max_usable_area_mil2()
-        return {
-            name: level1_prune(
-                self.predict(name), self.criteria, self.clocks, usable,
-                drop_inferior=drop_inferior,
-            )
-            for name in self._partitions
-        }
+        return self._eval.pruned_map(
+            self._partitions, usable, drop_inferior=drop_inferior
+        )
 
     def check(
         self,
@@ -283,18 +344,20 @@ class ChopSession:
                     f"for partitions {empty}; relax the constraints or "
                     f"repartition"
                 )
+            task_graph = self._eval.task_graph(partitioning)
             if heuristic == "enumeration":
                 result = enumeration_search(
                     partitioning, predictions, self.clocks, self.library,
                     self.criteria, prune=prune, keep_all=keep_all,
                     cancel=cancel, engine=engine, progress=progress,
                     collector=collector, soft_deadline_s=soft_deadline_s,
+                    task_graph=task_graph,
                 )
             elif heuristic == "iterative":
                 result = iterative_search(
                     partitioning, predictions, self.clocks, self.library,
                     self.criteria, keep_all=keep_all, cancel=cancel,
-                    soft_deadline_s=soft_deadline_s,
+                    soft_deadline_s=soft_deadline_s, task_graph=task_graph,
                 )
             else:
                 raise PredictionError(

@@ -108,8 +108,11 @@ class EvaluationProblem:
         library: ComponentLibrary,
         criteria: FeasibilityCriteria,
         prune: bool = True,
+        task_graph: Optional[TaskGraph] = None,
     ) -> "EvaluationProblem":
         names = tuple(sorted(partitioning.partitions))
+        if task_graph is None:
+            task_graph = build_task_graph(partitioning)
         return cls(
             partitioning=partitioning,
             names=names,
@@ -120,7 +123,7 @@ class EvaluationProblem:
             library=library,
             criteria=criteria,
             prune=prune,
-            task_graph=build_task_graph(partitioning),
+            task_graph=task_graph,
             usable_area=usable_area_by_chip(partitioning),
         )
 

@@ -1,0 +1,28 @@
+"""repro.eval — the incremental evaluation core under the designer loop.
+
+One `EvaluationContext` per design owns the predict → prune →
+task-graph pipeline that `ChopSession`, both search heuristics, the
+process-pool engine and the baselines previously each re-ran from
+scratch.  Caches are keyed on partition *content* and bounded by one
+LRU capacity; the task graph is maintained incrementally from a dirty
+set fed by the section-2.7 mutators.  Results are byte-identical to the
+from-scratch path — see ``docs/evaluation.md`` for the lifecycle,
+invalidation rules and identity guarantee.
+"""
+
+from repro.eval.context import DEFAULT_CACHE_CAPACITY, EvaluationContext
+from repro.eval.taskgraph import (
+    TaskGraphIngredients,
+    assemble_task_graph,
+    full_ingredients,
+    update_ingredients,
+)
+
+__all__ = [
+    "DEFAULT_CACHE_CAPACITY",
+    "EvaluationContext",
+    "TaskGraphIngredients",
+    "assemble_task_graph",
+    "full_ingredients",
+    "update_ingredients",
+]

@@ -1,0 +1,349 @@
+"""Incremental task-graph construction.
+
+:func:`repro.core.tasks.build_task_graph` derives a task graph from a
+partitioning by walking every value of the data-flow graph (cut
+detection), every primary input/output, and every partition's memory
+operations.  Inside the designer loop that walk is almost entirely
+wasted: a single ``migrate_operations`` between two partitions changes
+only the tasks incident to those two partitions.
+
+This module splits the derivation into *ingredients* — per-partition
+input/output bit totals and the per-pair cut-bit map — that can be
+updated for a dirty subset of partitions in O(ops in dirty partitions),
+plus a cheap :func:`assemble_task_graph` that turns ingredients into a
+:class:`~repro.core.tasks.TaskGraph` byte-identically to the from-scratch
+builder (same task dict order, same edge list order, same pin loads).
+The identity is load-bearing — search results must not depend on whether
+the graph came from the incremental or the full path — and is enforced
+by the property tests in ``tests/test_eval_taskgraph.py``.
+
+Chip assignments and memory placement are deliberately *not* part of the
+ingredients: ``input_bits``/``output_bits``/``pair_bits`` depend only on
+partition membership, while the task-vs-precedence-edge decision and the
+per-chip memory pin loads are recomputed during assembly (which is
+O(partitions + pairs), not O(values)).  A ``move_partition`` or
+``assign_memory`` therefore costs one assembly, never a re-walk of the
+data-flow graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Set, Tuple
+
+from repro.core.partitioning import Partitioning
+from repro.core.tasks import TaskGraph, TaskKind, TransferTask
+from repro.dfg.graph import DataFlowGraph
+from repro.errors import PartitioningError
+from repro.memory.access import MemoryAccessProfile
+
+
+@dataclass
+class TaskGraphIngredients:
+    """Membership-derived inputs of a task graph, updatable per partition.
+
+    ``input_bits``/``output_bits`` hold only partitions with non-zero
+    totals (matching the builder, which never creates empty IO tasks);
+    ``pair_bits`` maps (producer partition, consumer partition) to the
+    cut bit width, for distinct partitions only.
+    """
+
+    input_bits: Dict[str, int] = field(default_factory=dict)
+    output_bits: Dict[str, int] = field(default_factory=dict)
+    pair_bits: Dict[Tuple[str, str], int] = field(default_factory=dict)
+
+
+# ----------------------------------------------------------------------
+# per-partition ingredient computation
+# ----------------------------------------------------------------------
+def _partition_input_bits(graph: DataFlowGraph, op_ids: Iterable[str]) -> int:
+    """Bits of distinct primary-input values consumed by these ops."""
+    seen: Set[str] = set()
+    total = 0
+    operations = graph.operations
+    values = graph.values
+    for op_id in op_ids:
+        for vid in operations[op_id].inputs:
+            if vid in seen:
+                continue
+            value = values[vid]
+            if value.producer is None:
+                seen.add(vid)
+                total += value.width
+    return total
+
+
+def _partition_output_bits(graph: DataFlowGraph, op_ids: Iterable[str]) -> int:
+    """Bits of primary-output values produced by these ops."""
+    total = 0
+    operations = graph.operations
+    values = graph.values
+    for op_id in op_ids:
+        out = operations[op_id].output
+        if out is None:
+            continue
+        value = values[out]
+        if value.is_output:
+            total += value.width
+    return total
+
+
+def _add_pairs_from_source(
+    graph: DataFlowGraph,
+    partition_of: Dict[str, str],
+    name: str,
+    op_ids: Iterable[str],
+    pair_bits: Dict[Tuple[str, str], int],
+) -> None:
+    """Credit every cut value produced inside partition ``name``.
+
+    Mirrors :meth:`DataFlowGraph.cut_values` semantics exactly: each
+    value counts its width once per *distinct* consuming partition.
+    """
+    operations = graph.operations
+    values = graph.values
+    for op_id in op_ids:
+        out = operations[op_id].output
+        if out is None:
+            continue
+        dests: Set[str] = set()
+        for consumer in graph.consumers(out):
+            dst = partition_of[consumer]
+            if dst != name:
+                dests.add(dst)
+        if not dests:
+            continue
+        width = values[out].width
+        for dst in dests:
+            key = (name, dst)
+            pair_bits[key] = pair_bits.get(key, 0) + width
+
+
+def _add_pairs_into_destination(
+    graph: DataFlowGraph,
+    partition_of: Dict[str, str],
+    name: str,
+    op_ids: Iterable[str],
+    skip_sources: Set[str],
+    pair_bits: Dict[Tuple[str, str], int],
+) -> None:
+    """Credit cut values flowing *into* partition ``name``.
+
+    ``skip_sources`` are partitions whose outgoing pairs were already
+    recomputed by :func:`_add_pairs_from_source` — crediting them here
+    would double count.  A value consumed by several ops of the same
+    destination partition still counts once (the ``seen`` guard plays
+    the role of the distinct-destination set on the producing side).
+    """
+    operations = graph.operations
+    values = graph.values
+    seen: Set[str] = set()
+    for op_id in op_ids:
+        for vid in operations[op_id].inputs:
+            if vid in seen:
+                continue
+            value = values[vid]
+            if value.producer is None:
+                continue
+            src = partition_of[value.producer]
+            if src == name or src in skip_sources:
+                continue
+            seen.add(vid)
+            key = (src, name)
+            pair_bits[key] = pair_bits.get(key, 0) + value.width
+
+
+# ----------------------------------------------------------------------
+# full build and incremental update
+# ----------------------------------------------------------------------
+def full_ingredients(partitioning: Partitioning) -> TaskGraphIngredients:
+    """Compute every ingredient from scratch (the cold path)."""
+    graph = partitioning.graph
+    partition_of = partitioning.partition_map()
+    ingredients = TaskGraphIngredients()
+    for name, partition in partitioning.partitions.items():
+        in_bits = _partition_input_bits(graph, partition.op_ids)
+        if in_bits:
+            ingredients.input_bits[name] = in_bits
+        out_bits = _partition_output_bits(graph, partition.op_ids)
+        if out_bits:
+            ingredients.output_bits[name] = out_bits
+        _add_pairs_from_source(
+            graph, partition_of, name, partition.op_ids,
+            ingredients.pair_bits,
+        )
+    return ingredients
+
+
+def update_ingredients(
+    partitioning: Partitioning,
+    old: TaskGraphIngredients,
+    dirty: Set[str],
+    removed: Set[str],
+) -> Tuple[TaskGraphIngredients, int, int]:
+    """Rebuild only the entries incident to ``dirty`` partitions.
+
+    ``dirty`` are partitions whose *membership* changed (or that are
+    new); ``removed`` are partitions that no longer exist.  Any pair with
+    both endpoints clean is reused untouched — a value whose producer
+    and consumers all kept their partitions cannot change its cut
+    contribution.  Returns ``(ingredients, pairs_reused, pairs_rebuilt)``
+    for the trace span's delta counters.
+    """
+    graph = partitioning.graph
+    partition_of = partitioning.partition_map()
+    drop = dirty | removed
+    fresh = TaskGraphIngredients(
+        input_bits={
+            k: v for k, v in old.input_bits.items() if k not in drop
+        },
+        output_bits={
+            k: v for k, v in old.output_bits.items() if k not in drop
+        },
+        pair_bits={
+            k: v
+            for k, v in old.pair_bits.items()
+            if k[0] not in drop and k[1] not in drop
+        },
+    )
+    pairs_reused = len(fresh.pair_bits)
+    for name in sorted(dirty):
+        partition = partitioning.partitions.get(name)
+        if partition is None:
+            continue  # marked dirty but also gone: nothing to rebuild
+        in_bits = _partition_input_bits(graph, partition.op_ids)
+        if in_bits:
+            fresh.input_bits[name] = in_bits
+        out_bits = _partition_output_bits(graph, partition.op_ids)
+        if out_bits:
+            fresh.output_bits[name] = out_bits
+        _add_pairs_from_source(
+            graph, partition_of, name, partition.op_ids, fresh.pair_bits
+        )
+    for name in sorted(dirty):
+        partition = partitioning.partitions.get(name)
+        if partition is None:
+            continue
+        _add_pairs_into_destination(
+            graph, partition_of, name, partition.op_ids, dirty,
+            fresh.pair_bits,
+        )
+    pairs_rebuilt = len(fresh.pair_bits) - pairs_reused
+    return fresh, pairs_reused, pairs_rebuilt
+
+
+# ----------------------------------------------------------------------
+# assembly
+# ----------------------------------------------------------------------
+def assemble_task_graph(
+    partitioning: Partitioning,
+    ingredients: TaskGraphIngredients,
+    profile_for: Callable[[str], MemoryAccessProfile],
+) -> TaskGraph:
+    """Turn ingredients into a :class:`TaskGraph`.
+
+    Replicates :func:`repro.core.tasks.build_task_graph` construction
+    order exactly — PU tasks in partition insertion order, then input /
+    transfer / output tasks each in sorted key order — so the resulting
+    graph (task dict order, edge list order, pin loads) is
+    indistinguishable from a from-scratch build.  ``profile_for``
+    supplies each partition's (cached) memory access profile.
+    """
+    tasks: Dict[str, TransferTask] = {}
+    edges = []
+
+    for name in partitioning.partitions:
+        tasks[f"pu:{name}"] = TransferTask(
+            name=f"pu:{name}",
+            kind=TaskKind.PROCESS,
+            bits=0,
+            chips=(),
+            partition=name,
+        )
+
+    for partition, bits in sorted(ingredients.input_bits.items()):
+        name = f"in:{partition}"
+        tasks[name] = TransferTask(
+            name=name,
+            kind=TaskKind.INPUT,
+            bits=bits,
+            chips=(partitioning.chip_of(partition),),
+            partition=partition,
+        )
+        edges.append((name, f"pu:{partition}"))
+
+    for (src, dst), bits in sorted(ingredients.pair_bits.items()):
+        src_chip = partitioning.chip_of(src)
+        dst_chip = partitioning.chip_of(dst)
+        if src_chip == dst_chip:
+            edges.append((f"pu:{src}", f"pu:{dst}"))
+            continue
+        name = f"xfer:{src}->{dst}"
+        tasks[name] = TransferTask(
+            name=name,
+            kind=TaskKind.TRANSFER,
+            bits=bits,
+            chips=(src_chip, dst_chip),
+            partition=src,
+        )
+        edges.append((f"pu:{src}", name))
+        edges.append((name, f"pu:{dst}"))
+
+    for partition, bits in sorted(ingredients.output_bits.items()):
+        name = f"out:{partition}"
+        tasks[name] = TransferTask(
+            name=name,
+            kind=TaskKind.OUTPUT,
+            bits=bits,
+            chips=(partitioning.chip_of(partition),),
+            partition=partition,
+        )
+        edges.append((f"pu:{partition}", name))
+
+    memory_pin_loads = _memory_pin_loads_from_profiles(
+        partitioning, profile_for
+    )
+    return TaskGraph(
+        tasks=tasks, edges=edges, memory_pin_loads=memory_pin_loads
+    )
+
+
+def _memory_pin_loads_from_profiles(
+    partitioning: Partitioning,
+    profile_for: Callable[[str], MemoryAccessProfile],
+) -> Dict[str, int]:
+    """Per-chip memory pin loads from cached access profiles.
+
+    Semantically identical to
+    :func:`repro.core.tasks._memory_pin_loads` but with the per-op
+    profile walk replaced by a lookup — both sides of an off-chip access
+    to a non-off-the-shelf block still pay the interface.
+    """
+    interfaces: Dict[str, Set[str]] = {
+        chip: set() for chip in partitioning.chips
+    }
+    for name in partitioning.partitions:
+        chip = partitioning.chip_of(name)
+        profile = profile_for(name)
+        if not profile.blocks:
+            continue
+        resident = set(partitioning.memories_on_chip(chip))
+        for block in profile.blocks:
+            if block in resident:
+                continue
+            if block not in partitioning.memories:
+                raise PartitioningError(
+                    f"operations access undeclared memory block {block!r}"
+                )
+            interfaces[chip].add(block)
+            module = partitioning.memories[block]
+            host = partitioning.memory_chip.get(block)
+            if host is not None and not module.off_the_shelf:
+                interfaces[host].add(block)
+    loads: Dict[str, int] = {chip: 0 for chip in partitioning.chips}
+    for chip, blocks in interfaces.items():
+        loads[chip] = sum(
+            partitioning.memories[block].interface_pins()
+            for block in blocks
+        )
+    return loads

@@ -31,6 +31,7 @@ from repro.bad.prediction import DesignPrediction
 from repro.bad.styles import ClockScheme
 from repro.core.feasibility import FeasibilityCriteria
 from repro.core.partitioning import Partitioning
+from repro.core.tasks import TaskGraph
 from repro.engine.workers import EvaluationProblem, evaluate_range
 from repro.errors import CombinationExplosionError, PredictionError
 from repro.library.library import ComponentLibrary
@@ -60,6 +61,7 @@ def enumeration_search(
     progress: Optional[Callable[[int, int], None]] = None,
     collector: Optional[object] = None,
     soft_deadline_s: Optional[float] = None,
+    task_graph: Optional[TaskGraph] = None,
 ) -> SearchResult:
     """Try every combination of per-partition implementations.
 
@@ -87,6 +89,10 @@ def enumeration_search(
     At least one combination is always evaluated.  A soft deadline
     forces the serial path — shard boundaries would make the visited
     prefix nondeterministic.
+
+    ``task_graph`` accepts a pre-built graph for ``partitioning`` (the
+    incremental one from :class:`repro.eval.EvaluationContext`); when
+    omitted the graph is built from scratch.
     """
     names = sorted(partitioning.partitions)
     missing = [n for n in names if not predictions.get(n)]
@@ -96,7 +102,7 @@ def enumeration_search(
         )
     problem = EvaluationProblem.build(
         partitioning, predictions, clocks, library, criteria,
-        prune=prune,
+        prune=prune, task_graph=task_graph,
     )
     combination_count = problem.combination_count()
     if combination_count > MAX_COMBINATIONS:

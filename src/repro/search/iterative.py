@@ -57,6 +57,7 @@ def iterative_search(
     keep_all: bool = False,
     cancel: Optional[Callable[[], bool]] = None,
     soft_deadline_s: Optional[float] = None,
+    task_graph: Optional[TaskGraph] = None,
 ) -> SearchResult:
     """Run the Figure 5 algorithm over every feasible initiation interval.
 
@@ -69,6 +70,10 @@ def iterative_search(
     intervals explored so far with ``degraded=True``.  At least one
     integration trial always runs, so a degraded verdict is never empty
     of evidence.
+
+    ``task_graph`` accepts a pre-built graph for ``partitioning`` (the
+    incremental one from :class:`repro.eval.EvaluationContext`); when
+    omitted the graph is built from scratch.
     """
     names = sorted(partitioning.partitions)
     missing = [n for n in names if not predictions.get(n)]
@@ -79,7 +84,8 @@ def iterative_search(
         for name in names
     }
 
-    task_graph = build_task_graph(partitioning)
+    if task_graph is None:
+        task_graph = build_task_graph(partitioning)
     space = DesignSpace() if keep_all else None
     feasible: List[FeasibleDesign] = []
     trials = 0

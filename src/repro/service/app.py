@@ -164,6 +164,7 @@ class ChopService:
         self.metrics.register_gauges("cache", self.cache.stats)
         self.metrics.register_gauges("jobs", self.jobs.depth)
         self.metrics.register_gauges("sessions", self.sessions.stats)
+        self.metrics.register_gauges("eval", self.sessions.eval_stats)
         if self.engine is not None:
             self.metrics.register_gauges("engine", self.engine.stats)
         if self.disk_cache is not None:

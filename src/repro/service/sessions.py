@@ -7,9 +7,14 @@ to the already-loaded session.  A bounded LRU eviction policy keeps
 memory proportional to the number of *active* designer sessions, not the
 number of documents ever uploaded.
 
-``ChopSession`` itself is not thread-safe (its internal prediction cache
-is a plain dict), so each entry carries a lock that the serving layer
-holds while a check runs against that session.
+Because the session owns its :class:`repro.eval.EvaluationContext`, the
+incremental evaluation state survives across job re-checks on the same
+project: a modify-and-recheck request pays only for the partitions it
+touched.  :meth:`SessionRegistry.eval_stats` aggregates every resident
+context's counters for the ``/metrics`` ``eval`` gauge.
+
+``ChopSession`` itself is not thread-safe, so each entry carries a lock
+that the serving layer holds while a check runs against that session.
 """
 
 from __future__ import annotations
@@ -114,3 +119,39 @@ class SessionRegistry:
                 "resident": len(self._entries),
                 "evictions": self._evictions,
             }
+
+    def eval_stats(self) -> Dict[str, Any]:
+        """Aggregated evaluation-context gauges across resident sessions.
+
+        Counters only (sums are meaningful); reading a session's stats
+        dict needs no per-entry lock — counters are plain ints updated
+        under the entry lock, and a slightly stale sum is fine for a
+        gauge.
+        """
+        with self._lock:
+            entries = list(self._entries.values())
+        agg: Dict[str, Any] = {
+            "sessions": len(entries),
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "invalidations": 0,
+            "seeded": 0,
+            "taskgraph_full_builds": 0,
+            "taskgraph_incremental_updates": 0,
+            "taskgraph_reuses": 0,
+        }
+        for entry in entries:
+            stats = entry.session.eval_stats()
+            agg["hits"] += stats["hits"]
+            agg["misses"] += stats["misses"]
+            agg["evictions"] += stats["evictions"]
+            agg["invalidations"] += stats["invalidations"]
+            agg["seeded"] += stats["seeded"]
+            taskgraph = stats["taskgraph"]
+            agg["taskgraph_full_builds"] += taskgraph["full_builds"]
+            agg["taskgraph_incremental_updates"] += (
+                taskgraph["incremental_updates"]
+            )
+            agg["taskgraph_reuses"] += taskgraph["reuses"]
+        return agg
