@@ -1,0 +1,232 @@
+"""The auto-partitioner against the Kernighan-Lin baseline at equal k.
+
+Runs :func:`repro.auto.auto_partition` and
+:func:`repro.baselines.recursive_bisection` on the same generated DFG
+and compares (a) k-way cut bits, (b) wall-clock, and (c) CHOP validity
+— whether the partition-level quotient graph is acyclic, which §2.3
+requires and KL does not guarantee.  Renders the table to
+``benchmarks/results/auto_vs_kl.txt`` plus a machine-readable
+``benchmarks/results/BENCH_auto.json``.
+
+Run directly (no pytest needed)::
+
+    python benchmarks/bench_auto.py            # full: 1000-op DFG, k=4 and 8
+    python benchmarks/bench_auto.py --smoke    # CI: small graph, k=3
+
+Gates: the auto run must be feasible, and must beat KL on either cut
+bits or CHOP validity at equal k (the ISSUE acceptance bar).  The full
+run additionally gates auto wall-clock at 30 s on the 1000-op graph.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Set
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src"),
+)
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "results")
+
+
+def kway_cut_bits(weights, part_of: Dict[str, int]) -> int:
+    """Total bit width crossing any partition boundary."""
+    return sum(
+        weight for (a, b), weight in weights.items()
+        if part_of[a] != part_of[b]
+    )
+
+
+def directed_edges(graph):
+    """Producer -> consumer op pairs (edge_weights keys are undirected)."""
+    edges = set()
+    for value in graph.values.values():
+        if value.producer is None:
+            continue
+        for consumer in graph.consumers(value.id):
+            if consumer != value.producer:
+                edges.add((value.producer, consumer))
+    return edges
+
+
+def quotient_is_acyclic(edges, part_of: Dict[str, int]) -> bool:
+    """Whether the partition-level dependency graph has no cycle."""
+    succ: Dict[int, Set[int]] = {p: set() for p in set(part_of.values())}
+    for (a, b) in edges:
+        pa, pb = part_of[a], part_of[b]
+        if pa != pb:
+            succ[pa].add(pb)
+    indeg = {p: 0 for p in succ}
+    for targets in succ.values():
+        for p in targets:
+            indeg[p] += 1
+    queue = [p for p, d in indeg.items() if d == 0]
+    seen = 0
+    while queue:
+        p = queue.pop()
+        seen += 1
+        for q in succ[p]:
+            indeg[q] -= 1
+            if indeg[q] == 0:
+                queue.append(q)
+    return seen == len(succ)
+
+
+def parts_to_assignment(parts: List[Set[str]]) -> Dict[str, int]:
+    return {op: i for i, part in enumerate(parts) for op in part}
+
+
+def run_case(graph, chips: int, replicate: bool):
+    from repro.auto import AutoPartitionConfig, auto_partition
+    from repro.baselines.kernighan_lin import (
+        edge_weights, recursive_bisection,
+    )
+
+    weights = edge_weights(graph)
+    edges = directed_edges(graph)
+
+    start = time.perf_counter()
+    auto = auto_partition(
+        graph,
+        AutoPartitionConfig(chips=chips, replicate=replicate),
+    )
+    auto_wall = time.perf_counter() - start
+    # measure the KL metric on the *original* graph's assignment: the
+    # replicated graph has extra ops KL never sees
+    auto_parts = {
+        op: part for op, part in auto.assignment.items()
+        if op in graph.operations
+    }
+    auto_cut = kway_cut_bits(weights, auto_parts)
+
+    start = time.perf_counter()
+    kl_parts = parts_to_assignment(
+        recursive_bisection(graph, chips, weights=weights)
+    )
+    kl_wall = time.perf_counter() - start
+    kl_cut = kway_cut_bits(weights, kl_parts)
+
+    return {
+        "graph": graph.name,
+        "operations": graph.op_count(),
+        "chips": chips,
+        "auto": {
+            "wall_s": round(auto_wall, 3),
+            "cut_bits": auto_cut,
+            "feasible": auto.feasible,
+            "chop_valid": quotient_is_acyclic(edges, auto_parts),
+            "levels": auto.levels,
+            "clones": (
+                len(auto.replication.clones) if auto.replication else 0
+            ),
+            "repair_moves": auto.repair_moves,
+        },
+        "kl": {
+            "wall_s": round(kl_wall, 3),
+            "cut_bits": kl_cut,
+            "chop_valid": quotient_is_acyclic(edges, kl_parts),
+        },
+    }
+
+
+def render(rows) -> str:
+    lines = [
+        f"{'graph':<14} {'ops':>5} {'k':>2}   "
+        f"{'auto cut':>9} {'auto s':>7} {'feas':>4} {'valid':>5}   "
+        f"{'KL cut':>8} {'KL s':>7} {'valid':>5}",
+    ]
+    for row in rows:
+        a, k = row["auto"], row["kl"]
+        lines.append(
+            f"{row['graph']:<14} {row['operations']:>5} "
+            f"{row['chips']:>2}   "
+            f"{a['cut_bits']:>9} {a['wall_s']:>7.2f} "
+            f"{'yes' if a['feasible'] else 'NO':>4} "
+            f"{'yes' if a['chop_valid'] else 'NO':>5}   "
+            f"{k['cut_bits']:>8} {k['wall_s']:>7.2f} "
+            f"{'yes' if k['chop_valid'] else 'NO':>5}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small graph for CI: quality gates only, no wall gate",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.dfg.builders import generate_dfg
+
+    if args.smoke:
+        cases = [("layered", 150, 3, True)]
+    else:
+        cases = [
+            ("layered", 1000, 4, True),
+            ("layered", 1000, 8, False),
+            ("chain", 1000, 4, False),
+        ]
+
+    rows = []
+    for kind, ops, chips, replicate in cases:
+        graph = generate_dfg(kind, ops, seed=7)
+        print(
+            f"running {kind}/{graph.op_count()} ops at k={chips} "
+            f"(replicate={replicate}) ..."
+        )
+        rows.append(run_case(graph, chips, replicate))
+
+    table = render(rows)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    txt_path = os.path.join(RESULTS_DIR, "auto_vs_kl.txt")
+    with open(txt_path, "w") as handle:
+        handle.write(table + "\n")
+    print(f"\n=== auto_vs_kl.txt ===\n{table}\nwrote {txt_path}")
+
+    json_doc = {"smoke": args.smoke, "cases": rows}
+    json_path = os.path.join(RESULTS_DIR, "BENCH_auto.json")
+    with open(json_path, "w") as handle:
+        json.dump(json_doc, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {json_path}")
+
+    failures = []
+    for row in rows:
+        label = f"{row['graph']}/k={row['chips']}"
+        a, k = row["auto"], row["kl"]
+        if not a["feasible"]:
+            failures.append(f"{label}: auto run infeasible")
+        if not a["chop_valid"]:
+            failures.append(f"{label}: auto quotient graph is cyclic")
+        beats_cut = a["cut_bits"] <= k["cut_bits"]
+        beats_validity = a["chop_valid"] and not k["chop_valid"]
+        if not (beats_cut or beats_validity):
+            failures.append(
+                f"{label}: auto loses to KL on both cut "
+                f"({a['cut_bits']} vs {k['cut_bits']}) and validity"
+            )
+        if not args.smoke and row["operations"] >= 1000:
+            if a["wall_s"] > 30.0:
+                failures.append(
+                    f"{label}: auto took {a['wall_s']:.1f}s "
+                    f"(budget 30s)"
+                )
+    if failures:
+        for failure in failures:
+            print(f"FAILED: {failure}")
+        return 1
+    print("all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,54 @@
+"""Automatic multilevel partitioning on top of the CHOP session.
+
+The paper positions CHOP as an *interactive* feasibility checker; this
+package closes the ROADMAP's "multilevel auto-partitioner" gap with the
+classic coarsen / initial-partition / refine scheme (plus RePart-style
+logic replication), using the CHOP session itself — not cut bits — as
+the final acceptance oracle.  See :mod:`repro.auto.partitioner` for the
+pipeline and ``docs/auto.md`` for the design notes.
+"""
+
+from repro.auto.coarsen import (
+    ClusterGraph,
+    CoarseLevel,
+    base_cluster_graph,
+    coarsen,
+)
+from repro.auto.initial import topo_interval_split, verify_chain
+from repro.auto.refine import RefineStats, fm_refine, project
+from repro.auto.replicate import (
+    Clone,
+    ReplicationReport,
+    replicate_cut_ops,
+    transfer_bits,
+)
+from repro.auto.partitioner import (
+    AutoPartitionConfig,
+    AutoPartitionResult,
+    auto_partition,
+    default_auto_criteria,
+    default_auto_package,
+    default_auto_session,
+)
+
+__all__ = [
+    "AutoPartitionConfig",
+    "AutoPartitionResult",
+    "Clone",
+    "ClusterGraph",
+    "CoarseLevel",
+    "RefineStats",
+    "ReplicationReport",
+    "auto_partition",
+    "base_cluster_graph",
+    "coarsen",
+    "default_auto_criteria",
+    "default_auto_package",
+    "default_auto_session",
+    "fm_refine",
+    "project",
+    "replicate_cut_ops",
+    "topo_interval_split",
+    "transfer_bits",
+    "verify_chain",
+]

@@ -1,0 +1,286 @@
+"""Multilevel coarsening: greedy heavy-edge matching over cluster DAGs.
+
+The auto-partitioner never partitions a 1000-operation graph directly:
+it first *contracts* the data-flow graph into a hierarchy of coarse
+cluster graphs (the classic multilevel scheme of hMETIS / RePart /
+ChipletPart), partitions the coarsest level, and refines while
+projecting back down.  :class:`ClusterGraph` is the working
+representation at every level: clusters of original operation ids
+connected by directed edges weighted in cut bits (derived from the same
+value-width table :func:`repro.baselines.kernighan_lin.edge_weights`
+exposes).
+
+Because CHOP's prediction model requires the partition-level dependency
+graph to be acyclic (paper section 2.3), coarsening must never create a
+cyclic cluster graph — a cycle at a coarse level would force every
+projected partitioning through :func:`repro.baselines.repair` surgery.
+Two provably safe contraction rules are used:
+
+* **edge rule** — contract a directed edge ``u -> v`` when ``u`` is
+  ``v``'s only predecessor or ``v`` is ``u``'s only successor.  Any
+  u-to-v path other than the edge itself would visit another neighbour,
+  which the rule excludes; disjoint matchings compose safely because
+  contraction elsewhere never adds predecessors/successors to matched
+  clusters.
+* **sibling rule** — contract two *unconnected* clusters on the same
+  longest-path level that share a neighbour.  Edges strictly increase
+  longest-path level, so no path exists between same-level clusters in
+  either direction, before or after any same-level round.
+
+Edge rounds shrink chains and fan-out trees (filter cascades); sibling
+rounds shrink the wide layered graphs (FFT meshes) where the edge rule
+stalls.  Rounds alternate until the target cluster count or a stall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.dfg.graph import DataFlowGraph
+from repro.errors import PartitioningError
+
+
+@dataclass
+class ClusterGraph:
+    """One coarsening level: clusters of operations in a DAG.
+
+    ``members`` maps cluster id to the *original* (finest-level)
+    operation ids it contains, so any level can be projected straight
+    onto the specification.  ``succ``/``pred`` are directed adjacency
+    maps carrying summed value bit widths.
+    """
+
+    members: Dict[int, FrozenSet[str]]
+    succ: Dict[int, Dict[int, int]] = field(default_factory=dict)
+    pred: Dict[int, Dict[int, int]] = field(default_factory=dict)
+
+    def weight(self, cluster: int) -> int:
+        """Cluster size in original operations."""
+        return len(self.members[cluster])
+
+    def total_weight(self) -> int:
+        return sum(len(ops) for ops in self.members.values())
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def cut_bits(self, part_of: Dict[int, int]) -> int:
+        """Total weight of edges crossing the given assignment."""
+        total = 0
+        for u, targets in self.succ.items():
+            for v, weight in targets.items():
+                if part_of[u] != part_of[v]:
+                    total += weight
+        return total
+
+    def topological_order(self) -> List[int]:
+        """Cluster ids in dependency order, ties by smallest member id.
+
+        Raises :class:`PartitioningError` on a cycle — by construction
+        (see the module docstring) this would be a coarsening bug, and
+        silently partitioning a cyclic cluster graph would produce
+        partitionings CHOP must reject.
+        """
+        import heapq
+
+        indegree = {c: len(self.pred.get(c, {})) for c in self.members}
+        tie = {c: min(ops) for c, ops in self.members.items()}
+        ready = [(tie[c], c) for c, d in indegree.items() if d == 0]
+        heapq.heapify(ready)
+        order: List[int] = []
+        while ready:
+            _, cluster = heapq.heappop(ready)
+            order.append(cluster)
+            for nxt in self.succ.get(cluster, {}):
+                indegree[nxt] -= 1
+                if indegree[nxt] == 0:
+                    heapq.heappush(ready, (tie[nxt], nxt))
+        if len(order) != len(self.members):
+            raise PartitioningError(
+                "cluster graph became cyclic during coarsening"
+            )
+        return order
+
+    def levels(self) -> Dict[int, int]:
+        """Longest-path level of every cluster (sources at 1)."""
+        level: Dict[int, int] = {}
+        for cluster in self.topological_order():
+            preds = self.pred.get(cluster, {})
+            level[cluster] = 1 + max(
+                (level[p] for p in preds), default=0
+            )
+        return level
+
+
+def base_cluster_graph(graph: DataFlowGraph) -> ClusterGraph:
+    """Level 0: one cluster per operation.
+
+    Cluster ids follow sorted operation-id order so the whole hierarchy
+    is deterministic for a given graph document.
+    """
+    ops = sorted(graph.operations)
+    index = {op_id: i for i, op_id in enumerate(ops)}
+    cg = ClusterGraph(
+        members={i: frozenset((op_id,)) for op_id, i in index.items()}
+    )
+    for value in graph.values.values():
+        if value.producer is None:
+            continue
+        u = index[value.producer]
+        for consumer in graph.consumers(value.id):
+            v = index[consumer]
+            if u == v:
+                continue
+            cg.succ.setdefault(u, {})
+            cg.succ[u][v] = cg.succ[u].get(v, 0) + value.width
+            cg.pred.setdefault(v, {})
+            cg.pred[v][u] = cg.pred[v].get(u, 0) + value.width
+    return cg
+
+
+def _contract(
+    cg: ClusterGraph, pairs: List[Tuple[int, int]]
+) -> Tuple[ClusterGraph, Dict[int, int]]:
+    """Contract a disjoint matching; returns the new level and the
+    cluster-projection map (old id -> surviving id).
+
+    The smaller id of each pair survives, so ids stay stable down the
+    hierarchy and uncoarsening is a dictionary lookup.
+    """
+    into: Dict[int, int] = {c: c for c in cg.members}
+    for a, b in pairs:
+        keep, drop = (a, b) if a < b else (b, a)
+        into[drop] = keep
+    members: Dict[int, FrozenSet[str]] = {}
+    for cluster, ops in cg.members.items():
+        target = into[cluster]
+        if target in members:
+            members[target] = members[target] | ops
+        else:
+            members[target] = ops
+    merged = ClusterGraph(members=members)
+    for u, targets in cg.succ.items():
+        cu = into[u]
+        for v, weight in targets.items():
+            cv = into[v]
+            if cu == cv:
+                continue
+            merged.succ.setdefault(cu, {})
+            merged.succ[cu][cv] = merged.succ[cu].get(cv, 0) + weight
+            merged.pred.setdefault(cv, {})
+            merged.pred[cv][cu] = merged.pred[cv].get(cu, 0) + weight
+    return merged, into
+
+
+def _edge_matching(cg: ClusterGraph) -> List[Tuple[int, int]]:
+    """Heavy-edge matching under the safe edge rule."""
+    candidates: List[Tuple[int, int, int]] = []
+    for u, targets in cg.succ.items():
+        only_succ = len(targets) == 1
+        for v, weight in targets.items():
+            if only_succ or len(cg.pred.get(v, {})) == 1:
+                candidates.append((weight, u, v))
+    candidates.sort(key=lambda c: (-c[0], c[1], c[2]))
+    matched: Set[int] = set()
+    pairs: List[Tuple[int, int]] = []
+    for _weight, u, v in candidates:
+        if u in matched or v in matched:
+            continue
+        matched.add(u)
+        matched.add(v)
+        pairs.append((u, v))
+    return pairs
+
+
+def _sibling_matching(cg: ClusterGraph) -> List[Tuple[int, int]]:
+    """Same-level shared-neighbour matching (the sibling rule).
+
+    For every cluster, its same-level successor (and predecessor)
+    neighbours are paired heaviest-first — an O(E log E) approximation
+    of full shared-neighbourhood scoring that is plenty for the layered
+    graphs this rule exists for.
+    """
+    level = cg.levels()
+    candidates: List[Tuple[int, int, int]] = []
+    for maps in (cg.succ, cg.pred):
+        for _hub, neighbours in maps.items():
+            by_level: Dict[int, List[Tuple[int, int]]] = {}
+            for n, weight in neighbours.items():
+                by_level.setdefault(level[n], []).append((weight, n))
+            for group in by_level.values():
+                if len(group) < 2:
+                    continue
+                group.sort(key=lambda e: (-e[0], e[1]))
+                for (w1, a), (w2, b) in zip(group, group[1:]):
+                    if b in cg.succ.get(a, {}) or a in cg.succ.get(b, {}):
+                        continue  # connected: not siblings
+                    lo, hi = (a, b) if a < b else (b, a)
+                    candidates.append((min(w1, w2), lo, hi))
+    candidates.sort(key=lambda c: (-c[0], c[1], c[2]))
+    matched: Set[int] = set()
+    pairs: List[Tuple[int, int]] = []
+    for _weight, a, b in candidates:
+        if a in matched or b in matched:
+            continue
+        matched.add(a)
+        matched.add(b)
+        pairs.append((a, b))
+    return pairs
+
+
+@dataclass
+class CoarseLevel:
+    """One rung of the hierarchy plus how it projects to the finer one."""
+
+    graph: ClusterGraph
+    #: Finer-level cluster id -> this level's cluster id.  ``None`` for
+    #: the base level.
+    projection: Dict[int, int]
+
+
+def coarsen(
+    graph: DataFlowGraph,
+    target_clusters: int,
+    max_rounds: int = 40,
+    max_cluster_weight: int = 0,
+) -> List[CoarseLevel]:
+    """The full hierarchy, finest first.
+
+    Alternates edge and sibling rounds until the cluster count reaches
+    ``target_clusters``, shrinkage stalls, or ``max_rounds`` is spent.
+    ``max_cluster_weight`` (0: no bound) keeps any one cluster from
+    swallowing a balance-breaking share of the operations.
+    """
+    if target_clusters < 1:
+        raise PartitioningError(
+            f"target_clusters must be >= 1, got {target_clusters}"
+        )
+    base = base_cluster_graph(graph)
+    levels: List[CoarseLevel] = [CoarseLevel(graph=base, projection={})]
+    current = base
+    for _round in range(max_rounds):
+        if len(current) <= target_clusters:
+            break
+        pairs = _edge_matching(current)
+        if len(pairs) < max(1, len(current) // 50):
+            pairs = _sibling_matching(current)
+        if max_cluster_weight > 0:
+            pairs = [
+                (a, b)
+                for a, b in pairs
+                if current.weight(a) + current.weight(b)
+                <= max_cluster_weight
+            ]
+        # Never contract below the target: keep the heaviest-gain pairs,
+        # which the matchings already order by construction.
+        surplus = len(current) - target_clusters
+        if len(pairs) > surplus:
+            pairs = pairs[:surplus]
+        if not pairs:
+            break
+        current, projection = _contract(current, pairs)
+        levels.append(
+            CoarseLevel(graph=current, projection=projection)
+        )
+    return levels

@@ -1,0 +1,183 @@
+"""FM-style refinement of a chain partitioning during uncoarsening.
+
+Classic Fiduccia–Mattheyses adapted to the chain invariant of
+:mod:`repro.auto.initial`: instead of arbitrary part moves, a cluster in
+part ``i`` may only move to an *adjacent* part, and only when the move
+keeps every edge pointing forward:
+
+* ``i -> i+1`` is legal iff the cluster has no successor in part ``i``
+  (all its predecessors are already at ``<= i``);
+* ``i -> i-1`` is legal iff it has no predecessor in part ``i``.
+
+Legal moves therefore preserve the invariant move-by-move, which keeps
+the projected :class:`repro.core.partitioning.Partitioning` acyclic at
+every step — refinement can never wander into territory CHOP rejects
+structurally.
+
+Gains are cut-bit deltas bucketed in a max-indexed gain table (the FM
+bucket structure, here a dict keyed by gain since bit-width gains are
+sparse).  Each pass tentatively moves every movable cluster once,
+highest gain first under a balance bound, then commits the best prefix —
+negative-gain excursions included, which is what lets FM climb out of
+the local minima a greedy hill-climber stalls in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.auto.coarsen import ClusterGraph
+from repro.auto.initial import part_weights
+
+
+@dataclass
+class RefineStats:
+    """Counters for one :func:`fm_refine` call (reported in traces)."""
+
+    passes: int = 0
+    moves_tried: int = 0
+    moves_committed: int = 0
+    cut_before: int = 0
+    cut_after: int = 0
+
+
+def _move_gain(
+    cg: ClusterGraph, part_of: Dict[int, int], cluster: int, target: int
+) -> int:
+    """Cut-bit reduction of moving ``cluster`` to ``target``."""
+    here = part_of[cluster]
+    gain = 0
+    for neighbour_map in (cg.succ.get(cluster, {}), cg.pred.get(cluster, {})):
+        for other, weight in neighbour_map.items():
+            other_part = part_of[other]
+            if other_part == here:
+                gain -= weight  # becomes cut
+            elif other_part == target:
+                gain += weight  # no longer cut
+    return gain
+
+
+def _legal_targets(
+    cg: ClusterGraph, part_of: Dict[int, int], cluster: int, parts: int
+) -> List[int]:
+    """Adjacent parts ``cluster`` may move to without breaking the chain."""
+    here = part_of[cluster]
+    targets: List[int] = []
+    if here + 1 < parts and all(
+        part_of[s] != here for s in cg.succ.get(cluster, {})
+    ):
+        targets.append(here + 1)
+    if here - 1 >= 0 and all(
+        part_of[p] != here for p in cg.pred.get(cluster, {})
+    ):
+        targets.append(here - 1)
+    return targets
+
+
+def fm_refine(
+    cg: ClusterGraph,
+    part_of: Dict[int, int],
+    parts: int,
+    balance_tolerance: float = 0.3,
+    max_passes: int = 8,
+    stats: Optional[RefineStats] = None,
+) -> Dict[int, int]:
+    """Refine ``part_of`` in place over ``cg``; returns it for chaining.
+
+    ``balance_tolerance`` bounds every part at
+    ``(1 + tolerance) * total / parts`` operations; moves that would
+    overfill the target or empty the source are skipped.  Ends after
+    ``max_passes`` or the first pass whose best prefix is empty.
+    """
+    if stats is None:
+        stats = RefineStats()
+    total = cg.total_weight()
+    max_part = max(1.0, (1.0 + balance_tolerance) * total / parts)
+    # Symmetric floor: no part may shrink below half its fair share —
+    # without it FM happily drains a middle part to a handful of
+    # operations whenever that trims the cut.
+    min_part = max(1, total // (2 * parts))
+    stats.cut_before = cg.cut_bits(part_of)
+
+    for _pass in range(max_passes):
+        stats.passes += 1
+        weights = part_weights(cg, part_of, parts)
+        locked: Set[int] = set()
+        # Gain buckets: gain value -> clusters proposing a move at that
+        # gain.  Rebuilt lazily; stale entries are re-validated on pop.
+        buckets: Dict[int, List[Tuple[int, int]]] = {}
+
+        def push(cluster: int) -> None:
+            for target in _legal_targets(cg, part_of, cluster, parts):
+                gain = _move_gain(cg, part_of, cluster, target)
+                buckets.setdefault(gain, []).append((cluster, target))
+
+        for cluster in cg.members:
+            push(cluster)
+
+        trail: List[Tuple[int, int, int, int]] = []  # cluster, from, to, gain
+        running = 0
+        best_running = 0
+        best_len = 0
+        while buckets:
+            top = max(buckets)
+            entries = buckets[top]
+            # Deterministic pop: smallest (cluster, target) at top gain.
+            entries.sort()
+            cluster, target = entries.pop(0)
+            if not entries:
+                del buckets[top]
+            if cluster in locked:
+                continue
+            here = part_of[cluster]
+            # Re-validate the stale entry against current state.
+            if target not in _legal_targets(cg, part_of, cluster, parts):
+                continue
+            if _move_gain(cg, part_of, cluster, target) != top:
+                push(cluster)  # re-queue at its current gain
+                continue
+            if weights[target] + cg.weight(cluster) > max_part:
+                continue
+            if weights[here] - cg.weight(cluster) < min_part:
+                continue
+            stats.moves_tried += 1
+            part_of[cluster] = target
+            weights[here] -= cg.weight(cluster)
+            weights[target] += cg.weight(cluster)
+            locked.add(cluster)
+            trail.append((cluster, here, target, top))
+            running += top
+            if running > best_running:
+                best_running = running
+                best_len = len(trail)
+            # Neighbours' gains and legality changed: re-queue them.
+            for neighbour_map in (
+                cg.succ.get(cluster, {}),
+                cg.pred.get(cluster, {}),
+            ):
+                for other in neighbour_map:
+                    if other not in locked:
+                        push(other)
+
+        # Roll back past the best prefix.
+        for cluster, here, _target, _gain in reversed(trail[best_len:]):
+            part_of[cluster] = here
+        stats.moves_committed += best_len
+        if best_len == 0:
+            break
+
+    stats.cut_after = cg.cut_bits(part_of)
+    return part_of
+
+
+def project(
+    part_of: Dict[int, int], projection: Dict[int, int]
+) -> Dict[int, int]:
+    """Lift a coarse-level assignment to the next finer level.
+
+    ``projection`` maps finer cluster ids to coarse ids (as recorded by
+    :class:`repro.auto.coarsen.CoarseLevel`); every finer cluster starts
+    in its coarse parent's part.
+    """
+    return {fine: part_of[coarse] for fine, coarse in projection.items()}

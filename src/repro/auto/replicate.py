@@ -1,0 +1,220 @@
+"""Logic replication of cut operations (the RePart idea).
+
+A value produced in partition ``i`` and consumed in partition ``j``
+costs a transfer task: pins on both chips, transfer-clock cycles on
+both schedules.  When the producing operation is cheap relative to the
+transfer, *duplicating it into the consuming partition* deletes the
+transfer entirely — the consumer computes the value locally from inputs
+it (often) already receives.
+
+The pass is deliberately conservative so its semantics guarantee is
+easy to state and test:
+
+* only pure compute operations are cloned (never ``MEM_READ`` /
+  ``MEM_WRITE`` — the interpreter's memory blocks have order-dependent
+  stream semantics, so duplicating an access would change program
+  behaviour);
+* a clone consumes exactly the original's input values and produces a
+  fresh value of identical width; consumers inside the target partition
+  are rewired to the clone's value, everything else is untouched;
+* clone outputs are never primary outputs.
+
+Since the clone computes the same function of the same values, every
+rewired consumer sees bit-identical operands, and
+:func:`repro.dfg.evaluate.evaluate_outputs` is byte-identical before
+and after the pass (the hypothesis property in the test suite).
+
+Acyclicity is also structural: under the chain invariant
+(:mod:`repro.auto.initial`) a cut value runs from part ``i`` to part
+``j > i`` and the original's inputs are produced at parts ``<= i``, so
+a clone placed in ``j`` only consumes from strictly earlier parts.
+
+A replication is applied only when profitable in transfer bits: the cut
+value's width, minus the widths of clone inputs that do not already
+enter the target partition.  The caller then re-checks CHOP feasibility
+of the replicated partitioning — bit gain is the filter, the session's
+verdict is the oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.dfg.graph import DataFlowGraph, Operation, Value
+from repro.dfg.ops import MEMORY_OP_TYPES
+from repro.errors import PartitioningError
+
+
+@dataclass(frozen=True)
+class Clone:
+    """One applied replication."""
+
+    op_id: str
+    clone_id: str
+    from_part: int
+    to_part: int
+    saved_bits: int
+    added_bits: int
+
+
+@dataclass
+class ReplicationReport:
+    """What the pass did, in transfer bits.
+
+    ``transfer_bits_*`` count every (value, consuming partition)
+    crossing once — the multiway generalisation of the KL cut metric
+    that matches how CHOP materialises transfer tasks.
+    """
+
+    clones: List[Clone] = field(default_factory=list)
+    transfer_bits_before: int = 0
+    transfer_bits_after: int = 0
+    candidates_seen: int = 0
+
+    @property
+    def saved_bits(self) -> int:
+        return self.transfer_bits_before - self.transfer_bits_after
+
+
+def transfer_bits(graph: DataFlowGraph, part_of: Dict[str, int]) -> int:
+    """Total width of (value, consuming-partition) crossings."""
+    total = 0
+    for value in graph.values.values():
+        if value.producer is None:
+            continue
+        home = part_of[value.producer]
+        consumer_parts = {
+            part_of[c] for c in graph.consumers(value.id)
+        }
+        total += value.width * len(consumer_parts - {home})
+    return total
+
+
+def replicate_cut_ops(
+    graph: DataFlowGraph,
+    part_of: Dict[str, int],
+    max_clones: int = 0,
+) -> Tuple[DataFlowGraph, Dict[str, int], ReplicationReport]:
+    """Greedy profitable replication; returns (new graph, new parts, report).
+
+    ``part_of`` maps operation id to part index and must satisfy the
+    chain invariant (every value flows to an equal-or-later part).
+    ``max_clones`` bounds the number of applied replications (0: no
+    bound).  The inputs are not mutated.
+    """
+    report = ReplicationReport(
+        transfer_bits_before=transfer_bits(graph, part_of)
+    )
+    report.transfer_bits_after = report.transfer_bits_before
+
+    # Values entering each part: consumed there, produced elsewhere.
+    incoming: Dict[int, Set[str]] = {}
+    for op_id, op in graph.operations.items():
+        part = part_of[op_id]
+        for vid in op.inputs:
+            producer = graph.value(vid).producer
+            if producer is not None and part_of[producer] != part:
+                incoming.setdefault(part, set()).add(vid)
+
+    # Mutable working copies; Operation/Value are frozen, so rewires
+    # accumulate in plain dicts and objects are rebuilt at the end.
+    op_inputs: Dict[str, List[str]] = {
+        op_id: list(op.inputs) for op_id, op in graph.operations.items()
+    }
+    new_ops: Dict[str, Operation] = {}
+    new_values: Dict[str, Value] = dict(graph.values)
+    new_parts: Dict[str, int] = dict(part_of)
+
+    def enters(part: int, vid: str) -> bool:
+        return vid in incoming.get(part, set())
+
+    # Deterministic scan: producers in topological order, target parts
+    # ascending.  Single-level: clones are never themselves candidates.
+    for op_id in graph.topological_order():
+        op = graph.operation(op_id)
+        if op.op_type in MEMORY_OP_TYPES or op.output is None:
+            continue
+        value = graph.value(op.output)
+        home = part_of[op_id]
+        consumer_parts = sorted(
+            {part_of[c] for c in graph.consumers(value.id)} - {home}
+        )
+        for target in consumer_parts:
+            if target < home:
+                raise PartitioningError(
+                    f"value {value.id!r} flows backwards from part "
+                    f"{home} to part {target}; replication requires a "
+                    "chain partitioning"
+                )
+            report.candidates_seen += 1
+            added = sum(
+                graph.value(vid).width
+                for vid in op.inputs
+                if graph.value(vid).producer is not None
+                and part_of[graph.value(vid).producer] != target
+                and not enters(target, vid)
+            )
+            if added >= value.width:
+                continue  # not profitable
+            if max_clones and len(report.clones) >= max_clones:
+                break
+            clone_id = f"{op_id}__r{target}"
+            clone_value_id = f"{value.id}__r{target}"
+            if clone_id in graph.operations or clone_value_id in graph.values:
+                raise PartitioningError(
+                    f"replication id collision on {clone_id!r}"
+                )
+            new_ops[clone_id] = Operation(
+                id=clone_id,
+                op_type=op.op_type,
+                inputs=tuple(op.inputs),
+                output=clone_value_id,
+            )
+            new_values[clone_value_id] = Value(
+                id=clone_value_id,
+                width=value.width,
+                producer=clone_id,
+                is_output=False,
+            )
+            new_parts[clone_id] = target
+            # Rewire the target part's consumers to the local copy.
+            for consumer in graph.consumers(value.id):
+                if part_of[consumer] != target:
+                    continue
+                op_inputs[consumer] = [
+                    clone_value_id if vid == value.id else vid
+                    for vid in op_inputs[consumer]
+                ]
+            # Update availability: the cut value no longer enters the
+            # target; the clone's external inputs now do.
+            incoming.setdefault(target, set()).discard(value.id)
+            for vid in op.inputs:
+                producer = graph.value(vid).producer
+                if producer is not None and part_of[producer] != target:
+                    incoming.setdefault(target, set()).add(vid)
+            report.clones.append(
+                Clone(
+                    op_id=op_id,
+                    clone_id=clone_id,
+                    from_part=home,
+                    to_part=target,
+                    saved_bits=value.width,
+                    added_bits=added,
+                )
+            )
+
+    if not report.clones:
+        return graph, new_parts, report
+
+    for op_id, op in graph.operations.items():
+        new_ops[op_id] = Operation(
+            id=op.id,
+            op_type=op.op_type,
+            inputs=tuple(op_inputs[op_id]),
+            output=op.output,
+            memory_block=op.memory_block,
+        )
+    replicated = DataFlowGraph(graph.name, new_ops, new_values)
+    report.transfer_bits_after = transfer_bits(replicated, new_parts)
+    return replicated, new_parts, report

@@ -13,6 +13,7 @@ them with the constraint-driven cuts.
 from repro.baselines.kernighan_lin import (
     cut_bits,
     edge_weights,
+    filter_weights,
     kl_bipartition,
     recursive_bisection,
 )
@@ -31,6 +32,7 @@ __all__ = [
     "PartitionSearchOutcome",
     "cut_bits",
     "edge_weights",
+    "filter_weights",
     "kl_bipartition",
     "recursive_bisection",
     "random_level_partitions",

@@ -66,10 +66,29 @@ def cut_bits(
     return total
 
 
+def filter_weights(
+    weights: Dict[Tuple[str, str], int], op_ids: Set[str]
+) -> Dict[Tuple[str, str], int]:
+    """Restrict a precomputed weights table to one operation subset.
+
+    Equivalent to ``edge_weights(graph.subgraph_ops(op_ids))``: values
+    produced or consumed outside the subset become primary inputs /
+    outputs of the induced subgraph and carry no internal edge, which is
+    exactly what dropping pairs with an endpoint outside ``op_ids``
+    computes — without materialising the subgraph's value table.
+    """
+    return {
+        pair: weight
+        for pair, weight in weights.items()
+        if pair[0] in op_ids and pair[1] in op_ids
+    }
+
+
 def kl_bipartition(
     graph: DataFlowGraph,
     side_a: Optional[Set[str]] = None,
     max_passes: int = 10,
+    weights: Optional[Dict[Tuple[str, str], int]] = None,
 ) -> Tuple[Set[str], Set[str], int]:
     """One KL run: returns (side A, side B, cut bits).
 
@@ -78,6 +97,10 @@ def kl_bipartition(
     swaps with the best prefix committed — until a pass yields no
     improvement.  Side sizes are preserved exactly, as in the original
     formulation ("subgraphs with specified sizes").
+
+    ``weights`` accepts a precomputed :func:`edge_weights` table for
+    ``graph`` (see :func:`filter_weights` for deriving one per split
+    level), sparing repeated O(values) derivations in sweep loops.
     """
     ops = sorted(graph.operations)
     if len(ops) < 2:
@@ -90,7 +113,8 @@ def kl_bipartition(
             raise PartitioningError("side A must be a proper non-empty subset")
     side_b = set(ops) - side_a
 
-    weights = edge_weights(graph)
+    if weights is None:
+        weights = edge_weights(graph)
     neighbour: Dict[str, Dict[str, int]] = {op: {} for op in ops}
     for (a, b), weight in weights.items():
         neighbour[a][b] = weight
@@ -157,13 +181,21 @@ def kl_bipartition(
 
 
 def recursive_bisection(
-    graph: DataFlowGraph, count: int
+    graph: DataFlowGraph,
+    count: int,
+    weights: Optional[Dict[Tuple[str, str], int]] = None,
 ) -> List[Set[str]]:
     """``count`` roughly equal parts by repeated KL bisection.
 
     Splits the largest remaining part until ``count`` parts exist.  The
     parts minimise cut bits, not CHOP feasibility — that contrast is the
     point of the baseline.
+
+    ``weights`` is the graph's precomputed :func:`edge_weights` table;
+    each split level sees it filtered down (:func:`filter_weights`)
+    instead of re-deriving subgraph weights from the value table — the
+    same fix the ``cut_bits`` callers got.  When omitted, the table is
+    computed once here and shared across all splits.
     """
     if count < 1:
         raise PartitioningError(f"count must be >= 1, got {count}")
@@ -171,6 +203,8 @@ def recursive_bisection(
         raise PartitioningError(
             f"cannot split {graph.op_count()} operations into {count} parts"
         )
+    if weights is None:
+        weights = edge_weights(graph)
     parts: List[Set[str]] = [set(graph.operations)]
     while len(parts) < count:
         parts.sort(key=len, reverse=True)
@@ -182,6 +216,8 @@ def recursive_bisection(
         ordered = sorted(largest)
         seed = set(ordered[: len(ordered) // 2])
         sub = graph.subgraph_ops(largest)
-        side_a, side_b, _cut = kl_bipartition(sub, seed)
+        side_a, side_b, _cut = kl_bipartition(
+            sub, seed, weights=filter_weights(weights, largest)
+        )
         parts.extend([side_a, side_b])
     return sorted(parts, key=lambda part: min(part))

@@ -5,6 +5,8 @@ Usage::
     python -m repro.cli inputs
     python -m repro.cli demo --experiment 1 --partitions 2
     python -m repro.cli check project.json --heuristic iterative
+    python -m repro.cli auto project.json --chips 4 --replicate
+    python -m repro.cli auto --generate layered --ops 1000 --chips 6 -o out.json
     python -m repro.cli check project.json --trace out.jsonl --profile
     python -m repro.cli search project.json --workers 4 --disk-cache .chop-cache
     python -m repro.cli search project.json --dry-run
@@ -25,6 +27,10 @@ tree of the whole run as JSONL — see :mod:`repro.obs`) and
 ``--profile`` (print a sampling wall-clock profile of the run) and
 ``--soft-deadline`` (stop gracefully after a wall-clock budget and
 report the partial, explicitly *degraded*, verdict).
+``auto`` runs the multilevel auto-partitioner (:mod:`repro.auto`) on a
+project's graph — or on a generated workload via ``--generate`` — and
+prints the feasibility verdict of the resulting k-chip partitioning;
+``-o`` saves it as a project document for the other subcommands.
 ``trace show`` renders a trace file as an indented span tree with
 per-span wall time and combination counts; ``explain`` prints the
 per-constraint feasibility breakdown of a project (what killed which
@@ -250,6 +256,99 @@ def _check_session(session, heuristic: str, count: int,
     if best is None:
         print()
         print("No feasible implementation under the given constraints.")
+        return 1
+    print()
+    print(design_guidelines(best))
+    return 0
+
+
+def _cmd_auto(args: argparse.Namespace) -> int:
+    import contextlib
+
+    from repro.auto import AutoPartitionConfig, auto_partition
+    from repro.auto.partitioner import session_like_factory
+
+    if args.generate:
+        from repro.dfg.builders import generate_dfg
+
+        graph = generate_dfg(args.generate, args.ops, seed=args.seed)
+        factory = None
+    elif args.project:
+        base = load_project_file(args.project)
+        graph = base.graph
+        factory = session_like_factory(base)
+    else:
+        print(
+            "error: give a project file or --generate KIND",
+            file=sys.stderr,
+        )
+        return 3
+
+    config = AutoPartitionConfig(
+        chips=args.chips,
+        balance_tolerance=args.balance,
+        replicate=args.replicate,
+        max_clones=args.max_clones,
+        feasibility_moves=args.feasibility_moves,
+        heuristic=args.heuristic,
+    )
+    trace_path = getattr(args, "trace", None)
+    tracer = None
+    with contextlib.ExitStack() as stack:
+        if trace_path:
+            from repro.obs import JsonlSink, Tracer, activate
+
+            tracer = Tracer(sink=JsonlSink(trace_path))
+            stack.callback(tracer.close)
+            stack.enter_context(activate(tracer))
+        result = auto_partition(
+            graph, config, session_factory=factory,
+            engine=_build_engine(args),
+        )
+    if tracer is not None:
+        stats = tracer.stats()
+        print(
+            f"trace: {stats['spans']} spans -> {trace_path} "
+            f"(trace id {tracer.trace_id})"
+        )
+
+    summary = result.to_dict()
+    print(
+        f"auto: {summary['graph']} — {summary['operations']} operations "
+        f"over {summary['chips']} chips "
+        f"(hierarchy {summary['levels']} levels)"
+    )
+    print(
+        f"  cut {summary['cut_bits']} bits, transfers "
+        f"{summary['transfer_bits']} bits, part sizes "
+        f"{summary['part_sizes']}"
+    )
+    if args.replicate:
+        print(
+            f"  replication: {summary['clones']} clones, "
+            f"{summary['replication_saved_bits']} transfer bits saved"
+        )
+    if summary["repair_moves"]:
+        print(f"  feasibility repair: {summary['repair_moves']} migrations")
+    if args.output:
+        save_project_file(result.session, args.output)
+        print(f"  project written to {args.output}")
+    if result.search is not None:
+        print()
+        print(results_table(
+            [(summary["chips"], 0, "I", result.search)]
+        ))
+    best = result.search.best() if result.search else None
+    if best is None:
+        print()
+        if summary["infeasible_partitions"]:
+            print(
+                f"No feasible implementation: partitions "
+                f"{summary['infeasible_partitions']} have no surviving "
+                f"predictions (die too small for the operations)."
+            )
+        else:
+            print("No feasible implementation under the given constraints.")
         return 1
     print()
     print(design_guidelines(best))
@@ -515,6 +614,74 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_arguments(search)
     search.set_defaults(func=_cmd_check)
+
+    auto = sub.add_parser(
+        "auto",
+        help="auto-partition a graph onto k chips (multilevel "
+        "coarsen/partition/refine with optional logic replication)",
+    )
+    auto.add_argument(
+        "project", nargs="?", default=None,
+        help="project JSON whose graph and designer inputs to use",
+    )
+    auto.add_argument(
+        "--generate", choices=("layered", "chain", "butterfly"),
+        default=None, metavar="KIND",
+        help="partition a generated workload instead of a project "
+        "(layered | chain | butterfly)",
+    )
+    auto.add_argument(
+        "--ops", type=int, default=1000,
+        help="target operation count for --generate (default 1000)",
+    )
+    auto.add_argument(
+        "--seed", type=int, default=0,
+        help="generator seed for --generate layered (default 0)",
+    )
+    auto.add_argument(
+        "--chips", type=int, default=4,
+        help="number of chips / partitions (default 4)",
+    )
+    auto.add_argument(
+        "--replicate", action="store_true",
+        help="run the logic-replication pass on cut operations",
+    )
+    auto.add_argument(
+        "--max-clones", type=int, default=0,
+        help="cap on applied replications (default 0: unbounded)",
+    )
+    auto.add_argument(
+        "--balance", type=float, default=0.3,
+        help="per-chip size tolerance for refinement (default 0.3)",
+    )
+    auto.add_argument(
+        "--feasibility-moves", type=int, default=32,
+        help="bound on repair migrations in the feasibility stage "
+        "(default 32)",
+    )
+    auto.add_argument(
+        "--heuristic", choices=("iterative", "enumeration"),
+        default="iterative",
+    )
+    auto.add_argument(
+        "-o", "--output", default=None,
+        help="write the partitioned session as a project JSON file",
+    )
+    auto.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the feasibility search (enumeration "
+        "heuristic only; default 1)",
+    )
+    auto.add_argument(
+        "--start-method", choices=("fork", "spawn", "forkserver"),
+        default=None,
+        help="multiprocessing start method for --workers",
+    )
+    auto.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write the auto.* span tree as JSONL to PATH",
+    )
+    auto.set_defaults(func=_cmd_auto)
 
     predict = sub.add_parser(
         "predict", help="list BAD's predictions for one partition"

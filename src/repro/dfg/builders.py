@@ -1,4 +1,4 @@
-"""Incremental construction of data-flow graphs.
+"""Incremental construction and parameterized generation of data-flow graphs.
 
 :class:`GraphBuilder` offers a small fluent API::
 
@@ -13,11 +13,20 @@
 Each ``op`` call returns the produced value's id, so expressions compose
 naturally.  The builder checks referential integrity as it goes and the
 final :meth:`GraphBuilder.build` validates acyclicity.
+
+The module also hosts the parameterized workload generators behind the
+scaling benchmarks and the auto-partitioner's tests: seeded random
+layered DAGs (:func:`random_layered_dag`), deterministic filter cascades
+(:func:`filter_chain`) and sized FFT butterfly meshes
+(:func:`fft_butterflies`), unified under :func:`generate_dfg`.  All are
+deterministic given their parameters — the same ``(kind, ops, seed)``
+triple always yields a byte-identical graph document.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import random
+from typing import Dict, List, Optional
 
 from repro.dfg.graph import DataFlowGraph, Operation, Value
 from repro.dfg.ops import OpType
@@ -155,3 +164,169 @@ class GraphBuilder:
             raise SpecificationError(
                 "builder already finalised; create a new GraphBuilder"
             )
+
+
+# ----------------------------------------------------------------------
+# parameterized workload generators
+# ----------------------------------------------------------------------
+
+#: Arithmetic mix of the random generator, weighted towards the cheap
+#: adders real behavioral code is dominated by.
+_RANDOM_OP_MIX = (
+    OpType.ADD, OpType.ADD, OpType.ADD, OpType.SUB, OpType.SUB,
+    OpType.MUL,
+)
+
+#: Kinds :func:`generate_dfg` understands.
+GENERATOR_KINDS = ("layered", "chain", "butterfly")
+
+
+def random_layered_dag(
+    op_count: int,
+    seed: int = 0,
+    layers: Optional[int] = None,
+    width: int = DEFAULT_BIT_WIDTH,
+    fan_in_window: int = 3,
+    name: Optional[str] = None,
+) -> DataFlowGraph:
+    """A seeded random layered DAG of ``op_count`` operations.
+
+    Operations are placed on ``layers`` consecutive layers (default
+    ``max(4, round(sqrt(op_count)))``); each consumes two values drawn
+    from the previous ``fan_in_window`` layers (biased towards the
+    nearest), so the graph has the mix of local chains and longer skips
+    that makes partition boundaries non-trivial.  Values nothing
+    consumes become primary outputs.  Deterministic for a given
+    ``(op_count, seed, layers, width, fan_in_window)``.
+    """
+    if op_count < 1:
+        raise SpecificationError(
+            f"op_count must be >= 1, got {op_count}"
+        )
+    if layers is None:
+        layers = max(4, round(op_count ** 0.5))
+    layers = max(1, min(layers, op_count))
+    rng = random.Random(seed)
+    b = GraphBuilder(
+        name or f"layered{op_count}s{seed}", default_width=width
+    )
+    inputs = [
+        b.input(f"in{i}") for i in range(max(2, min(8, op_count)))
+    ]
+    produced: List[List[str]] = [list(inputs)]
+    base = op_count // layers
+    extra = op_count % layers
+    made = 0
+    for layer in range(layers):
+        count = base + (1 if layer < extra else 0)
+        current: List[str] = []
+        pool_layers = produced[-fan_in_window:]
+        for _ in range(count):
+            made += 1
+            # Bias towards the most recent layer: draw each operand
+            # from a uniformly chosen layer of the window, then a
+            # uniform value within it.
+            operands = []
+            for _operand in range(2):
+                source = pool_layers[
+                    rng.randrange(len(pool_layers))
+                ]
+                operands.append(source[rng.randrange(len(source))])
+            op_type = _RANDOM_OP_MIX[
+                rng.randrange(len(_RANDOM_OP_MIX))
+            ]
+            current.append(b.op(op_type, *operands))
+        if current:
+            produced.append(current)
+    graph_values = {vid for layer_vals in produced for vid in layer_vals}
+    consumed = {
+        vid for op in b._operations.values() for vid in op.inputs
+    }
+    for vid in sorted(graph_values - consumed):
+        b.output(vid)
+    graph = b.build()
+    assert graph.op_count() == op_count == made
+    return graph
+
+
+def filter_chain(
+    sections: int,
+    width: int = DEFAULT_BIT_WIDTH,
+    name: Optional[str] = None,
+) -> DataFlowGraph:
+    """A cascade of ``sections`` two-multiplier filter sections.
+
+    Each section computes ``y = (x*k1 + s) - (x*k1 + s)*k2`` — four
+    operations (2 mul, 1 add, 1 sub) feeding the next section, the
+    narrow-deep extreme of the generator family (cut anywhere and only
+    one value crosses).  Deterministic; ``op_count == 4 * sections``.
+    """
+    if sections < 1:
+        raise SpecificationError(
+            f"sections must be >= 1, got {sections}"
+        )
+    b = GraphBuilder(name or f"filterchain{sections}", default_width=width)
+    signal = b.input("x0")
+    state = b.input("s0")
+    for section in range(sections):
+        k1 = b.input(f"k1_{section}")
+        k2 = b.input(f"k2_{section}")
+        scaled = b.mul(signal, k1)
+        summed = b.add(scaled, state)
+        feedback = b.mul(summed, k2)
+        signal = b.sub(summed, feedback)
+        state = summed
+    b.output(signal)
+    return b.build()
+
+
+def fft_butterflies(
+    op_target: int,
+    width: int = DEFAULT_BIT_WIDTH,
+) -> DataFlowGraph:
+    """The largest radix-2 FFT mesh within ``op_target`` operations.
+
+    Sizes :func:`repro.dfg.benchmarks_ext.fft_graph` by its closed-form
+    operation count (``points/2 * log2(points) * 10``), picking the
+    biggest power-of-two transform whose mesh fits in ``op_target``
+    (minimum: the 2-point transform, 10 operations).
+    """
+    from repro.dfg.benchmarks_ext import fft_graph
+
+    if op_target < 10:
+        raise SpecificationError(
+            f"op_target must be >= 10 (one butterfly), got {op_target}"
+        )
+    points = 2
+    while True:
+        nxt = points * 2
+        stages = nxt.bit_length() - 1
+        if (nxt // 2) * stages * 10 > op_target:
+            break
+        points = nxt
+    return fft_graph(points, width=width)
+
+
+def generate_dfg(
+    kind: str,
+    ops: int,
+    seed: int = 0,
+    width: int = DEFAULT_BIT_WIDTH,
+) -> DataFlowGraph:
+    """One generator entry point for benchmarks, tests and the CLI.
+
+    ``kind`` is ``"layered"`` (seeded random layered DAG, exactly
+    ``ops`` operations), ``"chain"`` (filter cascade, ``ops`` rounded
+    down to a multiple of 4) or ``"butterfly"`` (largest FFT mesh within
+    ``ops``).  Only ``"layered"`` consumes the seed; the structured
+    kinds are deterministic by shape alone.
+    """
+    if kind == "layered":
+        return random_layered_dag(ops, seed=seed, width=width)
+    if kind == "chain":
+        return filter_chain(max(1, ops // 4), width=width)
+    if kind == "butterfly":
+        return fft_butterflies(ops, width=width)
+    raise SpecificationError(
+        f"unknown generator kind {kind!r}; use one of {GENERATOR_KINDS}"
+    )

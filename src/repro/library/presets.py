@@ -68,3 +68,30 @@ def extended_library() -> ComponentLibrary:
         register=REGISTER,
         mux=MUX,
     )
+
+
+def auto_library() -> ComponentLibrary:
+    """One fast component per operation type, for the auto-partitioner.
+
+    BAD's prediction cost is (module sets) x (allocation frontier) list
+    schedules per partition; the full :func:`extended_library` offers 27
+    add/sub/mul module sets, which is the right richness for design-space
+    exploration but a ~27x slowdown when a 1000-operation graph only
+    needs a feasibility verdict per refinement step.  One component per
+    type collapses the module-set enumeration to a single schedule
+    family while keeping areas/delays in the Table 1 technology.
+    """
+    extended = extended_library()
+    picks = [
+        extended.component_named(name)
+        for name in (
+            "add1", "mul1", "sub1", "cmp1", "shift1", "and1", "or1",
+            "div1",
+        )
+    ]
+    return ComponentLibrary(
+        name="auto-3micron",
+        components=picks,
+        register=REGISTER,
+        mux=MUX,
+    )

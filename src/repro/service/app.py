@@ -13,6 +13,7 @@ Endpoints::
     GET  /projects/{id}             describe a resident session
     POST /projects/{id}/check       synchronous feasibility check
     POST /projects/{id}/enumerate   background search -> job id
+    POST /projects/{id}/auto        background auto-partitioning -> job id
     GET  /jobs/{id}                 poll job state / result
     POST /jobs/{id}/cancel          cooperative cancellation
     GET  /jobs/{id}/trace           the job's finished span records
@@ -59,6 +60,7 @@ from repro.engine import DiskPredictionCache, EvaluationEngine
 from repro.errors import (
     ChopError,
     DrainingError,
+    PartitioningError,
     QueueFullError,
     SpecificationError,
 )
@@ -171,6 +173,12 @@ class ChopService:
             self.metrics.register_gauges(
                 "disk_cache", self.disk_cache.stats
             )
+        self._auto_lock = threading.Lock()
+        self._auto_stats: Dict[str, int] = {
+            "jobs": 0, "feasible": 0, "infeasible": 0, "clones": 0,
+            "repair_moves": 0,
+        }
+        self.metrics.register_gauges("auto", self._auto_snapshot)
         self.started_at = time.time()
         self.metrics.register_gauges("process", self._process_stats)
         self.metrics.register_gauges("retries", self.retry_stats.stats)
@@ -312,6 +320,11 @@ class ChopService:
                     entry, self._json_body(body, {}), trace_id
                 )
                 return 202, payload, "POST /projects/{id}/enumerate"
+            if method == "POST" and parts[2] == "auto":
+                payload = self._auto(
+                    entry, self._json_body(body, {}), trace_id
+                )
+                return 202, payload, "POST /projects/{id}/auto"
         if len(parts) == 2 and parts[0] == "jobs" and method == "GET":
             return 200, self._job(parts[1]).to_dict(), "GET /jobs/{id}"
         if len(parts) == 3 and parts[0] == "jobs":
@@ -531,6 +544,112 @@ class ChopService:
         job = self.jobs.submit(
             run,
             kind=f"{heuristic}:{entry.project_id}",
+            timeout_s=timeout_s,
+            pass_job=True,
+            session_key=entry.project_id,
+        )
+        job.trace_id = tracer.trace_id
+        return job.to_dict()
+
+    def _auto_snapshot(self) -> Dict[str, int]:
+        with self._auto_lock:
+            return dict(self._auto_stats)
+
+    def _auto(
+        self,
+        entry: SessionEntry,
+        options: Dict[str, Any],
+        trace_id: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Submit a background auto-partitioning of one project's graph.
+
+        Options: ``chips`` (default 4), ``replicate`` (bool),
+        ``max_clones``, ``balance_tolerance``, ``feasibility_moves``,
+        ``heuristic``, ``timeout_s``, ``include_assignment`` (ship the
+        full op-to-partition map in the result — off by default, the
+        map is graph-sized).  The job result is the auto summary; the
+        span tree (``auto.coarsen`` / ``auto.refine`` /
+        ``auto.replicate`` / ...) is served by ``/jobs/{id}/trace``.
+        """
+        from repro.auto import AutoPartitionConfig, auto_partition
+        from repro.auto.partitioner import session_like_factory
+
+        heuristic = options.get("heuristic", "iterative")
+        if heuristic not in HEURISTICS:
+            raise ServiceError(
+                400,
+                f"unknown heuristic {heuristic!r}; use one of "
+                f"{list(HEURISTICS)}",
+            )
+        if trace_id is not None and not _TRACE_ID_RE.match(trace_id):
+            raise ServiceError(
+                400,
+                "X-Trace-Id must be 4-128 characters of "
+                "[0-9A-Za-z._-] starting with an alphanumeric",
+            )
+        timeout_s = options.get("timeout_s")
+        if timeout_s is not None:
+            try:
+                timeout_s = float(timeout_s)
+            except (TypeError, ValueError):
+                raise ServiceError(
+                    400, f"timeout_s must be a number, got {timeout_s!r}"
+                ) from None
+        try:
+            config = AutoPartitionConfig(
+                chips=int(options.get("chips", 4)),
+                replicate=bool(options.get("replicate", False)),
+                max_clones=int(options.get("max_clones", 0)),
+                balance_tolerance=float(
+                    options.get("balance_tolerance", 0.3)
+                ),
+                feasibility_moves=int(
+                    options.get("feasibility_moves", 32)
+                ),
+                heuristic=heuristic,
+            )
+            config.validate()
+        except (TypeError, ValueError, PartitioningError) as exc:
+            raise ServiceError(
+                400, f"invalid auto option: {exc}"
+            ) from None
+        include_assignment = bool(options.get("include_assignment", False))
+
+        tracer = Tracer(trace_id=trace_id)
+
+        def run(job) -> Dict[str, Any]:
+            try:
+                with entry.lock, activate(tracer):
+                    with tracer.span(
+                        "service.job", job_id=job.id, kind=job.kind,
+                    ):
+                        outcome = auto_partition(
+                            entry.session.graph,
+                            config,
+                            session_factory=session_like_factory(
+                                entry.session
+                            ),
+                            engine=self.engine,
+                            progress=job.report_progress,
+                        )
+            finally:
+                job.artifacts["trace"] = tracer.spans()
+            payload = outcome.to_dict()
+            if include_assignment:
+                payload["assignment"] = dict(outcome.assignment)
+            with self._auto_lock:
+                self._auto_stats["jobs"] += 1
+                key = "feasible" if outcome.feasible else "infeasible"
+                self._auto_stats[key] += 1
+                self._auto_stats["clones"] += payload["clones"]
+                self._auto_stats["repair_moves"] += payload[
+                    "repair_moves"
+                ]
+            return payload
+
+        job = self.jobs.submit(
+            run,
+            kind=f"auto:{entry.project_id}",
             timeout_s=timeout_s,
             pass_job=True,
             session_key=entry.project_id,

@@ -1,0 +1,115 @@
+"""Coarsening invariants: exact covers, acyclicity, determinism."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.auto import base_cluster_graph, coarsen, verify_chain
+from repro.auto.initial import part_weights, topo_interval_split
+from repro.auto.refine import RefineStats, fm_refine
+from repro.dfg.builders import generate_dfg
+from repro.errors import PartitioningError
+
+from tests.strategies import dags
+
+
+def _cover(level, graph):
+    ops = set()
+    for members in level.graph.members.values():
+        assert not (ops & members), "clusters overlap"
+        ops |= members
+    assert ops == set(graph.operations)
+
+
+def test_base_cluster_graph_mirrors_the_graph():
+    graph = generate_dfg("chain", 40)
+    cg = base_cluster_graph(graph)
+    assert len(cg) == graph.op_count()
+    assert cg.total_weight() == graph.op_count()
+    # every directed edge weight equals the summed value widths
+    total = sum(w for t in cg.succ.values() for w in t.values())
+    internal = sum(
+        value.width * len(graph.consumers(value.id))
+        for value in graph.values.values()
+        if value.producer is not None
+    )
+    assert total == internal
+
+
+@pytest.mark.parametrize("kind", ["layered", "chain", "butterfly"])
+def test_hierarchy_invariants(kind):
+    graph = generate_dfg(kind, 200, seed=3)
+    levels = coarsen(graph, target_clusters=8)
+    assert len(levels) >= 2, "coarsening made no progress"
+    previous = None
+    for level in levels:
+        _cover(level, graph)
+        level.graph.topological_order()  # raises on a cycle
+        if previous is not None:
+            assert len(level.graph) < len(previous.graph)
+            # projection maps every finer cluster onto this level
+            assert set(level.projection) == set(previous.graph.members)
+            assert set(level.projection.values()) == set(
+                level.graph.members
+            )
+        previous = level
+    assert len(levels[-1].graph) <= max(8, len(levels[-2].graph) - 1)
+
+
+def test_coarsen_respects_cluster_weight_bound():
+    graph = generate_dfg("layered", 300, seed=5)
+    levels = coarsen(graph, target_clusters=4, max_cluster_weight=30)
+    for level in levels:
+        assert max(
+            level.graph.weight(c) for c in level.graph.members
+        ) <= 30
+
+
+def test_coarsen_is_deterministic():
+    graph = generate_dfg("layered", 150, seed=9)
+    a = coarsen(graph, target_clusters=10)
+    b = coarsen(graph, target_clusters=10)
+    assert len(a) == len(b)
+    for la, lb in zip(a, b):
+        assert la.graph.members == lb.graph.members
+        assert la.graph.succ == lb.graph.succ
+        assert la.projection == lb.projection
+
+
+def test_coarsen_rejects_bad_target():
+    graph = generate_dfg("chain", 20)
+    with pytest.raises(PartitioningError):
+        coarsen(graph, target_clusters=0)
+
+
+@given(dags(max_ops=40))
+@settings(max_examples=40, deadline=None)
+def test_every_level_stays_acyclic(graph):
+    for level in coarsen(graph, target_clusters=2):
+        level.graph.topological_order()
+
+
+def test_topo_interval_split_is_a_balanced_chain():
+    graph = generate_dfg("layered", 240, seed=1)
+    cg = base_cluster_graph(graph)
+    part_of = topo_interval_split(cg, 4)
+    verify_chain(cg, part_of)
+    weights = part_weights(cg, part_of, 4)
+    assert sum(weights) == 240
+    assert min(weights) > 0
+    assert max(weights) <= 240 // 4 + cg.total_weight() // 10 + 1
+
+
+def test_fm_refine_reduces_or_keeps_cut_and_preserves_chain():
+    graph = generate_dfg("butterfly", 400)
+    cg = base_cluster_graph(graph)
+    part_of = topo_interval_split(cg, 4)
+    before = cg.cut_bits(part_of)
+    stats = RefineStats()
+    fm_refine(cg, part_of, 4, stats=stats)
+    verify_chain(cg, part_of)
+    assert stats.cut_after <= before
+    assert stats.cut_before == before
+    weights = part_weights(cg, part_of, 4)
+    assert min(weights) > 0

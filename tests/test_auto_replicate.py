@@ -1,0 +1,136 @@
+"""Replication's contract: profitable, structural, semantics-preserving."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.auto import base_cluster_graph, replicate_cut_ops, transfer_bits
+from repro.auto.initial import topo_interval_split
+from repro.dfg.builders import GraphBuilder, generate_dfg
+from repro.dfg.evaluate import evaluate_outputs
+from repro.dfg.ops import MEMORY_OP_TYPES, OpType
+
+from tests.strategies import dags
+
+
+def _chain_assignment(graph, parts):
+    """A valid chain partitioning of ``graph`` at op granularity."""
+    cg = base_cluster_graph(graph)
+    parts = min(parts, len(cg))
+    part_of = topo_interval_split(cg, parts)
+    return {
+        min(ops): part_of[cid] for cid, ops in cg.members.items()
+    }
+
+
+def _inputs_for(graph, rng_values):
+    inputs = {}
+    for index, value in enumerate(sorted(
+        graph.primary_inputs(), key=lambda v: v.id
+    )):
+        inputs[value.id] = rng_values[index % len(rng_values)] + index
+    return inputs
+
+
+def test_replication_reduces_transfer_bits():
+    graph = generate_dfg("layered", 300, seed=11)
+    part_of = _chain_assignment(graph, 4)
+    replicated, new_parts, report = replicate_cut_ops(graph, part_of)
+    assert report.transfer_bits_before == transfer_bits(graph, part_of)
+    assert report.transfer_bits_after == transfer_bits(
+        replicated, new_parts
+    )
+    assert report.transfer_bits_after <= report.transfer_bits_before
+    if report.clones:
+        assert report.saved_bits > 0
+
+
+def test_clones_are_pure_compute_and_never_outputs():
+    graph = generate_dfg("layered", 300, seed=11)
+    part_of = _chain_assignment(graph, 4)
+    replicated, new_parts, report = replicate_cut_ops(graph, part_of)
+    assert report.clones, "expected at least one profitable clone"
+    for clone in report.clones:
+        op = replicated.operation(clone.clone_id)
+        assert op.op_type not in MEMORY_OP_TYPES
+        assert not replicated.value(op.output).is_output
+        assert new_parts[clone.clone_id] == clone.to_part
+        # the clone consumes exactly the original's values
+        assert op.inputs == graph.operation(clone.op_id).inputs
+
+
+def test_replicated_graph_is_still_acyclic_and_chain_partitioned():
+    graph = generate_dfg("butterfly", 400)
+    part_of = _chain_assignment(graph, 4)
+    replicated, new_parts, _report = replicate_cut_ops(graph, part_of)
+    replicated.topological_order()
+    for value in replicated.values.values():
+        if value.producer is None:
+            continue
+        for consumer in replicated.consumers(value.id):
+            assert new_parts[value.producer] <= new_parts[consumer]
+
+
+def test_memory_ops_are_never_replicated():
+    b = GraphBuilder("memrep", default_width=8)
+    addr = b.input("addr")
+    x = b.input("x")
+    loaded = b.mem_read(addr, "ram")
+    total = b.add(loaded, x)
+    b.mem_write(total, "ram")
+    out = b.mul(total, x)
+    b.output(out)
+    graph = b.build()
+    part_of = _chain_assignment(graph, 2)
+    replicated, _parts, report = replicate_cut_ops(graph, part_of)
+    for clone in report.clones:
+        assert graph.operation(clone.op_id).op_type not in MEMORY_OP_TYPES
+    memories = {"ram": [3, 5, 7]}
+    reference = {"ram": [3, 5, 7]}
+    assert evaluate_outputs(
+        replicated, {"addr": 1, "x": 9}, memories
+    ) == evaluate_outputs(graph, {"addr": 1, "x": 9}, reference)
+    assert memories == reference
+
+
+@pytest.mark.parametrize("kind,ops", [
+    ("layered", 200), ("chain", 120), ("butterfly", 200),
+])
+def test_semantics_preserved_on_generated_graphs(kind, ops):
+    graph = generate_dfg(kind, ops, seed=2)
+    part_of = _chain_assignment(graph, 4)
+    replicated, _parts, _report = replicate_cut_ops(graph, part_of)
+    inputs = _inputs_for(graph, [17, 4242, 99991])
+    assert evaluate_outputs(replicated, inputs) == evaluate_outputs(
+        graph, inputs
+    )
+
+
+@given(
+    dags(max_ops=30),
+    st.integers(min_value=2, max_value=4),
+    st.lists(
+        st.integers(min_value=-(2 ** 15), max_value=2 ** 15 - 1),
+        min_size=1,
+        max_size=6,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_replication_preserves_evaluation_semantics(graph, parts, seeds):
+    """The tentpole property: evaluate/outputs byte-identical pre/post."""
+    if graph.op_count() < 2:
+        return
+    part_of = _chain_assignment(graph, parts)
+    replicated, new_parts, report = replicate_cut_ops(graph, part_of)
+    inputs = _inputs_for(graph, seeds)
+    assert evaluate_outputs(replicated, inputs) == evaluate_outputs(
+        graph, inputs
+    )
+    # primary outputs are exactly preserved, never renamed or added
+    assert {v.id for v in replicated.primary_outputs()} == {
+        v.id for v in graph.primary_outputs()
+    }
+    # the op-count delta is exactly the clone count
+    assert replicated.op_count() == graph.op_count() + len(report.clones)

@@ -308,3 +308,45 @@ class TestObservabilityCommands:
         doc = json.loads(capsys.readouterr().out)
         assert doc["evaluated"] == doc["combination_count"] > 0
         assert "constraints" in doc and "level1" in doc
+
+
+class TestAutoCommand:
+    def test_auto_on_a_generated_graph(self, capsys):
+        assert main(
+            ["auto", "--generate", "chain", "--ops", "80",
+             "--chips", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "auto:" in out
+        assert "over 2 chips" in out
+        assert "cut" in out and "part sizes" in out
+
+    def test_auto_with_replication_and_trace(self, tmp_path, capsys):
+        trace = tmp_path / "auto.jsonl"
+        out_file = tmp_path / "auto.json"
+        assert main(
+            ["auto", "--generate", "layered", "--ops", "120",
+             "--seed", "7", "--chips", "3", "--replicate",
+             "--trace", str(trace), "-o", str(out_file)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "replication:" in out
+        assert trace.exists()
+        names = {
+            json.loads(line)["name"]
+            for line in trace.read_text().splitlines() if line
+        }
+        assert {
+            "auto.partition", "auto.coarsen", "auto.initial",
+            "auto.refine", "auto.replicate", "auto.feasibility",
+        } <= names
+        # the saved project round-trips through `check`
+        assert main(["check", str(out_file)]) == 0
+
+    def test_auto_requires_an_input(self, capsys):
+        assert main(["auto"]) == 3
+        assert "error:" in capsys.readouterr().err
+
+    def test_auto_rejects_unknown_generator(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["auto", "--generate", "mystery"])

@@ -1,10 +1,18 @@
-"""Tests for the graph builder."""
+"""Tests for the graph builder and the random-DFG generators."""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.dfg.builders import GraphBuilder
+from repro.dfg.builders import (
+    GENERATOR_KINDS,
+    GraphBuilder,
+    fft_butterflies,
+    filter_chain,
+    generate_dfg,
+    random_layered_dag,
+)
+from repro.dfg.evaluate import evaluate_outputs
 from repro.dfg.ops import OpType
 from repro.errors import SpecificationError
 
@@ -105,3 +113,64 @@ class TestFinalisation:
         g = b.build()
         assert g.op_count() == 3
         assert g.depth() == 2
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("kind", GENERATOR_KINDS)
+    @pytest.mark.parametrize("ops", [100, 500])
+    def test_op_counts_land_near_the_request(self, kind, ops):
+        graph = generate_dfg(kind, ops, seed=1)
+        # layered hits exactly; chain rounds to a multiple of 4;
+        # butterfly picks the largest FFT mesh that fits
+        assert 0 < graph.op_count() <= ops * 2
+        if kind == "layered":
+            assert graph.op_count() == ops
+        if kind == "chain":
+            assert graph.op_count() == (ops // 4) * 4
+        if kind == "butterfly":
+            assert graph.op_count() <= ops
+
+    @pytest.mark.parametrize("kind", GENERATOR_KINDS)
+    def test_generated_graphs_are_valid_and_evaluable(self, kind):
+        graph = generate_dfg(kind, 120, seed=2)
+        graph.topological_order()  # raises on a cycle
+        assert graph.primary_outputs(), "graph must expose outputs"
+        inputs = {
+            v.id: 3 + i for i, v in enumerate(
+                sorted(graph.primary_inputs(), key=lambda v: v.id)
+            )
+        }
+        outputs = evaluate_outputs(graph, inputs)
+        assert outputs
+
+    def test_layered_is_deterministic_per_seed(self):
+        a = random_layered_dag(200, seed=5)
+        b = random_layered_dag(200, seed=5)
+        assert sorted(a.operations) == sorted(b.operations)
+        assert {
+            (op.id, op.op_type, op.inputs) for op in a
+        } == {(op.id, op.op_type, op.inputs) for op in b}
+
+    def test_layered_seed_changes_the_wiring(self):
+        a = random_layered_dag(200, seed=5)
+        b = random_layered_dag(200, seed=6)
+        assert {
+            (op.id, op.inputs) for op in a
+        } != {(op.id, op.inputs) for op in b}
+
+    def test_chain_op_count_formula(self):
+        assert filter_chain(7).op_count() == 28
+
+    def test_butterfly_respects_the_budget(self):
+        graph = fft_butterflies(1000)
+        assert 10 <= graph.op_count() <= 1000
+
+    def test_generators_reject_bad_requests(self):
+        with pytest.raises(SpecificationError):
+            generate_dfg("mystery", 100)
+        with pytest.raises(SpecificationError):
+            random_layered_dag(0)
+        with pytest.raises(SpecificationError):
+            filter_chain(0)
+        with pytest.raises(SpecificationError):
+            fft_butterflies(5)
