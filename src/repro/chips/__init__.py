@@ -10,12 +10,28 @@ dedicated memory lines are reserved (section 2.4).
 
 from repro.chips.package import ChipPackage
 from repro.chips.chip import Chip, PinBudget, pin_budget
+from repro.chips.cost import (
+    ChipCost,
+    CostParameters,
+    CostReport,
+    die_cost,
+    die_yield,
+    gross_dies_per_wafer,
+    partition_cost,
+)
 from repro.chips.presets import mosis_packages, mosis_package
 
 __all__ = [
     "ChipPackage",
     "Chip",
+    "ChipCost",
+    "CostParameters",
+    "CostReport",
     "PinBudget",
+    "die_cost",
+    "die_yield",
+    "gross_dies_per_wafer",
+    "partition_cost",
     "pin_budget",
     "mosis_packages",
     "mosis_package",

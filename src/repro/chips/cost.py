@@ -1,0 +1,307 @@
+"""Manufacturing-cost model for a partitioned design.
+
+CHOP answers *feasible or infeasible*; the modern system-level question
+(ChipletPart and its ancestors) is *cheapest feasible*.  This module
+prices one tentative partitioning so the design-space explorer
+(:mod:`repro.explore`) can trade cost against performance:
+
+* **Die cost** — each chip's silicon, priced per good die.  Yield
+  follows the negative-binomial model
+
+  .. math:: Y(A) = (1 + A \\cdot D_0 / \\alpha)^{-\\alpha}
+
+  with defect density :math:`D_0` (defects/cm^2) and clustering
+  parameter :math:`\\alpha` (the Poisson model :math:`e^{-A D_0}` is
+  the :math:`\\alpha \\to \\infty` limit).  Gross dies per wafer use
+  the standard circle-packing estimate
+  :math:`\\pi r^2 / A - 2 \\pi r / \\sqrt{2 A}`, and one good die costs
+  ``wafer_cost / (gross_dies * yield)``.
+
+* **Package cost** — per chip: a base price plus a per-pin premium on
+  the package's pin count.
+
+* **Substrate / integration cost** — grows with the chip count and
+  with the cut bandwidth (total bits crossing chip boundaries per
+  iteration): more chips and wider cuts mean more board/substrate
+  routing layers.
+
+* **Assembly yield** — every chip attach risks the whole assembly;
+  the final cost is divided by ``assembly_yield ** chips``.
+
+All areas flow in as mil^2 (the paper's unit) and are converted to
+cm^2 internally.  :func:`partition_cost` prices a whole
+:class:`~repro.core.chop.ChopSession`; the pure helpers
+(:func:`die_yield`, :func:`gross_dies_per_wafer`, :func:`die_cost`)
+are exposed for tests and for pricing hypothetical chips directly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional
+
+from repro.errors import ChipError
+
+if TYPE_CHECKING:  # pragma: no cover — typing only
+    from repro.bad.prediction import DesignPrediction
+    from repro.core.chop import ChopSession
+
+#: mil^2 -> cm^2 (1 mil = 2.54e-3 cm).
+MIL2_TO_CM2 = (2.54e-3) ** 2
+
+
+@dataclass(frozen=True, slots=True)
+class CostParameters:
+    """Knobs of the cost model (defaults: early-90s MOSIS-class runs).
+
+    The defaults are deliberately round: the explorer compares designs
+    *relatively*, and every knob is a sweep axis a caller can override.
+    """
+
+    #: Processed-wafer price in dollars.
+    wafer_cost: float = 1500.0
+    #: Wafer diameter in millimetres (150 mm = the era's 6-inch line).
+    wafer_diameter_mm: float = 150.0
+    #: Defect density in defects per cm^2.
+    defect_density_per_cm2: float = 2.0
+    #: Negative-binomial clustering parameter; ``inf`` gives Poisson.
+    clustering_alpha: float = 3.0
+    #: Package price: base plus per-pin premium.
+    package_base: float = 2.0
+    package_per_pin: float = 0.05
+    #: Substrate / board integration: per extra chip and per cut bit.
+    substrate_per_chip: float = 1.5
+    substrate_per_cut_bit: float = 0.02
+    #: Probability one chip attach succeeds.
+    assembly_yield: float = 0.99
+
+    def validate(self) -> None:
+        if self.wafer_cost <= 0:
+            raise ChipError(
+                f"wafer_cost must be positive, got {self.wafer_cost}"
+            )
+        if self.wafer_diameter_mm <= 0:
+            raise ChipError("wafer_diameter_mm must be positive")
+        if self.defect_density_per_cm2 < 0:
+            raise ChipError("defect_density_per_cm2 must be non-negative")
+        if self.clustering_alpha <= 0:
+            raise ChipError("clustering_alpha must be positive")
+        if min(self.package_base, self.package_per_pin,
+               self.substrate_per_chip, self.substrate_per_cut_bit) < 0:
+            raise ChipError("cost components must be non-negative")
+        if not 0 < self.assembly_yield <= 1:
+            raise ChipError(
+                f"assembly_yield must be in (0, 1], got "
+                f"{self.assembly_yield}"
+            )
+
+
+def die_yield(area_mil2: float, params: CostParameters) -> float:
+    """Fraction of good dies at ``area_mil2`` (negative binomial).
+
+    Monotonically non-increasing in area; 1.0 at zero area.  With
+    ``clustering_alpha = inf`` this is the Poisson ``exp(-A*D0)``.
+    """
+    if area_mil2 < 0:
+        raise ChipError(f"die area must be non-negative, got {area_mil2}")
+    defects = area_mil2 * MIL2_TO_CM2 * params.defect_density_per_cm2
+    if defects == 0.0:
+        return 1.0
+    if math.isinf(params.clustering_alpha):
+        return math.exp(-defects)
+    return (1.0 + defects / params.clustering_alpha) ** (
+        -params.clustering_alpha
+    )
+
+
+def gross_dies_per_wafer(
+    area_mil2: float, params: CostParameters
+) -> float:
+    """Gross die sites on one wafer (circle-packing estimate).
+
+    Zero when the die does not fit the wafer at all; callers treat that
+    as an unmanufacturable chip.
+    """
+    if area_mil2 <= 0:
+        return math.inf
+    area_cm2 = area_mil2 * MIL2_TO_CM2
+    radius_cm = params.wafer_diameter_mm / 20.0  # mm -> cm, /2
+    wafer_cm2 = math.pi * radius_cm * radius_cm
+    dies = (
+        wafer_cm2 / area_cm2
+        - math.pi * 2.0 * radius_cm / math.sqrt(2.0 * area_cm2)
+    )
+    return max(0.0, dies)
+
+
+def die_cost(area_mil2: float, params: CostParameters) -> float:
+    """Dollars per *good* die of ``area_mil2``.
+
+    Zero-area dies are free; a die too large to yield a single site
+    (or whose yield underflows to zero) raises :class:`ChipError` —
+    the explorer treats such candidates as infeasible, it does not
+    price them at infinity.
+    """
+    if area_mil2 < 0:
+        raise ChipError(f"die area must be non-negative, got {area_mil2}")
+    if area_mil2 == 0:
+        return 0.0
+    dies = gross_dies_per_wafer(area_mil2, params)
+    if dies < 1.0:
+        raise ChipError(
+            f"a {area_mil2:.0f} mil^2 die does not fit a "
+            f"{params.wafer_diameter_mm:.0f} mm wafer"
+        )
+    good = dies * die_yield(area_mil2, params)
+    if good <= 0.0:
+        raise ChipError(
+            f"a {area_mil2:.0f} mil^2 die yields no good parts at "
+            f"D0={params.defect_density_per_cm2}/cm^2"
+        )
+    return params.wafer_cost / good
+
+
+@dataclass(frozen=True, slots=True)
+class ChipCost:
+    """Per-chip price breakdown."""
+
+    chip: str
+    area_mil2: float
+    yield_fraction: float
+    die: float
+    package: float
+
+    @property
+    def total(self) -> float:
+        return self.die + self.package
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "chip": self.chip,
+            "area_mil2": round(self.area_mil2, 2),
+            "yield": round(self.yield_fraction, 6),
+            "die_cost": round(self.die, 4),
+            "package_cost": round(self.package, 4),
+            "total": round(self.total, 4),
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class CostReport:
+    """The priced partitioning: per-chip parts plus system-level terms."""
+
+    chips: List[ChipCost]
+    cut_bits: int
+    substrate: float
+    assembly_yield: float
+    parameters: CostParameters = field(repr=False, default=CostParameters())
+
+    @property
+    def die_total(self) -> float:
+        return sum(chip.die for chip in self.chips)
+
+    @property
+    def package_total(self) -> float:
+        return sum(chip.package for chip in self.chips)
+
+    @property
+    def pre_assembly(self) -> float:
+        return self.die_total + self.package_total + self.substrate
+
+    @property
+    def total(self) -> float:
+        """The headline number: every part, divided by assembly yield."""
+        return self.pre_assembly / self.assembly_yield
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "total": round(self.total, 4),
+            "die": round(self.die_total, 4),
+            "package": round(self.package_total, 4),
+            "substrate": round(self.substrate, 4),
+            "assembly_yield": round(self.assembly_yield, 6),
+            "cut_bits": self.cut_bits,
+            "chips": [chip.to_dict() for chip in self.chips],
+        }
+
+
+def partition_cost(
+    session: "ChopSession",
+    selection: Optional[Mapping[str, "DesignPrediction"]] = None,
+    params: Optional[CostParameters] = None,
+) -> CostReport:
+    """Price the session's current partitioning.
+
+    ``selection`` maps partition names to the chosen
+    :class:`~repro.bad.prediction.DesignPrediction` (a feasible
+    design's ``selection``); each chip's die area is then the most
+    likely predicted logic area of the partitions placed on it.
+    Without a selection the model falls back to the package's full
+    project area — the pessimistic "you pay for the whole die you
+    bought" price.
+
+    Cut bandwidth (the substrate term) is the total bit width of the
+    partitioning's inter-chip transfer tasks per iteration, straight
+    from the paper's task graph (Figure 3).
+    """
+    # Imported lazily: repro.chips sits below repro.core in the layer
+    # diagram; only this session-facing entry point reaches upward.
+    from repro.core.tasks import TaskKind, build_task_graph
+
+    params = params or CostParameters()
+    params.validate()
+    partitioning = session.partitioning()
+
+    # Only chips that actually host a partition are priced: an unused
+    # chip in the designer's chip set is inventory, not product.
+    area_by_chip: Dict[str, float] = {}
+    if selection is not None:
+        for part_name, prediction in selection.items():
+            chip_name = partitioning.chip_of(part_name)
+            area_by_chip[chip_name] = (
+                area_by_chip.get(chip_name, 0.0)
+                + prediction.area_total.ml
+            )
+    else:
+        for part_name in partitioning.partitions:
+            chip_name = partitioning.chip_of(part_name)
+            chip = partitioning.chips[chip_name]
+            area_by_chip[chip_name] = chip.package.project_area_mil2
+
+    task_graph = build_task_graph(partitioning)
+    cut_bits = sum(
+        task.bits
+        for task in task_graph.tasks.values()
+        if task.kind is TaskKind.TRANSFER
+    )
+
+    chips: List[ChipCost] = []
+    for chip_name in sorted(area_by_chip):
+        chip = partitioning.chips[chip_name]
+        area = area_by_chip[chip_name]
+        chips.append(
+            ChipCost(
+                chip=chip_name,
+                area_mil2=area,
+                yield_fraction=die_yield(area, params),
+                die=die_cost(area, params),
+                package=(
+                    params.package_base
+                    + params.package_per_pin * chip.package.pin_count
+                ),
+            )
+        )
+
+    count = len(chips)
+    substrate = (
+        params.substrate_per_chip * max(0, count - 1)
+        + params.substrate_per_cut_bit * cut_bits
+    )
+    return CostReport(
+        chips=chips,
+        cut_bits=cut_bits,
+        substrate=substrate,
+        assembly_yield=params.assembly_yield ** count,
+        parameters=params,
+    )

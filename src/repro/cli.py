@@ -7,6 +7,8 @@ Usage::
     python -m repro.cli check project.json --heuristic iterative
     python -m repro.cli auto project.json --chips 4 --replicate
     python -m repro.cli auto --generate layered --ops 1000 --chips 6 -o out.json
+    python -m repro.cli explore --generate layered --ops 200 --k-max 4
+    python -m repro.cli explore project.json --scales 0.75,1.0 --save-front front/
     python -m repro.cli check project.json --trace out.jsonl --profile
     python -m repro.cli search project.json --workers 4 --disk-cache .chop-cache
     python -m repro.cli search project.json --dry-run
@@ -31,6 +33,12 @@ report the partial, explicitly *degraded*, verdict).
 project's graph — or on a generated workload via ``--generate`` — and
 prints the feasibility verdict of the resulting k-chip partitioning;
 ``-o`` saves it as a project document for the other subcommands.
+``explore`` sweeps chip counts and package scalings over a project's
+graph (or a generated one), prices every feasible candidate with the
+yield-based cost model (:mod:`repro.chips.cost`) and prints the Pareto
+front over (cost, performance, delay, chips); ``--save-front`` writes
+each front point as a project file that feeds straight back into
+``check``.
 ``trace show`` renders a trace file as an indented span tree with
 per-span wall time and combination counts; ``explain`` prints the
 per-constraint feasibility breakdown of a project (what killed which
@@ -355,6 +363,137 @@ def _cmd_auto(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explore(args: argparse.Namespace) -> int:
+    import contextlib
+    import pathlib
+
+    from repro.explore import (
+        ExploreConfig,
+        explore,
+        project_session_factory,
+    )
+
+    if args.generate:
+        from repro.dfg.builders import generate_dfg
+
+        graph = generate_dfg(args.generate, args.ops, seed=args.seed)
+        factory = None
+    elif args.project:
+        base = load_project_file(args.project)
+        graph = base.graph
+        factory = project_session_factory(base)
+    else:
+        print(
+            "error: give a project file or --generate KIND",
+            file=sys.stderr,
+        )
+        return 3
+
+    if args.k_min > args.k_max:
+        print(
+            f"error: --k-min {args.k_min} exceeds --k-max {args.k_max}",
+            file=sys.stderr,
+        )
+        return 3
+    config = ExploreConfig(
+        chip_counts=tuple(range(args.k_min, args.k_max + 1)),
+        package_scales=tuple(args.scales),
+        objectives=tuple(args.objectives),
+        seeding=args.seeding,
+        heuristic=args.heuristic,
+    )
+
+    disk_cache = None
+    if args.disk_cache:
+        from repro.engine import DiskPredictionCache
+
+        disk_cache = DiskPredictionCache(args.disk_cache)
+
+    trace_path = getattr(args, "trace", None)
+    tracer = None
+    with contextlib.ExitStack() as stack:
+        if trace_path:
+            from repro.obs import JsonlSink, Tracer, activate
+
+            tracer = Tracer(sink=JsonlSink(trace_path))
+            stack.callback(tracer.close)
+            stack.enter_context(activate(tracer))
+        result = explore(
+            graph, config,
+            session_factory=factory,
+            engine=_build_engine(args),
+            disk_cache=disk_cache,
+        )
+    if tracer is not None:
+        stats = tracer.stats()
+        print(
+            f"trace: {stats['spans']} spans -> {trace_path} "
+            f"(trace id {tracer.trace_id})",
+            file=sys.stderr,
+        )
+
+    if args.json:
+        print(_json.dumps(
+            result.to_dict(include_projects=args.include_projects),
+            indent=2,
+        ))
+    else:
+        print(
+            f"explore: {graph.name} — {graph.op_count()} operations, "
+            f"{result.evaluated} candidates "
+            f"({result.feasible} feasible, {result.infeasible} "
+            f"infeasible, {result.skipped} skipped)"
+        )
+        if disk_cache is not None:
+            print(
+                f"  disk cache: {result.cache_seeded} partition "
+                f"prediction lists seeded from {disk_cache.directory}"
+            )
+        print()
+        if result.front:
+            print(
+                f"Pareto front over "
+                f"({', '.join(config.objectives)}) — "
+                f"{len(result.front)} points:"
+            )
+            header = (
+                f"  {'chips':>5}  {'scale':>5}  {'cost $':>10}  "
+                f"{'perf ns':>9}  {'delay ns':>9}  {'II':>4}  "
+                f"{'cut bits':>8}"
+            )
+            print(header)
+            for point in result.front:
+                print(
+                    f"  {point.chips:>5}  {point.package_scale:>5g}  "
+                    f"{point.cost:>10.2f}  "
+                    f"{point.performance_ns:>9.0f}  "
+                    f"{point.delay_ns:>9.0f}  {point.ii_main:>4}  "
+                    f"{point.cost_report.cut_bits:>8}"
+                )
+    if args.save_front:
+        directory = pathlib.Path(args.save_front)
+        directory.mkdir(parents=True, exist_ok=True)
+        for point in result.front:
+            path = directory / (
+                f"front_k{point.chips}_s{point.package_scale:g}.json"
+            )
+            path.write_text(
+                _json.dumps(point.project, indent=2) + "\n"
+            )
+        print(
+            f"\n{len(result.front)} front projects written to "
+            f"{directory} (feed them back into 'repro check')"
+        )
+    if not result.front:
+        print()
+        print(
+            "No feasible candidate in the swept space; widen the k "
+            "range or the package scales."
+        )
+        return 1
+    return 0
+
+
 def _cmd_predict(args: argparse.Namespace) -> int:
     session = load_project_file(args.project)
     predictions = session.predict(args.partition)
@@ -526,6 +665,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scale_list(text: str) -> List[float]:
+    """``"0.75,1.0"`` -> ``[0.75, 1.0]`` (argparse type for --scales)."""
+    try:
+        scales = [float(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated numbers, got {text!r}"
+        )
+    if not scales:
+        raise argparse.ArgumentTypeError("at least one scale is required")
+    return scales
+
+
+def _objective_list(text: str) -> List[str]:
+    """``"cost,delay"`` -> ``["cost", "delay"]`` (validated lazily)."""
+    names = [part.strip() for part in text.split(",") if part.strip()]
+    if not names:
+        raise argparse.ArgumentTypeError(
+            "at least one objective is required"
+        )
+    return names
+
+
 def _add_engine_arguments(command: argparse.ArgumentParser) -> None:
     """The engine/cache flags shared by ``check`` and ``search``."""
     command.add_argument(
@@ -682,6 +844,93 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the auto.* span tree as JSONL to PATH",
     )
     auto.set_defaults(func=_cmd_auto)
+
+    explore_ = sub.add_parser(
+        "explore",
+        help="sweep chip counts and package scalings, price each "
+        "feasible design, and print the Pareto front over "
+        "(cost, performance, delay, chips)",
+    )
+    explore_.add_argument(
+        "project", nargs="?", default=None,
+        help="project JSON whose graph and designer inputs to sweep",
+    )
+    explore_.add_argument(
+        "--generate", choices=("layered", "chain", "butterfly"),
+        default=None, metavar="KIND",
+        help="sweep a generated workload instead of a project",
+    )
+    explore_.add_argument(
+        "--ops", type=int, default=200,
+        help="target operation count for --generate (default 200)",
+    )
+    explore_.add_argument(
+        "--seed", type=int, default=0,
+        help="generator seed for --generate layered (default 0)",
+    )
+    explore_.add_argument(
+        "--k-min", type=int, default=1,
+        help="smallest chip count to try (default 1)",
+    )
+    explore_.add_argument(
+        "--k-max", type=int, default=4,
+        help="largest chip count to try (default 4)",
+    )
+    explore_.add_argument(
+        "--scales", type=_scale_list, default=[1.0], metavar="S1,S2,...",
+        help="comma-separated die-area multipliers applied to every "
+        "candidate package (default 1.0)",
+    )
+    explore_.add_argument(
+        "--objectives", type=_objective_list,
+        default=["cost", "performance", "delay", "chips"],
+        metavar="O1,O2,...",
+        help="comma-separated minimization objectives: cost, "
+        "performance, delay, chips (default: all four)",
+    )
+    explore_.add_argument(
+        "--seeding", choices=("heuristic", "auto"), default="heuristic",
+        help="candidate partitioning source: the paper's horizontal "
+        "cut, or the multilevel auto-partitioner (default heuristic)",
+    )
+    explore_.add_argument(
+        "--heuristic", choices=("iterative", "enumeration"),
+        default="iterative",
+        help="search heuristic for each candidate's check",
+    )
+    explore_.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for each candidate's enumeration walk "
+        "(default 1)",
+    )
+    explore_.add_argument(
+        "--start-method", choices=("fork", "spawn", "forkserver"),
+        default=None,
+        help="multiprocessing start method for --workers",
+    )
+    explore_.add_argument(
+        "--disk-cache", default=None, metavar="DIR",
+        help="persist every candidate's prediction lists under DIR so "
+        "repeated sweeps are warm",
+    )
+    explore_.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write the explore.* span tree as JSONL to PATH",
+    )
+    explore_.add_argument(
+        "--json", action="store_true",
+        help="print the full sweep result as JSON",
+    )
+    explore_.add_argument(
+        "--include-projects", action="store_true",
+        help="with --json: embed each front point's full project "
+        "document (round-trips into 'repro check')",
+    )
+    explore_.add_argument(
+        "--save-front", default=None, metavar="DIR",
+        help="write each front point's project JSON under DIR",
+    )
+    explore_.set_defaults(func=_cmd_explore)
 
     predict = sub.add_parser(
         "predict", help="list BAD's predictions for one partition"

@@ -9,6 +9,7 @@ two-level pruning of infeasible/inferior predictions and an optional
 keep-everything mode used to draw the design-space figures.
 """
 
+from repro.search.pareto import ParetoFront, dominates, pareto_front
 from repro.search.pruning import (
     dominance_filter,
     level1_prune,
@@ -27,8 +28,11 @@ __all__ = [
     "Advice",
     "advise_memory_assignment",
     "advise_partition_count",
+    "ParetoFront",
     "dominance_filter",
+    "dominates",
     "level1_prune",
+    "pareto_front",
     "DesignPoint",
     "DesignSpace",
     "FeasibleDesign",

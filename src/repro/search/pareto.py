@@ -1,0 +1,142 @@
+"""A shared n-dimensional Pareto dominance filter.
+
+Two call sites need the same sort+sweep machinery: level-1 pruning
+drops *inferior* per-partition predictions on (II, latency, area)
+(:mod:`repro.search.pruning`), and the design-space explorer
+(:mod:`repro.explore`) maintains a front over (cost, performance,
+delay, chip count).  Keeping one implementation means one set of
+semantics: **minimization** in every dimension, *strict* dominance
+(no worse everywhere, better somewhere), ties kept.
+
+:func:`pareto_front` is the batch filter; :class:`ParetoFront`
+maintains the same set incrementally as candidates stream in, in any
+order — the surviving set is a function of the candidate *set* alone,
+which is what makes sweep results reproducible across evaluation
+orders and process pools.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Generic,
+    Iterable,
+    List,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+T = TypeVar("T")
+
+#: An objective vector: smaller is better in every component.
+Vector = Tuple[float, ...]
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Strict Pareto dominance under minimization.
+
+    ``a`` dominates ``b`` when it is no worse in every dimension and
+    strictly better in at least one.  Equal vectors do not dominate
+    each other — duplicates survive side by side, matching the
+    prediction pruner's historical behaviour.
+    """
+    if len(a) != len(b):
+        raise ValueError(
+            f"objective vectors disagree on dimensionality: "
+            f"{len(a)} vs {len(b)}"
+        )
+    better = False
+    for x, y in zip(a, b):
+        if x > y:
+            return False
+        if x < y:
+            better = True
+    return better
+
+
+def pareto_front(
+    items: Sequence[T],
+    key: Callable[[T], Sequence[float]],
+) -> List[T]:
+    """The non-dominated subset of ``items`` under minimization of ``key``.
+
+    Candidates are swept in lexicographic vector order, so any dominator
+    of a candidate has already been seen: a candidate only needs
+    comparing against the survivors so far, which keeps the common case
+    (a short front over a long list) near-linear instead of O(n^2).
+    Dominance is transitive, so checking survivors alone loses nothing —
+    a dropped dominator is itself dominated by a survivor that also
+    dominates the candidate.  Input order is preserved in the result,
+    and the result is invariant under permutations of ``items`` (as a
+    set; as a list it follows the input order).
+    """
+    vectors = [tuple(key(item)) for item in items]
+    order = sorted(range(len(items)), key=lambda i: (vectors[i], i))
+    survivors: List[int] = []
+    kept = [False] * len(items)
+    for index in order:
+        candidate = vectors[index]
+        if any(dominates(vectors[s], candidate) for s in survivors):
+            continue
+        survivors.append(index)
+        kept[index] = True
+    return [item for index, item in enumerate(items) if kept[index]]
+
+
+class ParetoFront(Generic[T]):
+    """An online Pareto front under minimization.
+
+    ``add`` offers one candidate: dominated candidates are refused,
+    accepted candidates evict every point they dominate.  The resulting
+    set equals ``pareto_front`` over all offered candidates regardless
+    of the order they arrived in — the property the explorer's
+    order-invariance tests pin down.
+    """
+
+    def __init__(self, key: Callable[[T], Sequence[float]]) -> None:
+        self._key = key
+        self._points: List[Tuple[Vector, T]] = []
+        self.offered = 0
+        self.evicted = 0
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def add(self, item: T) -> bool:
+        """Offer one candidate; ``True`` when it joins the front."""
+        vector = tuple(self._key(item))
+        self.offered += 1
+        for existing, _ in self._points:
+            if dominates(existing, vector):
+                return False
+        before = len(self._points)
+        self._points = [
+            (existing, point)
+            for existing, point in self._points
+            if not dominates(vector, existing)
+        ]
+        self.evicted += before - len(self._points)
+        self._points.append((vector, item))
+        return True
+
+    def extend(self, items: Iterable[T]) -> int:
+        """Offer many candidates; returns how many joined (and stayed)."""
+        for item in items:
+            self.add(item)
+        return len(self._points)
+
+    def points(self) -> List[T]:
+        """The front in canonical order (by objective vector).
+
+        Sorting by vector — not arrival — is what makes two sweeps that
+        evaluated candidates in different orders serialize identically.
+        """
+        return [
+            item
+            for _, item in sorted(self._points, key=lambda p: p[0])
+        ]
+
+    def vectors(self) -> List[Vector]:
+        """The surviving objective vectors, in canonical order."""
+        return sorted(vector for vector, _ in self._points)

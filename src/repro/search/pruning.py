@@ -22,6 +22,7 @@ from repro.core.feasibility import (
     FeasibilityCriteria,
     prediction_possibly_feasible,
 )
+from repro.search.pareto import pareto_front
 
 
 def dominance_filter(
@@ -34,27 +35,14 @@ def dominance_filter(
     every constraint and improves the goal — the paper's "inferior"
     designs.
 
-    Candidates are swept in :meth:`DesignPrediction.sort_key` order, so
-    any dominator of a candidate has already been seen: a candidate only
-    needs comparing against the survivors so far, which keeps the common
-    case (a short Pareto front over a long list) near-linear instead of
-    O(n^2) over the full list.  Dominance is transitive, so checking
-    survivors alone loses nothing — a dropped dominator is itself
-    dominated by a survivor that also dominates the candidate.  The
-    identity guard makes the sweep safe even against a ``dominates``
-    implementation that considers a prediction to dominate itself (which
-    would otherwise empty the list).  Input order is preserved.
+    This is the shared sort+sweep filter of
+    :func:`repro.search.pareto.pareto_front` applied to
+    :meth:`DesignPrediction.sort_key` — the same dominance semantics
+    (strict, minimizing, ties kept) the design-space explorer uses for
+    its (cost, performance, delay, chips) front.  Input order is
+    preserved.
     """
-    survivors: List[DesignPrediction] = []
-    for candidate in sorted(predictions, key=DesignPrediction.sort_key):
-        if any(
-            other is not candidate and other.dominates(candidate)
-            for other in survivors
-        ):
-            continue
-        survivors.append(candidate)
-    survivor_ids = {id(pred) for pred in survivors}
-    return [pred for pred in predictions if id(pred) in survivor_ids]
+    return pareto_front(predictions, key=DesignPrediction.sort_key)
 
 
 def level1_prune(

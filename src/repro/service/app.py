@@ -14,6 +14,7 @@ Endpoints::
     POST /projects/{id}/check       synchronous feasibility check
     POST /projects/{id}/enumerate   background search -> job id
     POST /projects/{id}/auto        background auto-partitioning -> job id
+    POST /projects/{id}/explore     background design-space sweep -> job id
     GET  /jobs/{id}                 poll job state / result
     POST /jobs/{id}/cancel          cooperative cancellation
     GET  /jobs/{id}/trace           the job's finished span records
@@ -179,6 +180,12 @@ class ChopService:
             "repair_moves": 0,
         }
         self.metrics.register_gauges("auto", self._auto_snapshot)
+        self._explore_lock = threading.Lock()
+        self._explore_stats: Dict[str, int] = {
+            "jobs": 0, "candidates": 0, "feasible": 0,
+            "front_points": 0, "cache_seeded": 0,
+        }
+        self.metrics.register_gauges("explore", self._explore_snapshot)
         self.started_at = time.time()
         self.metrics.register_gauges("process", self._process_stats)
         self.metrics.register_gauges("retries", self.retry_stats.stats)
@@ -325,6 +332,11 @@ class ChopService:
                     entry, self._json_body(body, {}), trace_id
                 )
                 return 202, payload, "POST /projects/{id}/auto"
+            if method == "POST" and parts[2] == "explore":
+                payload = self._explore(
+                    entry, self._json_body(body, {}), trace_id
+                )
+                return 202, payload, "POST /projects/{id}/explore"
         if len(parts) == 2 and parts[0] == "jobs" and method == "GET":
             return 200, self._job(parts[1]).to_dict(), "GET /jobs/{id}"
         if len(parts) == 3 and parts[0] == "jobs":
@@ -487,31 +499,21 @@ class ChopService:
         heuristic = options.get("heuristic", "enumeration")
         prune = bool(options.get("prune", True))
         explain = bool(options.get("explain", False))
-        timeout_s = options.get("timeout_s")
         if heuristic not in HEURISTICS:
             raise ServiceError(
                 400,
                 f"unknown heuristic {heuristic!r}; use one of "
                 f"{list(HEURISTICS)}",
+                kind="invalid_option",
             )
         if explain and heuristic != "enumeration":
             raise ServiceError(
                 400,
                 "explain collection requires the enumeration heuristic",
+                kind="invalid_option",
             )
-        if trace_id is not None and not _TRACE_ID_RE.match(trace_id):
-            raise ServiceError(
-                400,
-                "X-Trace-Id must be 4-128 characters of "
-                "[0-9A-Za-z._-] starting with an alphanumeric",
-            )
-        if timeout_s is not None:
-            try:
-                timeout_s = float(timeout_s)
-            except (TypeError, ValueError):
-                raise ServiceError(
-                    400, f"timeout_s must be a number, got {timeout_s!r}"
-                ) from None
+        self._require_valid_trace_id(trace_id)
+        timeout_s = self._parse_timeout(options)
 
         tracer = Tracer(trace_id=trace_id)
 
@@ -580,21 +582,10 @@ class ChopService:
                 400,
                 f"unknown heuristic {heuristic!r}; use one of "
                 f"{list(HEURISTICS)}",
+                kind="invalid_option",
             )
-        if trace_id is not None and not _TRACE_ID_RE.match(trace_id):
-            raise ServiceError(
-                400,
-                "X-Trace-Id must be 4-128 characters of "
-                "[0-9A-Za-z._-] starting with an alphanumeric",
-            )
-        timeout_s = options.get("timeout_s")
-        if timeout_s is not None:
-            try:
-                timeout_s = float(timeout_s)
-            except (TypeError, ValueError):
-                raise ServiceError(
-                    400, f"timeout_s must be a number, got {timeout_s!r}"
-                ) from None
+        self._require_valid_trace_id(trace_id)
+        timeout_s = self._parse_timeout(options)
         try:
             config = AutoPartitionConfig(
                 chips=int(options.get("chips", 4)),
@@ -609,9 +600,18 @@ class ChopService:
                 heuristic=heuristic,
             )
             config.validate()
+            if config.chips > entry.session.graph.op_count():
+                # auto_partition would raise the same PartitioningError
+                # inside the job; validating here turns a failed job
+                # into an immediate, typed 400.
+                raise PartitioningError(
+                    f"cannot spread "
+                    f"{entry.session.graph.op_count()} operations over "
+                    f"{config.chips} chips"
+                )
         except (TypeError, ValueError, PartitioningError) as exc:
             raise ServiceError(
-                400, f"invalid auto option: {exc}"
+                400, f"invalid auto option: {exc}", kind="invalid_option"
             ) from None
         include_assignment = bool(options.get("include_assignment", False))
 
@@ -650,6 +650,119 @@ class ChopService:
         job = self.jobs.submit(
             run,
             kind=f"auto:{entry.project_id}",
+            timeout_s=timeout_s,
+            pass_job=True,
+            session_key=entry.project_id,
+        )
+        job.trace_id = tracer.trace_id
+        return job.to_dict()
+
+    def _explore_snapshot(self) -> Dict[str, int]:
+        with self._explore_lock:
+            return dict(self._explore_stats)
+
+    def _explore(
+        self,
+        entry: SessionEntry,
+        options: Dict[str, Any],
+        trace_id: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Submit a background design-space sweep of one project.
+
+        Options: ``k_min``/``k_max`` (or an explicit ``chip_counts``
+        list), ``package_scales``, ``objectives``, ``seeding``
+        (``heuristic`` | ``auto``), ``heuristic``, ``timeout_s``,
+        ``include_projects`` (embed each front point's full project
+        document — off by default, the documents are graph-sized).
+        Candidate sessions inherit the project's designer inputs via
+        :func:`repro.explore.project_session_factory`; the sweep runs
+        under the service engine and disk prediction cache, so repeated
+        sweeps of the same project are warm.  Every bad option is an
+        immediate 400 with ``type: invalid_option`` — the same contract
+        as ``/auto`` — never a failed background job.
+        """
+        from repro.explore import (
+            ExploreConfig,
+            explore,
+            project_session_factory,
+        )
+
+        self._require_valid_trace_id(trace_id)
+        timeout_s = self._parse_timeout(options)
+        try:
+            if "chip_counts" in options:
+                chip_counts = tuple(
+                    int(k) for k in options["chip_counts"]
+                )
+            else:
+                k_min = int(options.get("k_min", 1))
+                k_max = int(options.get("k_max", 4))
+                if k_min > k_max:
+                    raise ValueError(
+                        f"k_min {k_min} exceeds k_max {k_max}"
+                    )
+                chip_counts = tuple(range(k_min, k_max + 1))
+            config = ExploreConfig(
+                chip_counts=chip_counts,
+                package_scales=tuple(
+                    float(s)
+                    for s in options.get("package_scales", (1.0,))
+                ),
+                objectives=tuple(
+                    options.get(
+                        "objectives",
+                        ("cost", "performance", "delay", "chips"),
+                    )
+                ),
+                seeding=options.get("seeding", "heuristic"),
+                heuristic=options.get("heuristic", "iterative"),
+            )
+            # op_count bounds the k axis: a sweep that cannot seed any
+            # candidate is a client error, not a job failure.
+            config.validate(op_count=entry.session.graph.op_count())
+        except (TypeError, ValueError, ChopError) as exc:
+            raise ServiceError(
+                400,
+                f"invalid explore option: {exc}",
+                kind="invalid_option",
+            ) from None
+        include_projects = bool(options.get("include_projects", False))
+
+        tracer = Tracer(trace_id=trace_id)
+
+        def run(job) -> Dict[str, Any]:
+            factory = project_session_factory(entry.session)
+            try:
+                with entry.lock, activate(tracer):
+                    with tracer.span(
+                        "service.job", job_id=job.id, kind=job.kind,
+                    ):
+                        result = explore(
+                            entry.session.graph,
+                            config,
+                            session_factory=factory,
+                            engine=self.engine,
+                            disk_cache=self.disk_cache,
+                            progress=job.report_progress,
+                            cancel=job.should_stop,
+                        )
+            finally:
+                job.artifacts["trace"] = tracer.spans()
+            payload = result.to_dict(include_projects=include_projects)
+            payload["project_id"] = entry.project_id
+            with self._explore_lock:
+                self._explore_stats["jobs"] += 1
+                self._explore_stats["candidates"] += result.evaluated
+                self._explore_stats["feasible"] += result.feasible
+                self._explore_stats["front_points"] += len(result.front)
+                self._explore_stats["cache_seeded"] += (
+                    result.cache_seeded
+                )
+            return payload
+
+        job = self.jobs.submit(
+            run,
+            kind=f"explore:{entry.project_id}",
             timeout_s=timeout_s,
             pass_job=True,
             session_key=entry.project_id,
@@ -702,6 +815,29 @@ class ChopService:
     # ------------------------------------------------------------------
     # lookups and parsing
     # ------------------------------------------------------------------
+    @staticmethod
+    def _require_valid_trace_id(trace_id: Optional[str]) -> None:
+        if trace_id is not None and not _TRACE_ID_RE.match(trace_id):
+            raise ServiceError(
+                400,
+                "X-Trace-Id must be 4-128 characters of "
+                "[0-9A-Za-z._-] starting with an alphanumeric",
+            )
+
+    @staticmethod
+    def _parse_timeout(options: Dict[str, Any]) -> Optional[float]:
+        timeout_s = options.get("timeout_s")
+        if timeout_s is None:
+            return None
+        try:
+            return float(timeout_s)
+        except (TypeError, ValueError):
+            raise ServiceError(
+                400,
+                f"timeout_s must be a number, got {timeout_s!r}",
+                kind="invalid_option",
+            ) from None
+
     def _entry(self, project_id: str) -> SessionEntry:
         entry = self.sessions.get(project_id)
         if entry is None:

@@ -1,0 +1,239 @@
+"""The manufacturing-cost model: yield, die cost, partition pricing."""
+
+from __future__ import annotations
+
+import math
+from types import SimpleNamespace
+
+import pytest
+
+from repro.chips.cost import (
+    MIL2_TO_CM2,
+    CostParameters,
+    die_cost,
+    die_yield,
+    gross_dies_per_wafer,
+    partition_cost,
+)
+from repro.errors import ChipError
+from repro.experiments import experiment1_session
+
+#: The paper's MOSIS package-2 die (335 x 335 mil).
+MOSIS_DIE_MIL2 = 335.0 * 335.0
+
+
+class TestDieYield:
+    def test_zero_area_yields_everything(self):
+        assert die_yield(0.0, CostParameters()) == 1.0
+
+    def test_negative_area_rejected(self):
+        with pytest.raises(ChipError):
+            die_yield(-1.0, CostParameters())
+
+    def test_monotone_non_increasing_in_area(self):
+        params = CostParameters()
+        areas = [0.0, 1e3, 1e4, 1e5, 5e5, 1e6]
+        yields = [die_yield(a, params) for a in areas]
+        assert yields == sorted(yields, reverse=True)
+        assert all(0.0 < y <= 1.0 for y in yields)
+
+    def test_poisson_limit(self):
+        """``alpha = inf`` is the Poisson model ``exp(-A * D0)``."""
+        params = CostParameters(clustering_alpha=math.inf)
+        area = 2e5
+        defects = area * MIL2_TO_CM2 * params.defect_density_per_cm2
+        assert die_yield(area, params) == pytest.approx(
+            math.exp(-defects)
+        )
+
+    def test_clustering_never_hurts(self):
+        """Finite alpha (clustered defects) yields >= Poisson."""
+        area = 3e5
+        poisson = die_yield(
+            area, CostParameters(clustering_alpha=math.inf)
+        )
+        for alpha in (0.5, 1.0, 3.0, 10.0):
+            clustered = die_yield(
+                area, CostParameters(clustering_alpha=alpha)
+            )
+            assert clustered >= poisson
+
+    def test_large_alpha_approaches_poisson(self):
+        area = 2e5
+        poisson = die_yield(
+            area, CostParameters(clustering_alpha=math.inf)
+        )
+        near = die_yield(area, CostParameters(clustering_alpha=1e6))
+        assert near == pytest.approx(poisson, rel=1e-4)
+
+
+class TestGrossDies:
+    def test_zero_area_is_infinite(self):
+        assert gross_dies_per_wafer(0.0, CostParameters()) == math.inf
+
+    def test_wafer_sized_die_fits_nothing(self):
+        params = CostParameters()
+        radius_cm = params.wafer_diameter_mm / 20.0
+        wafer_mil2 = math.pi * radius_cm**2 / MIL2_TO_CM2
+        assert gross_dies_per_wafer(wafer_mil2, params) == 0.0
+
+    def test_monotone_decreasing(self):
+        params = CostParameters()
+        areas = [1e4, 1e5, 1e6, 1e7]
+        dies = [gross_dies_per_wafer(a, params) for a in areas]
+        assert dies == sorted(dies, reverse=True)
+
+
+class TestDieCost:
+    def test_zero_area_is_free(self):
+        assert die_cost(0.0, CostParameters()) == 0.0
+
+    def test_mosis_die_costs_tens_of_dollars(self):
+        cost = die_cost(MOSIS_DIE_MIL2, CostParameters())
+        assert 1.0 < cost < 100.0
+
+    def test_increasing_in_area(self):
+        params = CostParameters()
+        costs = [die_cost(a, params) for a in (1e4, 1e5, 3e5, 6e5)]
+        assert costs == sorted(costs)
+
+    def test_superlinear_in_area(self):
+        """Splitting a die in half more than halves the silicon bill.
+
+        This is the yield effect the whole explorer trades on: two
+        half-area dies cost less than one full die.
+        """
+        params = CostParameters()
+        area = 4e5
+        assert 2 * die_cost(area / 2, params) < die_cost(area, params)
+
+    def test_unmanufacturable_die_raises(self):
+        params = CostParameters()
+        radius_cm = params.wafer_diameter_mm / 20.0
+        wafer_mil2 = math.pi * radius_cm**2 / MIL2_TO_CM2
+        with pytest.raises(ChipError):
+            die_cost(wafer_mil2 * 2, params)
+
+
+class TestParameters:
+    def test_defaults_validate(self):
+        CostParameters().validate()
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"wafer_cost": 0.0},
+            {"wafer_diameter_mm": -1.0},
+            {"defect_density_per_cm2": -0.1},
+            {"clustering_alpha": 0.0},
+            {"package_per_pin": -1.0},
+            {"assembly_yield": 0.0},
+            {"assembly_yield": 1.5},
+        ],
+    )
+    def test_bad_parameters_rejected(self, overrides):
+        with pytest.raises(ChipError):
+            CostParameters(**overrides).validate()
+
+
+def _fake_selection(session, area_mil2):
+    """A selection pricing every partition at ``area_mil2``.
+
+    ``partition_cost`` only reads ``prediction.area_total.ml`` from the
+    selection values, so a namespace stands in for a DesignPrediction.
+    """
+    prediction = SimpleNamespace(
+        area_total=SimpleNamespace(ml=area_mil2)
+    )
+    return {
+        name: prediction
+        for name in session.partitioning().partitions
+    }
+
+
+class TestPartitionCost:
+    def test_single_chip_design(self):
+        session = experiment1_session(
+            package_number=2, partition_count=1
+        )
+        report = partition_cost(session)
+        assert len(report.chips) == 1
+        assert report.cut_bits == 0
+        assert report.substrate == 0.0
+        assert report.assembly_yield == pytest.approx(0.99)
+        assert report.total == pytest.approx(
+            report.pre_assembly / 0.99
+        )
+
+    def test_two_chips_pay_substrate_and_cut(self):
+        session = experiment1_session(
+            package_number=2, partition_count=2
+        )
+        report = partition_cost(session)
+        assert len(report.chips) == 2
+        assert report.cut_bits > 0
+        params = report.parameters
+        assert report.substrate == pytest.approx(
+            params.substrate_per_chip
+            + params.substrate_per_cut_bit * report.cut_bits
+        )
+        assert report.assembly_yield == pytest.approx(0.99**2)
+
+    def test_zero_area_partitions_cost_no_silicon(self):
+        session = experiment1_session(
+            package_number=2, partition_count=2
+        )
+        report = partition_cost(
+            session, selection=_fake_selection(session, 0.0)
+        )
+        assert report.die_total == 0.0
+        assert all(chip.yield_fraction == 1.0 for chip in report.chips)
+        # Packages and the substrate are still real parts.
+        assert report.package_total > 0.0
+        assert report.substrate > 0.0
+
+    def test_selection_beats_whole_package_pricing(self):
+        """Pricing the predicted area undercuts the full-die fallback."""
+        session = experiment1_session(
+            package_number=2, partition_count=2
+        )
+        session.check()
+        best = session.check().best()
+        priced = partition_cost(session, selection=best.selection)
+        pessimistic = partition_cost(session)
+        assert priced.die_total < pessimistic.die_total
+
+    def test_cost_monotone_in_chip_count_fixed_total_area(self):
+        """More chips = more packaging, under a fixed silicon budget.
+
+        With total predicted area held constant, the die bill *falls*
+        with k (yield is superlinear in die area) but packages,
+        substrate and assembly risk grow linearly — so the non-die
+        share of the report must rise monotonically with k.
+        """
+        total_area = 2e5
+        die_totals, overheads = [], []
+        for k in (1, 2, 4):
+            session = experiment1_session(
+                package_number=2, partition_count=k
+            )
+            report = partition_cost(
+                session,
+                selection=_fake_selection(session, total_area / k),
+            )
+            die_totals.append(report.die_total)
+            overheads.append(report.total - report.die_total)
+        assert die_totals == sorted(die_totals, reverse=True)
+        assert overheads == sorted(overheads)
+
+    def test_unused_chips_are_not_priced(self):
+        session = experiment1_session(
+            package_number=2, partition_count=2
+        )
+        from repro.chips.presets import mosis_package
+
+        session.add_chip("spare", mosis_package(1))
+        report = partition_cost(session)
+        assert sorted(c.chip for c in report.chips) == [
+            "chip1", "chip2",
+        ]

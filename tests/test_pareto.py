@@ -1,0 +1,120 @@
+"""The shared n-dimensional Pareto utility (satellite of repro.explore).
+
+The load-bearing property: the surviving set is a function of the
+candidate *set* alone — independent of arrival order and of whether
+the batch filter or the online front computed it.  That is what makes
+sweep results reproducible across evaluation orders and process pools.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.search.pareto import ParetoFront, dominates, pareto_front
+
+VECTORS = st.lists(
+    st.tuples(
+        st.integers(0, 6), st.integers(0, 6), st.integers(0, 6)
+    ),
+    min_size=0,
+    max_size=24,
+)
+
+
+class TestDominates:
+    def test_strictly_better_everywhere(self):
+        assert dominates((1, 1), (2, 2))
+
+    def test_better_somewhere_equal_elsewhere(self):
+        assert dominates((1, 2), (1, 3))
+
+    def test_equal_vectors_do_not_dominate(self):
+        assert not dominates((1, 2), (1, 2))
+
+    def test_trade_offs_do_not_dominate(self):
+        assert not dominates((1, 3), (2, 2))
+        assert not dominates((2, 2), (1, 3))
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            dominates((1, 2), (1, 2, 3))
+
+
+class TestParetoFrontBatch:
+    def test_empty(self):
+        assert pareto_front([], key=lambda v: v) == []
+
+    def test_preserves_input_order(self):
+        items = [(3, 1), (1, 3), (2, 2)]
+        assert pareto_front(items, key=lambda v: v) == items
+
+    def test_drops_dominated(self):
+        items = [(1, 1), (2, 2), (0, 3)]
+        assert pareto_front(items, key=lambda v: v) == [(1, 1), (0, 3)]
+
+    def test_ties_kept(self):
+        items = [(1, 1), (1, 1)]
+        assert pareto_front(items, key=lambda v: v) == items
+
+    def test_key_extraction(self):
+        items = [{"x": 2, "y": 5}, {"x": 1, "y": 1}]
+        front = pareto_front(items, key=lambda d: (d["x"], d["y"]))
+        assert front == [{"x": 1, "y": 1}]
+
+    @given(VECTORS)
+    @settings(max_examples=200, deadline=None)
+    def test_front_is_sound_and_complete(self, vectors):
+        front = pareto_front(vectors, key=lambda v: v)
+        front_set = set(front)
+        for kept in front:
+            assert not any(
+                dominates(other, kept) for other in vectors
+            )
+        for vector in vectors:
+            if vector not in front_set:
+                assert any(
+                    dominates(kept, vector) for kept in front
+                )
+
+    @given(VECTORS, st.randoms())
+    @settings(max_examples=200, deadline=None)
+    def test_order_invariance(self, vectors, rng):
+        shuffled = list(vectors)
+        rng.shuffle(shuffled)
+        a = pareto_front(vectors, key=lambda v: v)
+        b = pareto_front(shuffled, key=lambda v: v)
+        assert sorted(a) == sorted(b)
+
+
+class TestParetoFrontOnline:
+    def test_add_reports_membership(self):
+        front = ParetoFront(key=lambda v: v)
+        assert front.add((2, 2)) is True
+        assert front.add((3, 3)) is False  # dominated on arrival
+        assert front.add((1, 1)) is True   # evicts (2, 2)
+        assert front.points() == [(1, 1)]
+        assert front.offered == 3
+        assert front.evicted == 1
+
+    def test_points_in_canonical_order(self):
+        front = ParetoFront(key=lambda v: v)
+        front.extend([(3, 1), (1, 3), (2, 2)])
+        assert front.points() == [(1, 3), (2, 2), (3, 1)]
+
+    @given(VECTORS, st.randoms())
+    @settings(max_examples=200, deadline=None)
+    def test_online_equals_batch_any_order(self, vectors, rng):
+        """The explorer's reproducibility property, pinned down.
+
+        Streaming the candidates in any order through ParetoFront
+        yields exactly the batch filter's set, canonically ordered —
+        so serial and process-pool sweeps serialize identically.
+        """
+        shuffled = list(vectors)
+        rng.shuffle(shuffled)
+        online = ParetoFront(key=lambda v: v)
+        online.extend(shuffled)
+        batch = pareto_front(vectors, key=lambda v: v)
+        assert online.points() == sorted(batch)
+        assert online.vectors() == sorted(batch)

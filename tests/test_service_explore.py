@@ -1,0 +1,135 @@
+"""The POST /projects/{id}/explore route: jobs, traces, gauges, 400s."""
+
+from __future__ import annotations
+
+from tests.test_service_http import (  # noqa: F401  (fixtures)
+    poll_job,
+    project_doc,
+    request,
+    server,
+)
+
+
+class TestExploreRoute:
+    def test_explore_job_round_trip(self, server, project_doc):
+        service, port = server
+        _, project = request(port, "POST", "/projects", project_doc)
+        pid = project["project_id"]
+
+        status, job = request(
+            port, "POST", f"/projects/{pid}/explore",
+            {"k_min": 1, "k_max": 2, "include_projects": True},
+        )
+        assert status == 202
+        assert job["kind"] == f"explore:{pid}"
+
+        finished = poll_job(port, job["job_id"], timeout=120)
+        assert finished["state"] == "done"
+        result = finished["result"]
+        assert result["project_id"] == pid
+        assert result["evaluated"] == 2
+        assert result["chip_counts"] == [1, 2]
+        assert len(result["front"]) >= 1
+        for point in result["front"]:
+            assert set(point["objectives"]) == {
+                "cost", "performance", "delay", "chips",
+            }
+            # include_projects ships a re-checkable document
+            assert "operations" in point["project"]["graph"]
+
+        # the sweep's span tree is served from the job trace artifact
+        status, trace = request(
+            port, "GET", f"/jobs/{job['job_id']}/trace"
+        )
+        assert status == 200
+        names = {span["name"] for span in trace["spans"]}
+        assert {
+            "service.job", "explore.sweep", "explore.candidate",
+            "explore.cost", "explore.front", "session.check",
+        } <= names
+
+        # gauges move under the "explore" block
+        _, metrics = request(port, "GET", "/metrics")
+        explore = metrics["explore"]
+        assert explore["jobs"] == 1
+        assert explore["candidates"] == 2
+        assert explore["front_points"] == len(result["front"])
+
+    def test_front_project_recheck_feasible(self, server, project_doc):
+        """A front point's document round-trips through /check."""
+        service, port = server
+        _, project = request(port, "POST", "/projects", project_doc)
+        pid = project["project_id"]
+        _, job = request(
+            port, "POST", f"/projects/{pid}/explore",
+            {"k_min": 2, "k_max": 2, "include_projects": True},
+        )
+        finished = poll_job(port, job["job_id"], timeout=120)
+        assert finished["state"] == "done"
+        front = finished["result"]["front"]
+        assert front, "expected a feasible 2-chip candidate"
+
+        status, uploaded = request(
+            port, "POST", "/projects", front[0]["project"]
+        )
+        assert status in (200, 201)
+        status, check = request(
+            port, "POST",
+            f"/projects/{uploaded['project_id']}/check", {},
+        )
+        assert status == 200
+        assert check["result"]["feasible"] is True
+
+    def test_explore_rejects_bad_options_typed(
+        self, server, project_doc
+    ):
+        service, port = server
+        _, project = request(port, "POST", "/projects", project_doc)
+        pid = project["project_id"]
+
+        cases = [
+            ({"k_min": 3, "k_max": 2}, "k_min"),
+            ({"k_min": 0}, "chip counts"),
+            ({"chip_counts": [0]}, "chip counts"),
+            # more chips than the graph has operations: the
+            # PartitioningError auto seeding would hit becomes an
+            # immediate 400, not a failed background job
+            ({"k_max": 10_000}, "operations"),
+            ({"objectives": ["cost", "speed"]}, "unknown objective"),
+            ({"objectives": []}, "objectives"),
+            ({"seeding": "magic"}, "unknown seeding"),
+            ({"heuristic": "genetic"}, "unknown heuristic"),
+            ({"package_scales": [0]}, "package scales"),
+            ({"timeout_s": "soon"}, "timeout_s"),
+        ]
+        for options, fragment in cases:
+            status, err = request(
+                port, "POST", f"/projects/{pid}/explore", options
+            )
+            assert status == 400, (options, err)
+            assert err["type"] == "invalid_option", (options, err)
+            assert fragment in err["error"], (options, err)
+
+    def test_auto_route_shares_the_contract(self, server, project_doc):
+        """Satellite: the auto route's 400s carry the same typed kind."""
+        service, port = server
+        _, project = request(port, "POST", "/projects", project_doc)
+        pid = project["project_id"]
+        for options in (
+            {"chips": 0},
+            {"chips": 10_000},
+            {"heuristic": "mystery"},
+            {"timeout_s": "soon"},
+        ):
+            status, err = request(
+                port, "POST", f"/projects/{pid}/auto", options
+            )
+            assert status == 400, (options, err)
+            assert err["type"] == "invalid_option", (options, err)
+
+    def test_explore_unknown_project_404(self, server):
+        service, port = server
+        status, err = request(
+            port, "POST", "/projects/nope/explore", {"k_max": 2}
+        )
+        assert status == 404
