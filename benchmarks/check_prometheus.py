@@ -1,0 +1,233 @@
+#!/usr/bin/env python
+"""A minimal Prometheus text-exposition (0.0.4) linter.
+
+CI scrapes ``GET /metrics?format=prometheus`` from a live server and
+pipes the body through this checker.  It validates the structural rules
+a real Prometheus scraper depends on:
+
+* every non-comment line parses as ``name{labels} value``;
+* metric names match ``[a-zA-Z_][a-zA-Z0-9_]*``;
+* label values un-escape cleanly (``\\\\``, ``\\"``, ``\\n``) and
+  round-trip through the renderer's own escape function;
+* samples appear only under a preceding ``# TYPE`` for their family
+  (histogram ``_bucket``/``_sum``/``_count`` series included);
+* histogram bucket counts are cumulative (non-decreasing as ``le``
+  grows) and the ``+Inf`` bucket equals the ``_count`` sample.
+
+Usage::
+
+    python benchmarks/check_prometheus.py METRICS.txt \
+        --require chop_requests_total \
+        --require-histogram chop_request_latency_seconds
+
+Exit code 0 when the file lints clean and every required family is
+present; 1 otherwise, with one line per problem.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import re
+import sys
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+sys.path.insert(
+    0, str(__import__("pathlib").Path(__file__).parent.parent / "src")
+)
+
+from repro.obs.prometheus import (  # noqa: E402
+    escape_label_value,
+    unescape_label_value,
+)
+
+NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+LABEL_RE = re.compile(
+    r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
+)
+TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+def parse_labels(raw: str, problems: List[str], where: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    rest = raw
+    while rest:
+        match = LABEL_RE.match(rest)
+        if not match:
+            problems.append(f"{where}: unparsable label segment {rest!r}")
+            return labels
+        escaped = match.group("value")
+        value = unescape_label_value(escaped)
+        if escape_label_value(value) != escaped:
+            problems.append(
+                f"{where}: label {match.group('key')} does not "
+                f"round-trip the escape rules: {escaped!r}"
+            )
+        labels[match.group("key")] = value
+        rest = rest[match.end():]
+        if rest.startswith(","):
+            rest = rest[1:]
+        elif rest:
+            problems.append(f"{where}: junk after label: {rest!r}")
+            break
+    return labels
+
+
+def family_of(sample_name: str, types: Dict[str, str]) -> Optional[str]:
+    """The declared family a sample line belongs to, if any."""
+    if sample_name in types:
+        return sample_name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if types.get(base) in ("histogram", "summary"):
+                return base
+    return None
+
+
+def lint(text: str) -> Tuple[List[str], Dict[str, str]]:
+    """Returns ``(problems, {family: type})``."""
+    problems: List[str] = []
+    types: Dict[str, str] = {}
+    # (family, labels-without-le) -> [(le, count)]
+    buckets: Dict[Tuple[str, Tuple], List[Tuple[float, float]]] = (
+        defaultdict(list)
+    )
+    counts: Dict[Tuple[str, Tuple], float] = {}
+
+    for number, line in enumerate(text.splitlines(), start=1):
+        where = f"line {number}"
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in TYPES:
+                problems.append(f"{where}: malformed TYPE line: {line!r}")
+                continue
+            name = parts[2]
+            if not NAME_RE.match(name):
+                problems.append(f"{where}: bad metric name {name!r}")
+            if name in types:
+                problems.append(f"{where}: duplicate TYPE for {name}")
+            types[name] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # HELP and comments
+        match = SAMPLE_RE.match(line)
+        if not match:
+            problems.append(f"{where}: unparsable sample: {line!r}")
+            continue
+        name = match.group("name")
+        labels = parse_labels(
+            match.group("labels") or "", problems, where
+        )
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            problems.append(
+                f"{where}: non-numeric value {match.group('value')!r}"
+            )
+            continue
+        family = family_of(name, types)
+        if family is None:
+            problems.append(
+                f"{where}: sample {name} has no preceding # TYPE"
+            )
+            continue
+        if types[family] == "histogram":
+            key_labels = tuple(
+                sorted(
+                    (k, v) for k, v in labels.items() if k != "le"
+                )
+            )
+            if name.endswith("_bucket"):
+                le_raw = labels.get("le")
+                if le_raw is None:
+                    problems.append(f"{where}: bucket without le label")
+                    continue
+                le = (
+                    math.inf if le_raw == "+Inf" else float(le_raw)
+                )
+                buckets[(family, key_labels)].append((le, value))
+            elif name.endswith("_count"):
+                counts[(family, key_labels)] = value
+
+    for (family, key_labels), series in sorted(buckets.items()):
+        ordered = sorted(series, key=lambda pair: pair[0])
+        label_note = (
+            "{" + ",".join(f"{k}={v}" for k, v in key_labels) + "}"
+            if key_labels
+            else ""
+        )
+        last = -math.inf
+        for le, value in ordered:
+            if value < last:
+                problems.append(
+                    f"{family}{label_note}: bucket counts not "
+                    f"cumulative at le={le}"
+                )
+            last = value
+        if not ordered or ordered[-1][0] != math.inf:
+            problems.append(
+                f"{family}{label_note}: histogram missing +Inf bucket"
+            )
+            continue
+        total = counts.get((family, key_labels))
+        if total is None:
+            problems.append(
+                f"{family}{label_note}: histogram missing _count"
+            )
+        elif total != ordered[-1][1]:
+            problems.append(
+                f"{family}{label_note}: +Inf bucket {ordered[-1][1]} "
+                f"!= _count {total}"
+            )
+    return problems, types
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "path", help="file holding the scraped exposition text"
+    )
+    parser.add_argument(
+        "--require", action="append", default=[], metavar="NAME",
+        help="fail unless this metric family is present (repeatable)",
+    )
+    parser.add_argument(
+        "--require-histogram", action="append", default=[],
+        metavar="NAME",
+        help="fail unless this family is present AND typed histogram",
+    )
+    args = parser.parse_args(argv)
+    with open(args.path, encoding="utf-8") as handle:
+        text = handle.read()
+    problems, types = lint(text)
+    for name in args.require:
+        if name not in types:
+            problems.append(f"required metric {name} is missing")
+    for name in args.require_histogram:
+        if types.get(name) != "histogram":
+            problems.append(
+                f"required histogram {name} is missing or mistyped "
+                f"({types.get(name)})"
+            )
+    if problems:
+        for problem in problems:
+            print(f"FAIL {problem}")
+        print(f"{len(problems)} problem(s) in {args.path}")
+        return 1
+    print(
+        f"OK {args.path}: {len(types)} families lint clean"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

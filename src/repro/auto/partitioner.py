@@ -33,6 +33,7 @@ CLI and the service's job tracer show exactly where the time went.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set
 
@@ -58,6 +59,7 @@ from repro.core.partition import Partition
 from repro.dfg.graph import DataFlowGraph
 from repro.errors import PartitioningError, PredictionError
 from repro.library.presets import auto_library
+from repro.obs.metrics import get_registry
 from repro.obs.tracing import span as trace_span
 
 #: Main clock of the default auto session (the paper's 300 ns).
@@ -395,6 +397,7 @@ def auto_partition(
             f"cannot spread {graph.op_count()} operations over {k} chips"
         )
     factory = session_factory or default_auto_session
+    started = time.perf_counter()
 
     def tick(stage: str) -> None:
         if progress is not None:
@@ -492,4 +495,11 @@ def auto_partition(
 
         root.put("feasible", result.feasible)
         root.put("cut_bits", result.cut_bits)
+        get_registry().histogram(
+            "auto_partition_seconds",
+            "End-to-end auto-partitioning time by outcome",
+            labelnames=("feasible",),
+        ).labels(
+            feasible="true" if result.feasible else "false"
+        ).observe(time.perf_counter() - started)
         return result

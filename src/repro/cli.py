@@ -59,6 +59,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 import json as _json
@@ -596,8 +597,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import signal as _signal
     import threading as _threading
 
+    from repro.obs.logging import configure_logging, get_logger
     from repro.service import ChopService, make_server
 
+    # $CHOP_LOG / $CHOP_LOG_FILE select level and sink; unset stays off.
+    configure_logging()
     service = ChopService(
         cache_size=args.cache_size,
         max_sessions=args.max_sessions,
@@ -610,6 +614,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_jobs_per_session=args.max_session_jobs,
         max_body_bytes=args.max_body_kb * 1024,
         drain_timeout_s=args.drain_timeout,
+        slo_latency_ms=args.slo_latency_ms,
+        slo_error_rate=args.slo_error_rate,
+        flight_capacity=args.flight_capacity,
+        flight_dir=args.flight_dir,
     )
     server = make_server(service, host=args.host, port=args.port)
     # port 0 binds an ephemeral port; report the one actually bound so
@@ -631,6 +639,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"{cache_note})",
         flush=True,
     )
+    get_logger("cli").info(
+        "service_started",
+        host=args.host,
+        port=bound_port,
+        job_threads=args.workers,
+        search_workers=args.search_workers,
+    )
 
     drained = _threading.Event()
 
@@ -650,8 +665,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     def _on_sigterm(signum, frame) -> None:
         _threading.Thread(target=_drain_and_stop, daemon=True).start()
 
+    def _on_sigusr2(signum, frame) -> None:
+        def _dump() -> None:
+            if args.flight_dir:
+                path = service._dump_flight(reason="sigusr2")
+            else:
+                path = service.flight.dump_to(
+                    f"flight-{int(time.time())}-sigusr2.json"
+                )
+            if path:
+                print(f"flight recorder dumped to {path}", flush=True)
+
+        _threading.Thread(target=_dump, daemon=True).start()
+
     try:
         _signal.signal(_signal.SIGTERM, _on_sigterm)
+        if hasattr(_signal, "SIGUSR2"):
+            _signal.signal(_signal.SIGUSR2, _on_sigusr2)
     except ValueError:
         pass  # not the main thread; the embedder owns signal handling
     try:
@@ -1047,6 +1077,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--drain-timeout", type=float, default=10.0,
         help="seconds SIGTERM waits for running jobs before cancelling "
         "them cooperatively (default 10)",
+    )
+    serve_.add_argument(
+        "--slo-latency-ms", type=float, default=500.0,
+        help="p95 request-latency objective in milliseconds, exposed "
+        "as slo_burn_ratio gauges and GET /slo (default 500)",
+    )
+    serve_.add_argument(
+        "--slo-error-rate", type=float, default=0.01,
+        help="maximum 5xx share of responses before the error-rate "
+        "SLO burns (default 0.01)",
+    )
+    serve_.add_argument(
+        "--flight-capacity", type=int, default=256,
+        help="flight-recorder ring-buffer size: recent request/job "
+        "summaries kept for GET /debug/recent (default 256)",
+    )
+    serve_.add_argument(
+        "--flight-dir", default=None, metavar="DIR",
+        help="write flight-recorder dumps under DIR on any 5xx and on "
+        "SIGUSR2 (default: no automatic dumps)",
     )
     serve_.set_defaults(func=_cmd_serve)
 

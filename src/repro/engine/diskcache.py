@@ -33,6 +33,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 from repro.bad.prediction import DesignPrediction
 from repro.bad.styles import ClockScheme
 from repro.library.library import ComponentLibrary
+from repro.obs.metrics import get_registry
 from repro.obs.tracing import span as trace_span
 from repro.resilience.faults import maybe_inject
 from repro.resilience.retry import RetryPolicy
@@ -88,6 +89,11 @@ class DiskPredictionCache:
         self._quarantined = 0
         self._store_retries = 0
         self._store_failures = 0
+        self._op_seconds = get_registry().histogram(
+            "diskcache_op_seconds",
+            "Disk prediction-cache operation latency by op and outcome",
+            labelnames=("op", "outcome"),
+        )
 
     # ------------------------------------------------------------------
     # keys and paths
@@ -120,6 +126,13 @@ class DiskPredictionCache:
         to ``*.corrupt``) so they cannot fail again, and the next store
         rewrites the entry.
         """
+        started = time.perf_counter()
+
+        def timed(outcome: str) -> None:
+            self._op_seconds.labels(op="load", outcome=outcome).observe(
+                time.perf_counter() - started
+            )
+
         with trace_span("diskcache.load", key=key[:12]) as sp:
             path = self.path_for(key)
             try:
@@ -129,6 +142,7 @@ class DiskPredictionCache:
             except FileNotFoundError:
                 self._count(hit=False)
                 sp.put("hit", False)
+                timed("miss")
                 return None
             except Exception:
                 # Unpickling attacker-grade junk can raise nearly
@@ -138,6 +152,7 @@ class DiskPredictionCache:
                 self._discard(path)
                 self._count(hit=False)
                 sp.put("hit", False)
+                timed("quarantined")
                 return None
             if (
                 not isinstance(payload, dict)
@@ -148,10 +163,12 @@ class DiskPredictionCache:
                 self._discard(path)
                 self._count(hit=False)
                 sp.put("hit", False)
+                timed("quarantined")
                 return None
             self._count(hit=True)
             sp.put("hit", True)
             sp.add("partitions", len(payload["predictions"]))
+            timed("hit")
             return payload["predictions"]
 
     def store(
@@ -166,6 +183,13 @@ class DiskPredictionCache:
         failure propagates (use :meth:`store_safely` at call sites
         where a sick disk must not fail the check).
         """
+        started = time.perf_counter()
+
+        def timed(outcome: str) -> None:
+            self._op_seconds.labels(op="store", outcome=outcome).observe(
+                time.perf_counter() - started
+            )
+
         with trace_span(
             "diskcache.store", key=key[:12],
         ) as sp:
@@ -189,6 +213,7 @@ class DiskPredictionCache:
                     if attempt >= self.retry_policy.max_attempts:
                         with self._lock:
                             self._store_failures += 1
+                        timed("failed")
                         raise
                     with self._lock:
                         self._store_retries += 1
@@ -198,6 +223,7 @@ class DiskPredictionCache:
                 break
             with self._lock:
                 self._stores += 1
+            timed("ok")
 
     def store_safely(
         self,

@@ -54,6 +54,7 @@ from repro.engine.sharding import (
 )
 from repro.errors import InfeasibleError, SearchCancelled
 from repro.library.library import ComponentLibrary
+from repro.obs.metrics import get_registry
 from repro.obs.tracing import (
     current_tracer,
     deterministic_span_id,
@@ -455,6 +456,23 @@ class EvaluationEngine:
         self._pool_failures = 0
         self._degraded_until = 0.0
         self._lock = threading.Lock()
+        # Worker processes never see the parent registry, so shard wall
+        # time is observed parent-side from each ShardResult.elapsed_s.
+        registry = get_registry()
+        self._run_seconds = registry.histogram(
+            "engine_run_seconds",
+            "Engine run wall time by execution mode",
+            labelnames=("mode",),
+        )
+        self._shard_seconds = registry.histogram(
+            "engine_shard_seconds",
+            "Per-shard evaluation wall time by execution mode",
+            labelnames=("mode",),
+        )
+        self._shard_retries = registry.counter(
+            "engine_shard_retries_total",
+            "Serial re-run attempts spent on shards whose worker died",
+        )
         self._stats: Dict[str, Any] = {
             "workers": workers,
             "start_method": start_method or "default",
@@ -644,7 +662,11 @@ class EvaluationEngine:
                     shard = pending.pop(future)
                     error = future.exception()
                     if error is None:
-                        results.append(future.result())
+                        result = future.result()
+                        results.append(result)
+                        self._shard_seconds.labels(
+                            mode="parallel"
+                        ).observe(result.elapsed_s, exemplar=trace_id)
                         if progress is not None:
                             progress(
                                 len(results) + len(dead_shards),
@@ -735,6 +757,8 @@ class EvaluationEngine:
         while True:
             time.sleep(policy.delay_for(attempt))
             attempt += 1
+            self._shard_retries.inc()
+            retry_started = time.perf_counter()
             # Retried in-process, so the span lands on the parent
             # tracer directly (parented under engine.run by context).
             with trace_span(
@@ -752,12 +776,19 @@ class EvaluationEngine:
                     if attempt >= policy.max_attempts:
                         raise
                     continue
+            self._shard_seconds.labels(mode="retry").observe(
+                time.perf_counter() - retry_started
+            )
             return feasible, trials, attempt - 1
 
     # ------------------------------------------------------------------
     # accounting
     # ------------------------------------------------------------------
     def _account(self, run: EngineRun) -> None:
+        self._run_seconds.labels(mode=run.mode).observe(run.wall_s)
+        if run.mode != "parallel":
+            # Serial modes evaluate the whole space as one shard.
+            self._shard_seconds.labels(mode=run.mode).observe(run.wall_s)
         with self._lock:
             if run.mode == "parallel":
                 self._stats["searches_parallel"] += 1

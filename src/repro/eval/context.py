@@ -30,6 +30,7 @@ caught, never silently served stale.
 from __future__ import annotations
 
 import hashlib
+import time
 from collections import OrderedDict
 from typing import (
     Dict,
@@ -60,6 +61,7 @@ from repro.eval.taskgraph import (
 from repro.library.library import ComponentLibrary
 from repro.memory.access import MemoryAccessProfile, memory_access_profile
 from repro.memory.module import MemoryModule
+from repro.obs.metrics import get_registry
 from repro.obs.tracing import span as trace_span
 
 #: Default LRU bound for each per-content cache.  Sized for long service
@@ -234,6 +236,7 @@ class EvaluationContext:
         Emits an ``eval.context`` span whose ``hit``/``miss`` counters
         say how much of this check's prediction work was reused.
         """
+        started = time.perf_counter()
         with trace_span(
             "eval.context", partitions=len(partitions)
         ) as sp:
@@ -247,9 +250,20 @@ class EvaluationContext:
                 )
                 for name, partition in partitions.items()
             }
-            sp.add("hit", self._hits - hits_before)
-            sp.add("miss", self._misses - misses_before)
-            return out
+            hits = self._hits - hits_before
+            misses = self._misses - misses_before
+            sp.add("hit", hits)
+            sp.add("miss", misses)
+        # Warm maps answer from the prediction cache alone; cold maps
+        # paid for at least one BAD prediction run.
+        get_registry().histogram(
+            "eval_pruned_map_seconds",
+            "Whole-partitioning prediction-map latency by cache warmth",
+            labelnames=("cache",),
+        ).labels(cache="warm" if misses == 0 else "cold").observe(
+            time.perf_counter() - started
+        )
+        return out
 
     # ------------------------------------------------------------------
     # memory profiles

@@ -37,6 +37,7 @@ under ``explore.cost``, and the final front assembly under
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -59,6 +60,7 @@ from repro.errors import (
     PredictionError,
     SearchCancelled,
 )
+from repro.obs.metrics import get_registry
 from repro.obs.tracing import span as trace_span
 from repro.search.pareto import ParetoFront
 
@@ -425,9 +427,17 @@ def explore(
             with trace_span(
                 "explore.candidate", chips=k, package_scale=scale
             ) as cand_span:
+                cand_started = time.perf_counter()
                 point, status, reason, seeded = _evaluate_candidate(
                     graph, k, scale, config, factory, engine,
                     disk_cache, cancel,
+                )
+                get_registry().histogram(
+                    "explore_candidate_seconds",
+                    "Per-candidate sweep evaluation time by outcome",
+                    labelnames=("status",),
+                ).labels(status=status).observe(
+                    time.perf_counter() - cand_started
                 )
                 cache_seeded += seeded
                 row["status"] = status

@@ -12,8 +12,18 @@ This package gives the grown system the same property about itself:
 * :mod:`repro.obs.explain` — per-constraint feasibility breakdowns
   ("chip area on chip2 killed 81% of combinations, worst margin
   -312 mil²");
-* :mod:`repro.obs.prometheus` — text exposition of the service metrics
-  snapshot for ``GET /metrics?format=prometheus``;
+* :mod:`repro.obs.metrics` — the process-wide metrics registry
+  (counters, gauges, labeled histograms with exemplars) every subsystem
+  registers into;
+* :mod:`repro.obs.prometheus` — text exposition of the registry for
+  ``GET /metrics?format=prometheus``;
+* :mod:`repro.obs.logging` — structured JSONL logging with trace-id
+  correlation, level-filtered via ``$CHOP_LOG``;
+* :mod:`repro.obs.slo` — latency/error-rate objectives evaluated from
+  the registry, exported as burn gauges and ``GET /slo``;
+* :mod:`repro.obs.flight` — the flight recorder: a bounded ring buffer
+  of recent completed requests/jobs (``GET /debug/recent``, ``SIGUSR2``
+  and automatic 5xx dumps);
 * :mod:`repro.obs.render` / :mod:`repro.obs.schema` — the ``repro
   trace show`` tree renderer and the JSONL schema validator CI runs.
 
@@ -27,9 +37,29 @@ from repro.obs.explain import (
     ExplainCollector,
     ExplainReport,
 )
+from repro.obs.flight import FlightRecorder
+from repro.obs.logging import (
+    StructuredLogger,
+    configure_logging,
+    get_logger,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    exponential_buckets,
+    get_registry,
+)
 from repro.obs.profiling import SamplingProfiler, peak_rss_bytes
-from repro.obs.prometheus import render_prometheus
+from repro.obs.prometheus import render_prometheus, render_registry
 from repro.obs.render import render_trace
+from repro.obs.slo import (
+    ErrorRateObjective,
+    LatencyObjective,
+    SLOTracker,
+    default_objectives,
+)
 from repro.obs.schema import validate_span, validate_trace
 from repro.obs.tracing import (
     TRACE_SCHEMA_VERSION,
@@ -49,21 +79,36 @@ from repro.obs.tracing import (
 __all__ = [
     "TRACE_SCHEMA_VERSION",
     "ConstraintTally",
+    "Counter",
+    "ErrorRateObjective",
     "ExplainCollector",
     "ExplainReport",
+    "FlightRecorder",
+    "Gauge",
+    "Histogram",
     "JsonlSink",
+    "LatencyObjective",
+    "MetricsRegistry",
+    "SLOTracker",
     "SamplingProfiler",
     "Span",
+    "StructuredLogger",
     "Tracer",
     "activate",
+    "configure_logging",
     "current_span_id",
     "current_tracer",
+    "default_objectives",
     "deterministic_span_id",
+    "exponential_buckets",
+    "get_logger",
+    "get_registry",
     "load_trace_file",
     "make_span_record",
     "new_trace_id",
     "peak_rss_bytes",
     "render_prometheus",
+    "render_registry",
     "render_trace",
     "span",
     "validate_span",

@@ -1,16 +1,18 @@
-"""Prometheus text exposition of the service's ``/metrics`` snapshot.
+"""Prometheus text exposition (format 0.0.4) of the metrics registry.
 
-The snapshot is a nested JSON document (request counters, per-route
-latency percentiles, and one sub-document per registered subsystem
-gauge).  Prometheus wants flat ``name{labels} value`` lines, so this
-module renders the known request/route shapes explicitly and flattens
-every gauge sub-document generically: numeric leaves become metrics,
-booleans become 0/1, strings and nulls are skipped.  Names are
-sanitised to the ``[a-zA-Z_][a-zA-Z0-9_]*`` charset and prefixed
-``chop_``; label values are escaped per the exposition format.
+Rendering is driven entirely by :class:`repro.obs.metrics.MetricsRegistry`
+samples — typed counter/gauge/histogram families plus the pull-gauges
+derived from legacy ``stats()`` suppliers.  The old path that flattened
+the service's nested JSON snapshot is gone; anything that wants to show
+up at ``GET /metrics?format=prometheus`` registers a real metric (or a
+stats supplier) with the shared registry.
 
-Stdlib-only and pure: ``render_prometheus(snapshot) -> str`` — the
-service maps ``GET /metrics?format=prometheus`` onto it.
+Names are sanitised to ``[a-zA-Z_][a-zA-Z0-9_]*`` and prefixed with the
+registry prefix (``chop_`` by default); label values are escaped per the
+exposition format (:func:`escape_label_value` / the round-tripping
+:func:`unescape_label_value`).  Histograms render the standard
+``_bucket{le=...}`` / ``_sum`` / ``_count`` triplet with cumulative
+bucket counts ending in ``+Inf``.
 """
 
 from __future__ import annotations
@@ -18,21 +20,23 @@ from __future__ import annotations
 import re
 from typing import Any, Dict, List, Mapping
 
+from repro.obs.metrics import MetricsRegistry
+
 PREFIX = "chop"
 
 _NAME_OK = re.compile(r"[^a-zA-Z0-9_]")
 
 
-def _metric_name(*parts: str) -> str:
-    name = "_".join(
-        _NAME_OK.sub("_", str(part)) for part in parts if part != ""
-    )
-    if not name or name[0].isdigit():
-        name = f"_{name}"
-    return f"{PREFIX}_{name}"
+def metric_name(name: str, prefix: str = PREFIX) -> str:
+    """Sanitise ``name`` into the exposition charset, prefixed."""
+    cleaned = _NAME_OK.sub("_", str(name))
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = f"_{cleaned}"
+    return f"{prefix}_{cleaned}"
 
 
-def _escape_label(value: str) -> str:
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the text exposition format."""
     return (
         value.replace("\\", "\\\\")
         .replace('"', '\\"')
@@ -40,93 +44,92 @@ def _escape_label(value: str) -> str:
     )
 
 
-def _format_value(value: Any) -> str:
+def unescape_label_value(value: str) -> str:
+    """Invert :func:`escape_label_value` (used by the format linter)."""
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "\\":
+                out.append("\\")
+            elif nxt == '"':
+                out.append('"')
+            elif nxt == "n":
+                out.append("\n")
+            else:  # unknown escape: keep verbatim
+                out.append(ch)
+                out.append(nxt)
+            i += 2
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def format_value(value: Any) -> str:
+    """A sample value in exposition syntax (ints stay integral)."""
     if isinstance(value, bool):
         return "1" if value else "0"
     if isinstance(value, int):
         return str(value)
-    return repr(float(value))
+    as_float = float(value)
+    if as_float.is_integer() and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
 
 
-def _line(name: str, labels: Mapping[str, str], value: Any) -> str:
+def sample_line(
+    name: str, labels: Mapping[str, str], value: Any
+) -> str:
+    """One ``name{labels} value`` exposition line."""
     if labels:
         rendered = ",".join(
-            f'{key}="{_escape_label(str(val))}"'
+            f'{key}="{escape_label_value(str(val))}"'
             for key, val in sorted(labels.items())
         )
-        return f"{name}{{{rendered}}} {_format_value(value)}"
-    return f"{name} {_format_value(value)}"
+        return f"{name}{{{rendered}}} {format_value(value)}"
+    return f"{name} {format_value(value)}"
 
 
-def _flatten(
-    lines: List[str], prefix: List[str], value: Any
-) -> None:
-    """Emit a generic (sub-)document as flat gauge lines."""
-    if isinstance(value, Mapping):
-        for key, child in sorted(value.items(), key=lambda kv: str(kv[0])):
-            _flatten(lines, prefix + [str(key)], child)
-        return
-    if isinstance(value, bool) or isinstance(value, (int, float)):
-        lines.append(_line(_metric_name(*prefix), {}, value))
-    # strings, None, lists: not representable as a single gauge — skip.
-
-
-def render_prometheus(snapshot: Mapping[str, Any]) -> str:
-    """The Prometheus text-format (0.0.4) view of one metrics snapshot."""
-    lines: List[str] = []
-
-    requests_total = snapshot.get("requests_total")
-    if requests_total is not None:
-        lines.append(
-            f"# TYPE {PREFIX}_requests_total counter"
-        )
-        lines.append(
-            _line(f"{PREFIX}_requests_total", {}, requests_total)
-        )
-
-    statuses = snapshot.get("responses_by_status") or {}
-    if statuses:
-        lines.append(f"# TYPE {PREFIX}_responses_total counter")
-        for code, count in sorted(statuses.items()):
-            lines.append(
-                _line(
-                    f"{PREFIX}_responses_total",
-                    {"status": str(code)},
-                    count,
-                )
-            )
-
-    routes = snapshot.get("routes") or {}
-    if routes:
-        lines.append(f"# TYPE {PREFIX}_route_requests_total counter")
-        for route, doc in sorted(routes.items()):
-            lines.append(
-                _line(
-                    f"{PREFIX}_route_requests_total",
-                    {"route": route},
-                    doc.get("count", 0),
-                )
-            )
-        lines.append(f"# TYPE {PREFIX}_route_latency_ms gauge")
-        for route, doc in sorted(routes.items()):
-            latency = doc.get("latency_ms") or {}
-            for quantile_label, quantile in (("p50", "0.5"),
-                                             ("p95", "0.95")):
-                value = latency.get(quantile_label)
-                if value is None:
-                    continue
+def _render_family(lines: List[str], doc: Dict[str, Any],
+                   prefix: str) -> None:
+    name = metric_name(doc["name"], prefix)
+    if doc.get("help"):
+        help_text = str(doc["help"]).replace("\\", "\\\\")
+        help_text = help_text.replace("\n", "\\n")
+        lines.append(f"# HELP {name} {help_text}")
+    lines.append(f"# TYPE {name} {doc['type']}")
+    for sample in doc["samples"]:
+        labels = sample.get("labels") or {}
+        if doc["type"] == "histogram":
+            for bound, count in sample["buckets"].items():
                 lines.append(
-                    _line(
-                        f"{PREFIX}_route_latency_ms",
-                        {"route": route, "quantile": quantile},
-                        value,
+                    sample_line(
+                        f"{name}_bucket",
+                        {**labels, "le": bound},
+                        count,
                     )
                 )
+            lines.append(
+                sample_line(f"{name}_sum", labels, sample["sum"])
+            )
+            lines.append(
+                sample_line(f"{name}_count", labels, sample["count"])
+            )
+        else:
+            lines.append(sample_line(name, labels, sample["value"]))
 
-    handled = {"requests_total", "responses_by_status", "routes"}
-    for label, value in sorted(snapshot.items()):
-        if label in handled:
-            continue
-        _flatten(lines, [label], value)
 
+def render_registry(registry: MetricsRegistry) -> str:
+    """The whole registry as Prometheus text format 0.0.4."""
+    lines: List[str] = []
+    for doc in registry.collect():
+        _render_family(lines, doc, registry.prefix)
     return "\n".join(lines) + "\n"
+
+
+#: Back-compatible alias: the service maps
+#: ``GET /metrics?format=prometheus`` onto this.
+render_prometheus = render_registry

@@ -1,0 +1,185 @@
+"""Service-level objectives evaluated from the metrics registry.
+
+An objective is a target over metrics the registry already holds — no
+second bookkeeping path:
+
+* :class:`LatencyObjective` — "the p95 of (route-filtered) request
+  latency stays under ``threshold_s``", measured from the request
+  histogram's buckets;
+* :class:`ErrorRateObjective` — "the 5xx share of responses stays under
+  ``max_ratio``", measured from the per-status response counters.
+
+:meth:`SLOTracker.evaluate` computes each objective's **burn ratio** —
+``measured / objective``, so 1.0 is exactly at target and anything above
+is out of budget — and mirrors it into ``slo_burn_ratio{slo=...}`` /
+``slo_ok{slo=...}`` gauges in the same registry, which means the SLO
+state rides along in both the JSON snapshot and the Prometheus text
+exposition.  The service evaluates on every ``GET /slo`` and ``GET
+/metrics`` scrape, so the gauges are as fresh as the scrape that reads
+them.
+
+Objectives cover the process lifetime (cumulative counters), the right
+semantics for soak benchmarks and CI scrapes; windowed burn rates are a
+scrape-side derivation (``rate()``) once Prometheus ingests the series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+@dataclass(frozen=True)
+class LatencyObjective:
+    """``quantile`` of request latency must stay under ``threshold_s``."""
+
+    name: str
+    threshold_s: float
+    quantile: float = 0.95
+    route: Optional[str] = None  # None aggregates every route
+
+    def __post_init__(self) -> None:
+        if self.threshold_s <= 0:
+            raise ValueError(
+                f"threshold_s must be > 0, got {self.threshold_s}"
+            )
+        if not 0 < self.quantile < 1:
+            raise ValueError(
+                f"quantile must be in (0, 1), got {self.quantile}"
+            )
+
+
+@dataclass(frozen=True)
+class ErrorRateObjective:
+    """The 5xx share of all responses must stay under ``max_ratio``."""
+
+    name: str
+    max_ratio: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.max_ratio <= 1:
+            raise ValueError(
+                f"max_ratio must be in (0, 1], got {self.max_ratio}"
+            )
+
+
+Objective = Union[LatencyObjective, ErrorRateObjective]
+
+
+class SLOTracker:
+    """Evaluates objectives against a registry and exports burn gauges."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        objectives: Sequence[Objective],
+        latency_metric: str = "request_latency_seconds",
+        responses_metric: str = "responses_total",
+    ) -> None:
+        names = [o.name for o in objectives]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate objective names in {names}")
+        self.registry = registry
+        self.objectives = tuple(objectives)
+        self.latency_metric = latency_metric
+        self.responses_metric = responses_metric
+        self._burn = registry.gauge(
+            "slo_burn_ratio",
+            "Measured value over objective; > 1 is out of budget",
+            labelnames=("slo",),
+        )
+        self._ok = registry.gauge(
+            "slo_ok",
+            "1 while the objective holds, 0 once it is burned",
+            labelnames=("slo",),
+        )
+
+    # ------------------------------------------------------------------
+    def _measure_latency(
+        self, objective: LatencyObjective
+    ) -> Optional[float]:
+        family = self.registry.get(self.latency_metric)
+        if not isinstance(family, Histogram):
+            return None
+        where = (
+            {"route": objective.route}
+            if objective.route is not None
+            else None
+        )
+        return family.quantile(objective.quantile, where=where)
+
+    def _measure_error_rate(self) -> Optional[float]:
+        family = self.registry.get(self.responses_metric)
+        if family is None or "status" not in family.labelnames:
+            return None
+        total = 0.0
+        errors = 0.0
+        for sample in family.samples():
+            value = sample["value"]
+            total += value
+            status = sample["labels"].get("status", "")
+            if status.startswith("5"):
+                errors += value
+        if total == 0:
+            return None
+        return errors / total
+
+    # ------------------------------------------------------------------
+    def evaluate(self) -> Dict[str, Any]:
+        """Measure every objective, update the burn gauges, report.
+
+        An objective with no data yet (nothing observed) reports
+        ``measured: null``, burn 0 and ``ok: true`` — an idle service is
+        within budget, not in breach.
+        """
+        results: List[Dict[str, Any]] = []
+        for objective in self.objectives:
+            if isinstance(objective, LatencyObjective):
+                measured = self._measure_latency(objective)
+                target = objective.threshold_s
+                doc: Dict[str, Any] = {
+                    "name": objective.name,
+                    "kind": "latency",
+                    "quantile": objective.quantile,
+                    "route": objective.route,
+                    "objective_s": target,
+                    "measured_s": measured,
+                }
+            else:
+                measured = self._measure_error_rate()
+                target = objective.max_ratio
+                doc = {
+                    "name": objective.name,
+                    "kind": "error_rate",
+                    "objective_ratio": target,
+                    "measured_ratio": measured,
+                }
+            burn = 0.0 if measured is None else measured / target
+            ok = burn <= 1.0
+            doc["burn"] = round(burn, 6)
+            doc["ok"] = ok
+            self._burn.labels(slo=objective.name).set(burn)
+            self._ok.labels(slo=objective.name).set(1.0 if ok else 0.0)
+            results.append(doc)
+        return {
+            "objectives": results,
+            "ok": all(r["ok"] for r in results),
+        }
+
+
+def default_objectives(
+    latency_ms: float = 500.0,
+    error_rate: float = 0.01,
+    quantile: float = 0.95,
+) -> List[Objective]:
+    """The service's out-of-the-box SLOs (overridable per deployment)."""
+    return [
+        LatencyObjective(
+            name=f"latency_p{int(round(quantile * 100))}",
+            threshold_s=latency_ms / 1000.0,
+            quantile=quantile,
+        ),
+        ErrorRateObjective(name="error_rate", max_ratio=error_rate),
+    ]

@@ -23,6 +23,10 @@ Endpoints::
     GET  /readyz                    readiness (503 while draining)
     GET  /metrics                   counters, latencies, cache, queue
                                     (?format=prometheus for text format)
+    GET  /slo                       objective burn ratios (latency p95,
+                                    error rate) evaluated on demand
+    GET  /debug/recent              the flight recorder's newest records
+                                    (?limit=N to truncate)
 
 All request and response bodies are JSON (``/metrics`` can also render
 the Prometheus text exposition format).  Errors come back as
@@ -66,8 +70,12 @@ from repro.errors import (
     SpecificationError,
 )
 from repro.obs.explain import ExplainCollector
+from repro.obs.flight import FlightRecorder
+from repro.obs.logging import get_logger
+from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.profiling import peak_rss_bytes
-from repro.obs.prometheus import render_prometheus
+from repro.obs.prometheus import render_registry
+from repro.obs.slo import SLOTracker, default_objectives
 from repro.obs.tracing import Tracer, activate
 from repro.resilience.retry import RetryPolicy, RetryStats
 from repro.service.cache import LRUCache, check_cache_key
@@ -126,6 +134,11 @@ class ChopService:
         max_body_bytes: int = 1_000_000,
         job_retry: Optional[RetryPolicy] = None,
         drain_timeout_s: float = 10.0,
+        slo_latency_ms: float = 500.0,
+        slo_error_rate: float = 0.01,
+        flight_capacity: int = 256,
+        flight_dir: Optional[str] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_body_bytes < 1:
             raise ValueError(
@@ -133,6 +146,8 @@ class ChopService:
             )
         self.max_body_bytes = max_body_bytes
         self.drain_timeout_s = drain_timeout_s
+        self.registry = registry if registry is not None else get_registry()
+        self.log = get_logger("service")
         self.retry_stats = RetryStats()
         self._draining = threading.Event()
         self.sessions = SessionRegistry(capacity=max_sessions)
@@ -163,7 +178,16 @@ class ChopService:
             if disk_cache_dir
             else None
         )
-        self.metrics = Metrics()
+        self.metrics = Metrics(registry=self.registry)
+        self.slo = SLOTracker(
+            self.registry,
+            default_objectives(
+                latency_ms=slo_latency_ms, error_rate=slo_error_rate
+            ),
+        )
+        self.flight = FlightRecorder(capacity=flight_capacity)
+        self.flight_dir = flight_dir
+        self.metrics.register_gauges("flight", self.flight.stats)
         self.metrics.register_gauges("cache", self.cache.stats)
         self.metrics.register_gauges("jobs", self.jobs.depth)
         self.metrics.register_gauges("sessions", self.sessions.stats)
@@ -305,6 +329,10 @@ class ChopService:
             return self._readyz() + ("GET /readyz",)
         if method == "GET" and parts == ["metrics"]:
             return 200, self._metrics(query), "GET /metrics"
+        if method == "GET" and parts == ["slo"]:
+            return 200, self.slo.evaluate(), "GET /slo"
+        if method == "GET" and parts == ["debug", "recent"]:
+            return 200, self._recent(query), "GET /debug/recent"
         if method == "POST" and self.draining and parts[:1] != ["jobs"]:
             # Liveness, readiness, metrics, job polling and cancellation
             # stay up during a drain; anything that admits work does not.
@@ -373,13 +401,78 @@ class ChopService:
         return 200, {"status": "ready"}
 
     def _metrics(self, query: str = "") -> Any:
-        # Subsystem gauges (cache, jobs, sessions, engine, disk_cache,
-        # process) are registered suppliers — the snapshot carries
-        # everything.
-        snapshot = self.metrics.snapshot()
+        # Refresh the SLO burn gauges so every scrape (either format)
+        # carries the current objective state.
+        self.slo.evaluate()
         if "format=prometheus" in query:
-            return render_prometheus(snapshot)
-        return snapshot
+            # The text exposition renders the shared registry directly;
+            # subsystem stats() suppliers are registered pull-gauges.
+            return render_registry(self.registry)
+        # Legacy JSON shape: per-route sample percentiles plus the
+        # registered subsystem gauge suppliers.
+        return self.metrics.snapshot()
+
+    def _recent(self, query: str = "") -> Dict[str, Any]:
+        """The flight recorder's newest records, for ``/debug/recent``."""
+        limit: Optional[int] = None
+        match = re.search(r"(?:^|&)limit=(\d+)", query)
+        if match:
+            limit = int(match.group(1))
+        records = self.flight.recent(limit=limit)
+        return {
+            "stats": self.flight.stats(),
+            "records": records,
+        }
+
+    def note_request(
+        self,
+        route: str,
+        seconds: float,
+        status: int,
+        trace_id: Optional[str] = None,
+    ) -> None:
+        """Account one finished HTTP request everywhere it belongs.
+
+        Updates the metrics registry and the legacy snapshot, appends a
+        flight-recorder entry, and — on any 5xx — logs the failure and
+        snapshots the flight buffer to ``flight_dir`` so the context
+        around the error survives the process.
+        """
+        self.metrics.observe(route, seconds, status, trace_id=trace_id)
+        self.flight.record(
+            "request",
+            route=route,
+            status=status,
+            latency_ms=seconds * 1000.0,
+            trace_id=trace_id,
+        )
+        if status >= 500 and status != 503:
+            # 503 is the drain/backpressure contract, not a failure.
+            self.log.error(
+                "request failed",
+                route=route,
+                status=status,
+                latency_ms=round(seconds * 1000.0, 3),
+                trace_id=trace_id,
+            )
+            self._dump_flight(reason="5xx")
+
+    def _dump_flight(self, reason: str = "manual") -> Optional[str]:
+        """Best-effort flight dump into ``flight_dir`` (None if unset)."""
+        if not self.flight_dir:
+            return None
+        stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+        path = (
+            f"{self.flight_dir}/flight-{stamp}-"
+            f"{self.flight.stats()['recorded']}-{reason}.json"
+        )
+        try:
+            return self.flight.dump_to(path)
+        except OSError as exc:
+            self.log.warning(
+                "flight dump failed", path=path, error=str(exc)
+            )
+            return None
 
     def _process_stats(self) -> Dict[str, Any]:
         """Uptime and memory gauges for the ``process`` metrics block."""
@@ -519,6 +612,7 @@ class ChopService:
 
         def run(job) -> Dict[str, Any]:
             collector = ExplainCollector() if explain else None
+            started = time.perf_counter()
             try:
                 with entry.lock, activate(tracer):
                     with tracer.span(
@@ -541,6 +635,7 @@ class ChopService:
                     job.artifacts["explain"] = collector.report(
                         heuristic=heuristic
                     ).to_dict()
+                self._flight_job(job, tracer, started)
             return result
 
         job = self.jobs.submit(
@@ -618,6 +713,7 @@ class ChopService:
         tracer = Tracer(trace_id=trace_id)
 
         def run(job) -> Dict[str, Any]:
+            started = time.perf_counter()
             try:
                 with entry.lock, activate(tracer):
                     with tracer.span(
@@ -634,6 +730,7 @@ class ChopService:
                         )
             finally:
                 job.artifacts["trace"] = tracer.spans()
+                self._flight_job(job, tracer, started)
             payload = outcome.to_dict()
             if include_assignment:
                 payload["assignment"] = dict(outcome.assignment)
@@ -732,6 +829,7 @@ class ChopService:
 
         def run(job) -> Dict[str, Any]:
             factory = project_session_factory(entry.session)
+            started = time.perf_counter()
             try:
                 with entry.lock, activate(tracer):
                     with tracer.span(
@@ -748,6 +846,7 @@ class ChopService:
                         )
             finally:
                 job.artifacts["trace"] = tracer.spans()
+                self._flight_job(job, tracer, started)
             payload = result.to_dict(include_projects=include_projects)
             payload["project_id"] = entry.project_id
             with self._explore_lock:
@@ -769,6 +868,17 @@ class ChopService:
         )
         job.trace_id = tracer.trace_id
         return job.to_dict()
+
+    def _flight_job(self, job, tracer: Tracer, started: float) -> None:
+        """Flight-record one finished background job (any outcome)."""
+        self.flight.record(
+            "job",
+            latency_ms=(time.perf_counter() - started) * 1000.0,
+            trace_id=tracer.trace_id,
+            spans=tracer.spans(),
+            job_id=job.id,
+            job_kind=job.kind,
+        )
 
     def _job_trace(self, job) -> Dict[str, Any]:
         """The finished span records of one background job."""
@@ -923,8 +1033,11 @@ class _Handler(BaseHTTPRequestHandler):
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(data)
-        self.service.metrics.observe(
-            route, time.perf_counter() - started, status
+        self.service.note_request(
+            route,
+            time.perf_counter() - started,
+            status,
+            trace_id=self.headers.get("X-Trace-Id"),
         )
 
     def log_message(self, format: str, *args: Any) -> None:
@@ -954,10 +1067,31 @@ def serve(
     (``/readyz`` flips to 503, new ``POST`` s get the same), running
     jobs get up to the drain timeout to finish, stragglers are
     cancelled cooperatively, and only then does the socket close.
-    ``KeyboardInterrupt`` (Ctrl-C) takes the same path.
+    ``KeyboardInterrupt`` (Ctrl-C) takes the same path.  ``SIGUSR2``
+    dumps the flight recorder to the service's flight directory (the
+    working directory when unset) without interrupting traffic.
     """
     server = make_server(service, host, port)
     drained = threading.Event()
+
+    def _on_sigusr2(signum: Any, frame: Any) -> None:
+        # Black-box pull from a live process; write from a helper
+        # thread so the handler returns immediately.
+        def _dump() -> None:
+            if service.flight_dir:
+                service._dump_flight(reason="sigusr2")
+            else:
+                service.flight.dump_to(
+                    f"flight-{int(time.time())}-sigusr2.json"
+                )
+
+        threading.Thread(target=_dump, daemon=True).start()
+
+    if hasattr(signal, "SIGUSR2"):
+        try:
+            signal.signal(signal.SIGUSR2, _on_sigusr2)
+        except ValueError:
+            pass  # not the main thread; embedders dump directly
 
     def _drain_and_stop() -> None:
         if drained.is_set():

@@ -1,23 +1,50 @@
-"""Request counters, latency histograms and subsystem gauges.
+"""Request metrics: registry-backed histograms + the legacy JSON shape.
 
-Everything is in-process and lock-protected.  Request metrics live here;
-subsystem statistics (verdict cache, job queue, session registry, the
-evaluation engine's shard counters and worker utilization, the disk
-prediction cache's hit rate) are pulled in through *registered gauge
-suppliers* — each subsystem exposes a ``stats()`` callable and
-:meth:`Metrics.register_gauges` stitches them into the one ``/metrics``
-snapshot, so adding a subsystem never means editing the snapshot code.
+Every finished request lands twice, deliberately:
+
+* in the shared :class:`repro.obs.metrics.MetricsRegistry` — the
+  ``requests_total`` / ``responses_total{status}`` /
+  ``route_requests_total{route}`` counters and the
+  ``request_latency_seconds{route,class}`` histogram (with the request's
+  trace id as exemplar).  This is the *authoritative* surface: the
+  Prometheus exposition, the SLO tracker and the soak benchmark all read
+  bucket-derived percentiles from here;
+* in a small **bounded** per-route sample window that backs the legacy
+  ``/metrics`` JSON shape (``routes.<route>.latency_ms.p50/p95`` via the
+  linear-interpolation :func:`percentile`).  Retention is bounded on
+  both axes: at most :data:`MAX_SAMPLES` samples per route *and* at most
+  :data:`MAX_ROUTES` distinct route labels — traffic to further routes
+  aggregates under ``(other)`` so a label-cardinality attack cannot grow
+  the process.
+
+Subsystem statistics still arrive through *registered gauge suppliers*
+(each subsystem exposes a ``stats()`` callable); registration now also
+mirrors the supplier into the registry
+(:meth:`~repro.obs.metrics.MetricsRegistry.register_stats`), so every
+subsystem appears in the Prometheus text exposition as real gauges
+without a second wiring step.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import defaultdict, deque
-from typing import Any, Callable, Deque, Dict, List
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry, get_registry
 
 #: Latency samples retained per route — enough for stable p50/p95 under
 #: bursty interactive traffic without unbounded growth.
 MAX_SAMPLES = 2048
+
+#: Distinct route labels tracked before new ones collapse into
+#: ``(other)`` — route labels come from path templates, so a healthy
+#: server needs ~20; the cap only defends against label-cardinality
+#: blowups (e.g. junk 404 paths).
+MAX_ROUTES = 64
+
+#: The catch-all route label once :data:`MAX_ROUTES` is reached.
+OVERFLOW_ROUTE = "(other)"
 
 
 def percentile(samples: List[float], q: float) -> float:
@@ -39,17 +66,59 @@ def percentile(samples: List[float], q: float) -> float:
     return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
 
 
+def status_class(status: int) -> str:
+    """``200 -> "2xx"`` — the low-cardinality status label."""
+    return f"{int(status) // 100}xx"
+
+
 class Metrics:
     """Per-route request counts, status counts and latency percentiles."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        max_samples: int = MAX_SAMPLES,
+        max_routes: int = MAX_ROUTES,
+    ) -> None:
+        if max_samples < 1:
+            raise ValueError(
+                f"max_samples must be >= 1, got {max_samples}"
+            )
+        if max_routes < 1:
+            raise ValueError(f"max_routes must be >= 1, got {max_routes}")
+        self.registry = registry if registry is not None else get_registry()
+        self.max_samples = max_samples
+        self.max_routes = max_routes
         self._lock = threading.Lock()
         self._requests: Dict[str, int] = defaultdict(int)
         self._statuses: Dict[int, int] = defaultdict(int)
         self._latencies: Dict[str, Deque[float]] = defaultdict(
-            lambda: deque(maxlen=MAX_SAMPLES)
+            lambda: deque(maxlen=max_samples)
         )
         self._gauges: Dict[str, Callable[[], Any]] = {}
+        self._requests_total = self.registry.counter(
+            "requests_total", "Requests served, all routes"
+        )
+        self._responses_total = self.registry.counter(
+            "responses_total",
+            "Responses by HTTP status code",
+            labelnames=("status",),
+        )
+        self._route_requests = self.registry.counter(
+            "route_requests_total",
+            "Requests per route template",
+            labelnames=("route",),
+        )
+        self._latency = self.registry.histogram(
+            "request_latency_seconds",
+            "Request wall time per route and status class",
+            labelnames=("route", "class"),
+        )
+
+    @property
+    def latency_histogram(self):
+        """The registry request-latency histogram (SLOs read this)."""
+        return self._latency
 
     def register_gauges(
         self, label: str, supplier: Callable[[], Any]
@@ -58,16 +127,41 @@ class Metrics:
 
         ``supplier`` is invoked on every :meth:`snapshot` and its result
         appears under ``label``; suppliers must be thread-safe and cheap.
+        The supplier is also mirrored into the shared registry, so its
+        numeric leaves show up as ``chop_<label>_*`` gauges in the
+        Prometheus exposition.
         """
         with self._lock:
             self._gauges[label] = supplier
+        self.registry.register_stats(label, supplier)
 
-    def observe(self, route: str, seconds: float, status: int) -> None:
-        """Record one finished request."""
+    def _route_label(self, route: str) -> str:
+        """Cap route-label cardinality; callers hold the lock."""
+        if route in self._requests or (
+            len(self._requests) < self.max_routes
+        ):
+            return route
+        return OVERFLOW_ROUTE
+
+    def observe(
+        self,
+        route: str,
+        seconds: float,
+        status: int,
+        trace_id: Optional[str] = None,
+    ) -> None:
+        """Record one finished request (``trace_id`` becomes an exemplar)."""
         with self._lock:
-            self._requests[route] += 1
+            label = self._route_label(route)
+            self._requests[label] += 1
             self._statuses[status] += 1
-            self._latencies[route].append(seconds)
+            self._latencies[label].append(seconds)
+        self._requests_total.inc()
+        self._responses_total.labels(status=str(int(status))).inc()
+        self._route_requests.labels(route=label).inc()
+        self._latency.labels(
+            route=label, **{"class": status_class(status)}
+        ).observe(seconds, exemplar=trace_id)
 
     def snapshot(self) -> Dict[str, Any]:
         """A JSON-serializable view of everything recorded so far."""

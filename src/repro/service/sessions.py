@@ -154,4 +154,8 @@ class SessionRegistry:
                 taskgraph["incremental_updates"]
             )
             agg["taskgraph_reuses"] += taskgraph["reuses"]
+        lookups = agg["hits"] + agg["misses"]
+        agg["hit_ratio"] = (
+            round(agg["hits"] / lookups, 4) if lookups else 0.0
+        )
         return agg

@@ -4,7 +4,15 @@ from __future__ import annotations
 
 import threading
 
-from repro.service.metrics import Metrics, percentile
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service.metrics import (
+    OVERFLOW_ROUTE,
+    Metrics,
+    percentile,
+    status_class,
+)
 
 
 class TestPercentile:
@@ -108,3 +116,74 @@ class TestMetricsConcurrency:
         assert snap["probe"] == {"ok": True}
         # The supplier's own observe landed for the next snapshot.
         assert metrics.snapshot()["requests_total"] == 1
+
+
+class TestBoundedRetention:
+    def test_sample_window_is_bounded_per_route(self):
+        metrics = Metrics(
+            registry=MetricsRegistry(), max_samples=16
+        )
+        for i in range(100):
+            metrics.observe("GET /x", float(i), 200)
+        assert len(metrics._latencies["GET /x"]) == 16
+        snap = metrics.snapshot()
+        # Counts keep the full total; percentiles use the window.
+        assert snap["routes"]["GET /x"]["count"] == 100
+        assert snap["routes"]["GET /x"]["latency_ms"]["p50"] >= 84000
+
+    def test_route_cardinality_capped_with_overflow_label(self):
+        metrics = Metrics(registry=MetricsRegistry(), max_routes=4)
+        for i in range(10):
+            metrics.observe(f"GET /junk{i}", 0.001, 404)
+        snap = metrics.snapshot()
+        # max_routes distinct labels plus the overflow bucket.
+        assert len(snap["routes"]) == 5
+        assert OVERFLOW_ROUTE in snap["routes"]
+        assert snap["routes"][OVERFLOW_ROUTE]["count"] == 6
+        assert snap["requests_total"] == 10
+        # A known route keeps its own label even at the cap.
+        metrics.observe("GET /junk0", 0.001, 404)
+        assert metrics.snapshot()["routes"]["GET /junk0"]["count"] == 2
+
+    def test_invalid_bounds_raise(self):
+        with pytest.raises(ValueError):
+            Metrics(registry=MetricsRegistry(), max_samples=0)
+        with pytest.raises(ValueError):
+            Metrics(registry=MetricsRegistry(), max_routes=0)
+
+
+class TestRegistryMirror:
+    def test_observe_lands_in_registry_families(self):
+        registry = MetricsRegistry()
+        metrics = Metrics(registry=registry)
+        metrics.observe("GET /x", 0.02, 200, trace_id="t-1")
+        metrics.observe("GET /x", 0.04, 500)
+        assert registry.get("requests_total").value == 2
+        responses = {
+            s["labels"]["status"]: s["value"]
+            for s in registry.get("responses_total").samples()
+        }
+        assert responses == {"200": 1, "500": 1}
+        latency = registry.get("request_latency_seconds")
+        counts, total, _ = latency.aggregate(
+            where={"route": "GET /x"}
+        )
+        assert total == 2
+        ok_sample = next(
+            s
+            for s in latency.samples()
+            if s["labels"]["class"] == "2xx"
+        )
+        assert ok_sample["exemplar"]["trace_id"] == "t-1"
+
+    def test_status_class(self):
+        assert status_class(200) == "2xx"
+        assert status_class(404) == "4xx"
+        assert status_class(503) == "5xx"
+
+    def test_register_gauges_mirrors_to_registry_stats(self):
+        registry = MetricsRegistry()
+        metrics = Metrics(registry=registry)
+        metrics.register_gauges("cache", lambda: {"hits": 5})
+        docs = {d["name"]: d for d in registry.collect()}
+        assert docs["cache_hits"]["samples"][0]["value"] == 5.0

@@ -1,0 +1,97 @@
+"""The flight recorder: ring-buffer eviction, dumps, top spans."""
+
+import json
+
+import pytest
+
+from repro.obs.flight import TOP_SPANS, FlightRecorder, top_spans
+
+
+class TestRingBuffer:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_records_carry_monotonic_seq(self):
+        rec = FlightRecorder(capacity=8)
+        first = rec.record("request", route="GET /a", status=200)
+        second = rec.record("request", route="GET /b", status=200)
+        assert second["seq"] == first["seq"] + 1
+
+    def test_eviction_drops_oldest_first(self):
+        rec = FlightRecorder(capacity=3)
+        for i in range(5):
+            rec.record("request", route=f"GET /{i}", status=200)
+        routes = [r["route"] for r in rec.recent()]
+        # newest first, and the two oldest records (0, 1) are gone
+        assert routes == ["GET /4", "GET /3", "GET /2"]
+        stats = rec.stats()
+        assert stats == {
+            "capacity": 3, "resident": 3, "recorded": 5, "evicted": 2,
+        }
+
+    def test_recent_limit(self):
+        rec = FlightRecorder(capacity=8)
+        for i in range(4):
+            rec.record("request", route=f"GET /{i}", status=200)
+        assert len(rec.recent(limit=2)) == 2
+        assert rec.recent(limit=2)[0]["route"] == "GET /3"
+
+    def test_record_fields(self):
+        rec = FlightRecorder()
+        r = rec.record(
+            "request",
+            route="POST /projects",
+            status=503,
+            latency_ms=12.3456,
+            trace_id="t-1",
+            job_id="j-1",
+        )
+        assert r["kind"] == "request"
+        assert r["status"] == 503
+        assert r["latency_ms"] == 12.346
+        assert r["trace_id"] == "t-1"
+        assert r["job_id"] == "j-1"
+
+
+class TestTopSpans:
+    def test_top_spans_ranked_and_truncated(self):
+        spans = [
+            {"name": f"s{i}", "elapsed_s": float(i), "status": "ok"}
+            for i in range(10)
+        ]
+        top = top_spans(spans)
+        assert len(top) == TOP_SPANS
+        assert [s["name"] for s in top] == ["s9", "s8", "s7", "s6", "s5"]
+
+    def test_job_record_keeps_only_top_spans(self):
+        rec = FlightRecorder()
+        spans = [
+            {"name": f"s{i}", "elapsed_s": float(i)} for i in range(20)
+        ]
+        r = rec.record("job", spans=spans, trace_id="t")
+        assert len(r["top_spans"]) == TOP_SPANS
+        assert r["top_spans"][0]["name"] == "s19"
+
+
+class TestDump:
+    def test_dump_is_oldest_first_and_complete(self):
+        rec = FlightRecorder(capacity=4)
+        for i in range(6):
+            rec.record("request", route=f"GET /{i}", status=200)
+        doc = rec.dump()
+        assert doc["capacity"] == 4
+        assert doc["recorded_total"] == 6
+        assert [r["route"] for r in doc["records"]] == [
+            "GET /2", "GET /3", "GET /4", "GET /5",
+        ]
+
+    def test_dump_to_writes_json(self, tmp_path):
+        rec = FlightRecorder()
+        rec.record("request", route="GET /x", status=200)
+        path = str(tmp_path / "sub" / "flight.json")
+        written = rec.dump_to(path)
+        assert written == path
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+        assert doc["records"][0]["route"] == "GET /x"

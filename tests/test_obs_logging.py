@@ -1,0 +1,111 @@
+"""Structured logging: level filtering, sinks, trace correlation."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.logging import (
+    LOG_ENV,
+    LOG_FILE_ENV,
+    configure_logging,
+    get_logger,
+    reset_logging,
+)
+from repro.obs.tracing import Tracer, activate
+
+
+@pytest.fixture(autouse=True)
+def clean_logging(monkeypatch):
+    monkeypatch.delenv(LOG_ENV, raising=False)
+    monkeypatch.delenv(LOG_FILE_ENV, raising=False)
+    reset_logging()
+    yield
+    reset_logging()
+
+
+def lines(stream: io.StringIO):
+    return [
+        json.loads(line)
+        for line in stream.getvalue().splitlines()
+        if line
+    ]
+
+
+class TestLevels:
+    def test_unset_env_means_off(self, capsys):
+        get_logger("t").error("should not appear")
+        assert capsys.readouterr().err == ""
+
+    def test_level_filtering(self):
+        stream = io.StringIO()
+        configure_logging(level="warning", stream=stream)
+        log = get_logger("t")
+        log.debug("no")
+        log.info("no")
+        log.warning("yes")
+        log.error("yes too")
+        out = lines(stream)
+        assert [r["level"] for r in out] == ["warning", "error"]
+
+    def test_env_level_applies_lazily(self, monkeypatch):
+        stream = io.StringIO()
+        monkeypatch.setenv(LOG_ENV, "info")
+        configure_logging(stream=stream)  # level from env
+        log = get_logger("t")
+        log.debug("no")
+        log.info("yes")
+        assert [r["msg"] for r in lines(stream)] == ["yes"]
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging(level="loud")
+
+    def test_is_enabled(self):
+        configure_logging(level="info", stream=io.StringIO())
+        log = get_logger("t")
+        assert log.is_enabled("error")
+        assert not log.is_enabled("debug")
+
+
+class TestRecords:
+    def test_record_shape_and_fields(self):
+        stream = io.StringIO()
+        configure_logging(level="info", stream=stream)
+        get_logger("svc").info("drain started", jobs=3)
+        (record,) = lines(stream)
+        assert record["logger"] == "svc"
+        assert record["msg"] == "drain started"
+        assert record["jobs"] == 3
+        assert isinstance(record["ts"], float)
+        assert "trace_id" not in record
+
+    def test_trace_correlation(self):
+        stream = io.StringIO()
+        configure_logging(level="info", stream=stream)
+        tracer = Tracer(trace_id="trace-42")
+        with activate(tracer):
+            with tracer.span("work"):
+                get_logger("svc").info("inside span")
+        (record,) = lines(stream)
+        assert record["trace_id"] == "trace-42"
+        assert record["span_id"]
+
+    def test_file_sink(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        configure_logging(level="info", path=str(path))
+        get_logger("svc").info("to file")
+        reset_logging()  # close the handle
+        records = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+        ]
+        assert records[0]["msg"] == "to file"
+
+    def test_env_file_sink(self, tmp_path, monkeypatch):
+        path = tmp_path / "env-log.jsonl"
+        monkeypatch.setenv(LOG_ENV, "info")
+        monkeypatch.setenv(LOG_FILE_ENV, str(path))
+        get_logger("svc").info("lazy env config")
+        reset_logging()
+        assert "lazy env config" in path.read_text()

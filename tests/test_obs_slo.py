@@ -1,0 +1,128 @@
+"""SLO objectives, burn ratios, and the exported gauges."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    ErrorRateObjective,
+    LatencyObjective,
+    SLOTracker,
+    default_objectives,
+)
+
+
+def make_registry(latencies=(), statuses=()):
+    registry = MetricsRegistry()
+    h = registry.histogram(
+        "request_latency_seconds",
+        labelnames=("route", "class"),
+        buckets=(0.01, 0.1, 1.0),
+    )
+    for route, value in latencies:
+        h.labels(route=route, **{"class": "2xx"}).observe(value)
+    c = registry.counter("responses_total", labelnames=("status",))
+    for status, count in statuses:
+        c.labels(status=str(status)).inc(count)
+    return registry
+
+
+class TestObjectives:
+    def test_latency_objective_validation(self):
+        with pytest.raises(ValueError):
+            LatencyObjective(name="bad", threshold_s=0)
+        with pytest.raises(ValueError):
+            LatencyObjective(name="bad", threshold_s=1.0, quantile=1.0)
+
+    def test_error_rate_validation(self):
+        with pytest.raises(ValueError):
+            ErrorRateObjective(name="bad", max_ratio=0)
+        with pytest.raises(ValueError):
+            ErrorRateObjective(name="bad", max_ratio=1.5)
+
+    def test_duplicate_names_raise(self):
+        registry = MetricsRegistry()
+        objectives = [
+            ErrorRateObjective(name="x", max_ratio=0.5),
+            ErrorRateObjective(name="x", max_ratio=0.1),
+        ]
+        with pytest.raises(ValueError, match="duplicate"):
+            SLOTracker(registry, objectives)
+
+    def test_default_objectives_shape(self):
+        latency, errors = default_objectives(
+            latency_ms=250.0, error_rate=0.05
+        )
+        assert latency.name == "latency_p95"
+        assert latency.threshold_s == 0.25
+        assert errors.max_ratio == 0.05
+
+
+class TestEvaluate:
+    def test_no_data_is_within_budget(self):
+        registry = make_registry()
+        tracker = SLOTracker(registry, default_objectives())
+        outcome = tracker.evaluate()
+        assert outcome["ok"] is True
+        for doc in outcome["objectives"]:
+            assert doc["burn"] == 0.0
+            assert doc["ok"] is True
+
+    def test_latency_within_and_out_of_budget(self):
+        registry = make_registry(
+            latencies=[("GET /x", 0.005)] * 20
+        )
+        ok = SLOTracker(
+            registry,
+            [LatencyObjective(name="lat", threshold_s=0.5)],
+        ).evaluate()
+        assert ok["ok"] is True
+
+        registry = make_registry(
+            latencies=[("GET /x", 0.5)] * 20
+        )
+        burned = SLOTracker(
+            registry,
+            [LatencyObjective(name="lat", threshold_s=0.01)],
+        ).evaluate()
+        assert burned["ok"] is False
+        assert burned["objectives"][0]["burn"] > 1.0
+
+    def test_latency_route_filter(self):
+        registry = make_registry(
+            latencies=[("GET /fast", 0.005)] * 20
+            + [("GET /slow", 0.9)] * 20
+        )
+        fast_only = SLOTracker(
+            registry,
+            [
+                LatencyObjective(
+                    name="lat", threshold_s=0.05, route="GET /fast"
+                )
+            ],
+        ).evaluate()
+        assert fast_only["ok"] is True
+
+    def test_error_rate_burn(self):
+        registry = make_registry(
+            statuses=[(200, 90), (500, 10)]
+        )
+        outcome = SLOTracker(
+            registry,
+            [ErrorRateObjective(name="err", max_ratio=0.01)],
+        ).evaluate()
+        doc = outcome["objectives"][0]
+        assert doc["measured_ratio"] == pytest.approx(0.1)
+        assert doc["burn"] == pytest.approx(10.0)
+        assert outcome["ok"] is False
+
+    def test_gauges_exported_to_registry(self):
+        registry = make_registry(statuses=[(200, 99), (500, 1)])
+        tracker = SLOTracker(
+            registry,
+            [ErrorRateObjective(name="err", max_ratio=0.05)],
+        )
+        tracker.evaluate()
+        burn = registry.get("slo_burn_ratio")
+        ok = registry.get("slo_ok")
+        assert burn.labels(slo="err").value == pytest.approx(0.2)
+        assert ok.labels(slo="err").value == 1.0

@@ -391,6 +391,103 @@ class TestObservability:
         # Route labels are escaped strings.
         assert 'chop_route_requests_total{route="GET /healthz"}' in text
 
+    def test_prometheus_histogram_and_slo_lines(
+        self, server, project_doc
+    ):
+        service, port = server
+        for _ in range(3):
+            request(port, "GET", "/healthz")
+
+        req = urllib.request.Request(
+            f"http://127.0.0.1:{port}/metrics?format=prometheus"
+        )
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            text = resp.read().decode()
+        # The request-latency histogram renders the standard triplet
+        # with route and status-class labels.
+        assert "# TYPE chop_request_latency_seconds histogram" in text
+        assert (
+            'chop_request_latency_seconds_bucket{class="2xx",le="+Inf"'
+            ',route="GET /healthz"}' in text
+        )
+        assert (
+            'chop_request_latency_seconds_count{class="2xx"'
+            ',route="GET /healthz"}' in text
+        )
+        assert (
+            'chop_request_latency_seconds_sum{class="2xx"'
+            ',route="GET /healthz"}' in text
+        )
+        # SLO burn gauges ride along in the same exposition.
+        assert 'chop_slo_burn_ratio{slo="latency_p95"}' in text
+        assert 'chop_slo_ok{slo="error_rate"} 1' in text
+        # Flight-recorder gauges come from its stats supplier.
+        assert "chop_flight_resident " in text
+
+    def test_slo_endpoint(self, server, project_doc):
+        service, port = server
+        request(port, "GET", "/healthz")
+        status, doc = request(port, "GET", "/slo")
+        assert status == 200
+        assert doc["ok"] is True
+        kinds = {o["kind"] for o in doc["objectives"]}
+        assert kinds == {"latency", "error_rate"}
+        latency = next(
+            o for o in doc["objectives"] if o["kind"] == "latency"
+        )
+        assert latency["measured_s"] is not None
+        assert latency["burn"] <= 1.0
+
+    def test_debug_recent_records_requests_and_jobs(
+        self, server, project_doc
+    ):
+        service, port = server
+        _, project = request(port, "POST", "/projects", project_doc)
+        pid = project["project_id"]
+        status, job = request(
+            port, "POST", f"/projects/{pid}/enumerate", {}
+        )
+        assert status == 202
+        poll_job(port, job["job_id"])
+
+        status, doc = request(port, "GET", "/debug/recent")
+        assert status == 200
+        assert doc["stats"]["recorded"] >= 2
+        kinds = {r["kind"] for r in doc["records"]}
+        assert "request" in kinds
+        assert "job" in kinds
+        job_record = next(
+            r for r in doc["records"] if r["kind"] == "job"
+        )
+        assert job_record["job_id"] == job["job_id"]
+        assert job_record["top_spans"]
+        # ?limit=N truncates to the newest N records.
+        status, limited = request(
+            port, "GET", "/debug/recent?limit=1"
+        )
+        assert len(limited["records"]) == 1
+        assert (
+            limited["records"][0]["seq"]
+            == max(r["seq"] for r in doc["records"] + limited["records"])
+        )
+
+    def test_flight_dump_written_on_5xx(self, project_doc, tmp_path):
+        service = ChopService(
+            workers=1, flight_dir=str(tmp_path / "flights")
+        )
+        try:
+            # A 503 (draining) is backpressure, not a failure: no dump.
+            service.note_request("GET /readyz", 0.001, 503)
+            assert not list(tmp_path.glob("flights/*.json"))
+            service.note_request("POST /projects", 0.002, 500)
+            dumps = list(tmp_path.glob("flights/*-5xx.json"))
+            assert len(dumps) == 1
+            doc = json.loads(dumps[0].read_text())
+            routes = [r.get("route") for r in doc["records"]]
+            assert "POST /projects" in routes
+        finally:
+            service.close()
+
 
 class TestJobControl:
     def test_job_timeout_over_http(self, server, project_doc):
