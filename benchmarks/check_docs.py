@@ -18,9 +18,15 @@ Two independent passes, both required by CI (the ``docs`` job):
    examples that write files leave no residue.  A guide whose examples
    cannot run is wrong by construction.
 
+3. **Benchmark coverage** — every machine-readable benchmark artifact
+   (``benchmarks/results/BENCH_*.json``) must be mentioned by name in
+   ``docs/performance.md``, the document that explains how to read
+   them.  A baseline nobody can interpret is a number, not a benchmark.
+
 Usage::
 
     python benchmarks/check_docs.py [--no-exec] [--no-links]
+        [--no-bench-coverage]
 
 Exits non-zero on the first category of failure, after reporting all
 failures in that category.
@@ -44,6 +50,12 @@ LINKED_FILES = ("README.md", "docs")
 
 #: The guide whose python blocks must execute.
 EXECUTED_GUIDE = "docs/USAGE.md"
+
+#: The document that must mention every committed benchmark artifact.
+PERFORMANCE_GUIDE = "docs/performance.md"
+
+#: Where the machine-readable benchmark baselines live.
+RESULTS_DIR = "benchmarks/results"
 
 _LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 _HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
@@ -195,6 +207,32 @@ def run_guide_blocks(guide: pathlib.Path) -> List[str]:
 
 
 # ----------------------------------------------------------------------
+# benchmark coverage
+# ----------------------------------------------------------------------
+def check_bench_coverage() -> List[str]:
+    """Every ``BENCH_*.json`` baseline must appear in the performance
+    guide by filename."""
+    guide = REPO_ROOT / PERFORMANCE_GUIDE
+    if not guide.exists():
+        return [f"{PERFORMANCE_GUIDE}: missing (benchmark coverage)"]
+    text = guide.read_text(encoding="utf-8")
+    failures: List[str] = []
+    artifacts = sorted(
+        (REPO_ROOT / RESULTS_DIR).glob("BENCH_*.json")
+    )
+    if not artifacts:
+        return [f"{RESULTS_DIR}: no BENCH_*.json baselines found"]
+    for artifact in artifacts:
+        if artifact.name not in text:
+            failures.append(
+                f"{PERFORMANCE_GUIDE}: does not mention "
+                f"{artifact.name} — document every committed "
+                f"benchmark artifact"
+            )
+    return failures
+
+
+# ----------------------------------------------------------------------
 # entry point
 # ----------------------------------------------------------------------
 def main(argv: List[str] | None = None) -> int:
@@ -204,6 +242,10 @@ def main(argv: List[str] | None = None) -> int:
     )
     parser.add_argument(
         "--no-exec", action="store_true", help="skip example execution"
+    )
+    parser.add_argument(
+        "--no-bench-coverage", action="store_true",
+        help="skip the benchmark-artifact coverage check",
     )
     args = parser.parse_args(argv)
 
@@ -215,6 +257,13 @@ def main(argv: List[str] | None = None) -> int:
             f"{len(link_failures)} broken"
         )
         failures.extend(link_failures)
+    if not args.no_bench_coverage:
+        coverage_failures = check_bench_coverage()
+        print(
+            f"bench coverage: "
+            f"{len(coverage_failures)} undocumented artifact(s)"
+        )
+        failures.extend(coverage_failures)
     if not args.no_exec:
         failures.extend(run_guide_blocks(REPO_ROOT / EXECUTED_GUIDE))
 

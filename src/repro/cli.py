@@ -125,12 +125,14 @@ def _build_engine(args):
     return EvaluationEngine(
         workers=workers,
         start_method=getattr(args, "start_method", None),
+        kernel=getattr(args, "engine", None) or "scalar",
     )
 
 
 def _checked(session, heuristic: str, args):
     """One check, optionally engine-sharded and disk-cache warmed."""
     engine = _build_engine(args)
+    kernel = getattr(args, "engine", None) if args is not None else None
     soft_deadline = (
         getattr(args, "soft_deadline", None) if args is not None else None
     )
@@ -138,7 +140,7 @@ def _checked(session, heuristic: str, args):
     if not cache_dir:
         return session.check(
             heuristic=heuristic, engine=engine,
-            soft_deadline_s=soft_deadline,
+            soft_deadline_s=soft_deadline, kernel=kernel,
         )
     from repro.engine import DiskPredictionCache
 
@@ -157,7 +159,7 @@ def _checked(session, heuristic: str, args):
         )
     result = session.check(
         heuristic=heuristic, engine=engine,
-        soft_deadline_s=soft_deadline,
+        soft_deadline_s=soft_deadline, kernel=kernel,
     )
     if cached is None:
         if cache.store_safely(key, session.export_predictions()):
@@ -610,6 +612,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         search_workers=args.search_workers,
         disk_cache_dir=args.disk_cache,
         start_method=args.start_method,
+        engine_kernel=args.engine,
         max_queued=args.max_queued,
         max_jobs_per_session=args.max_session_jobs,
         max_body_bytes=args.max_body_kb * 1024,
@@ -730,6 +733,13 @@ def _add_engine_arguments(command: argparse.ArgumentParser) -> None:
         default=None,
         help="multiprocessing start method (default: platform default, "
         "or $CHOP_START_METHOD)",
+    )
+    command.add_argument(
+        "--engine", choices=("scalar", "vectorized"), default=None,
+        dest="engine",
+        help="evaluation kernel for the enumeration walk: 'scalar' "
+        "(reference loop) or 'vectorized' (numpy batch screening, "
+        "byte-identical results; default scalar)",
     )
     command.add_argument(
         "--disk-cache", default=None, metavar="DIR",
@@ -1046,6 +1056,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--search-workers", type=int, default=0,
         help="worker processes sharding each enumeration's combination "
         "walk; 0 or 1 keeps searches in-process (default 0)",
+    )
+    serve_.add_argument(
+        "--engine", choices=("scalar", "vectorized"), default="scalar",
+        help="default evaluation kernel for enumeration searches "
+        "(requests can override per job with the 'engine' option; "
+        "results are byte-identical; default scalar)",
     )
     serve_.add_argument(
         "--disk-cache", default=None, metavar="DIR",

@@ -21,13 +21,16 @@ from repro.engine.sharding import (
     Shard,
     combination_count,
     decode_combination,
+    digit_weights,
     plan_shards,
 )
 from repro.engine.workers import (
+    KERNELS,
     EngineRun,
     EvaluationEngine,
     EvaluationProblem,
     evaluate_range,
+    evaluate_range_kernel,
 )
 
 __all__ = [
@@ -36,11 +39,14 @@ __all__ = [
     "EngineRun",
     "EvaluationEngine",
     "EvaluationProblem",
+    "KERNELS",
     "Shard",
     "ShardResult",
     "combination_count",
     "decode_combination",
+    "digit_weights",
     "evaluate_range",
+    "evaluate_range_kernel",
     "library_clock_digest",
     "merge_shard_results",
     "plan_shards",

@@ -1,0 +1,356 @@
+"""Vectorized screening of combination index blocks.
+
+:func:`evaluate_range_batch` is the ``kernel="vectorized"`` counterpart
+of :func:`repro.engine.workers.evaluate_range`: same signature shape,
+same return value, byte-identical feasible list.  It walks the flat
+index range in blocks, kills every combination a kernel can *prove*
+infeasible, and runs the unchanged scalar integration pipeline on the
+survivors in flat-index order — so the designs appended (and therefore
+``SearchResult.to_dict()``) are identical to the scalar walk by
+construction.
+
+Two kill families, with different contracts (see docs/performance.md):
+
+* **Exact structural kills** replicate a scalar check bit for bit: the
+  level-2 area prune (same sequential float64 sums in the same chip and
+  partition order as :func:`~repro.engine.workers.chip_area_hopeless`),
+  the pipelined data-rate mismatch, the memory-bandwidth window and the
+  memory pin capacity (integer arithmetic, selection-independent
+  thresholds).  These keep the ``pruned_level2`` and structural part of
+  ``integration_infeasible`` span counters exact.
+* **Sound verdict kills** prove the *feasibility verdict* must fail
+  using optimistic bounds: the real integrated quantity is
+  componentwise >= the screened bound (integration only adds area,
+  power and clock overhead), the triangular CDF is monotone
+  non-increasing in each of (lb, ml, ub), and the kill threshold keeps
+  a ``1e-9`` margin over the scalar pass tolerance of ``1e-12`` — so a
+  killed combination can never be feasible, but the scalar path might
+  have classified it as integration-infeasible instead.  Verdict kills
+  are therefore tallied under their own ``screened_verdict`` counter;
+  they never change the feasible list, only where a doomed combination
+  is written off.
+
+Cancellation is cooperative per block and per survivor; a cancelled
+batch credits whole screened blocks to the span counters where the
+scalar loop counts single combinations — the only (documented) counter
+divergence besides ``screened_verdict``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import SearchCancelled
+from repro.stats.batch import triangular_cdf_array
+
+if TYPE_CHECKING:  # pragma: no cover — typing only
+    from repro.bad.prediction import DesignPrediction
+    from repro.bad.styles import ClockScheme
+    from repro.core.feasibility import FeasibilityCriteria
+    from repro.engine.workers import EvaluationProblem
+    from repro.kernels.packing import PackedPredictions
+    from repro.search.results import FeasibleDesign
+
+__all__ = [
+    "DEFAULT_BLOCK_SIZE",
+    "evaluate_range_batch",
+    "level1_keep_mask",
+    "lexicographic_argmin",
+    "screen_block",
+]
+
+#: Index block processed per kernel pass: big enough to amortise the
+#: python-level loop, small enough to poll cancellation promptly and
+#: keep the working set (~a dozen float64 columns) inside L2.
+DEFAULT_BLOCK_SIZE = 4096
+
+#: Verdict kills need the screened probability to be *below* the
+#: confidence by more than the scalar pass tolerance (1e-12) plus any
+#: float noise in the CDF arithmetic; 1e-9 dominates both.
+KILL_MARGIN = 1e-9
+
+#: Verdict screens are skipped for pathological confidences this small:
+#: the scalar tolerance would let a zero probability pass them.
+_MIN_CONFIDENCE = 1e-6
+
+#: Larger than any real initiation interval; the min-reduce identity for
+#: the pipelined-rate scan.
+_II_SENTINEL = np.int64(2) ** 62
+
+
+def lexicographic_argmin(*keys: np.ndarray) -> int:
+    """Index of the lexicographically smallest tuple across ``keys``.
+
+    ``lexicographic_argmin(ii, latency)`` is the vectorized analog of
+    ``min(range(n), key=lambda i: (ii[i], latency[i]))`` — ties resolve
+    to the lowest index, matching :meth:`SearchResult.best`'s ``min``
+    over the flat visit order.
+    """
+    if not keys or keys[0].shape[0] == 0:
+        raise ValueError("argmin of an empty key set")
+    # np.lexsort sorts by the *last* key first and is stable, so passing
+    # the keys reversed makes keys[0] most significant and preserves
+    # input order among full ties.
+    return int(np.lexsort(keys[::-1])[0])
+
+
+def level1_keep_mask(
+    predictions: Sequence["DesignPrediction"],
+    criteria: "FeasibilityCriteria",
+    clocks: "ClockScheme",
+    max_usable_area_mil2: float,
+) -> np.ndarray:
+    """Vectorized :func:`~repro.core.feasibility.prediction_possibly_feasible`.
+
+    Every comparison is the same single float64 op as the scalar test,
+    so the mask equals the scalar filter exactly — ``level1_prune``
+    switches to it transparently on long lists.
+    """
+    n = len(predictions)
+    area_lb = np.array(
+        [p.area_total.lb for p in predictions], dtype=np.float64
+    )
+    area_ub = np.array(
+        [p.area_total.ub for p in predictions], dtype=np.float64
+    )
+    ii = np.array([p.ii_main for p in predictions], dtype=np.int64)
+    latency = np.array(
+        [p.latency_main for p in predictions], dtype=np.int64
+    )
+    keep = np.ones(n, dtype=bool)
+    if criteria.area_confidence >= 1.0 - 1e-12:
+        keep &= ~(area_ub > max_usable_area_mil2)
+    else:
+        keep &= ~(area_lb > max_usable_area_mil2)
+    cycle = clocks.main_cycle_ns
+    keep &= ~(ii * cycle > criteria.performance_ns)
+    keep &= ~(latency * cycle > criteria.delay_ns)
+    if criteria.chip_power_mw is not None or (
+        criteria.system_power_mw is not None
+    ):
+        power_lb = np.array(
+            [p.power_mw.lb for p in predictions], dtype=np.float64
+        )
+        for limit in (criteria.chip_power_mw, criteria.system_power_mw):
+            if limit is not None:
+                keep &= ~(power_lb > limit)
+    return keep
+
+
+def screen_block(
+    problem: "EvaluationProblem",
+    packed: "PackedPredictions",
+    flats: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Kill masks and reduced columns for one flat-index block.
+
+    Returns ``(prune_kill, unintegrable, verdict_kill, ii_main,
+    latency_max)`` — boolean masks aligned with ``flats`` (each mask is
+    reported independently of the others; precedence is applied by the
+    caller in scalar classification order) plus the per-combination
+    initiation interval and max latency used by the screens and the
+    argmin hint.
+    """
+    count = flats.shape[0]
+    positions = range(len(packed.names))
+    digits = [
+        (flats // packed.weights[p]) % packed.radices[p]
+        for p in positions
+    ]
+    sel_ii = [packed.ii[p][digits[p]] for p in positions]
+    ii_main = sel_ii[0].copy()
+    for p in positions:
+        if p:
+            np.maximum(ii_main, sel_ii[p], out=ii_main)
+    latency_max = packed.latency[0][digits[0]].copy()
+    for p in positions:
+        if p:
+            np.maximum(
+                latency_max, packed.latency[p][digits[p]],
+                out=latency_max,
+            )
+
+    # -- exact level-2 prune: sequential float sums in scalar order --
+    prune_kill = np.zeros(count, dtype=bool)
+    if problem.prune:
+        for chip_index, chip_positions in enumerate(
+            packed.chip_positions
+        ):
+            if not chip_positions:
+                continue
+            acc = np.zeros(count, dtype=np.float64)
+            for p in chip_positions:
+                acc += packed.area_lb[p][digits[p]]
+            prune_kill |= acc > packed.usable_opt[chip_index]
+
+    # -- exact structural integration failures --
+    unintegrable = np.zeros(count, dtype=bool)
+    if packed.memory_pins_infeasible:
+        unintegrable[:] = True
+    else:
+        rate_min = np.full(count, _II_SENTINEL, dtype=np.int64)
+        rate_max = np.full(count, -1, dtype=np.int64)
+        any_pipelined = False
+        for p in positions:
+            if not packed.pipelined[p].any():
+                continue
+            any_pipelined = True
+            is_pipe = packed.pipelined[p][digits[p]]
+            np.minimum(
+                rate_min,
+                np.where(is_pipe, sel_ii[p], _II_SENTINEL),
+                out=rate_min,
+            )
+            np.maximum(
+                rate_max,
+                np.where(is_pipe, sel_ii[p], np.int64(-1)),
+                out=rate_max,
+            )
+        if any_pipelined:
+            unintegrable |= rate_max > rate_min
+        if packed.memory_need > 0:
+            unintegrable |= (
+                ii_main // packed.transfer_multiplier
+            ) < packed.memory_need
+
+    # -- sound verdict kills on optimistic bounds --
+    verdict = np.zeros(count, dtype=bool)
+    criteria = problem.criteria
+    main_cycle = problem.clocks.main_cycle_ns
+    if criteria.performance_confidence > _MIN_CONFIDENCE:
+        # Real performance lb = clock.lb * ii with clock.lb >= main
+        # cycle, so this bound exceeding the limit forces a zero CDF.
+        verdict |= main_cycle * ii_main > criteria.performance_ns
+    if criteria.delay_confidence > _MIN_CONFIDENCE:
+        # The schedule makespan is >= every process task's latency.
+        verdict |= main_cycle * latency_max > criteria.delay_ns
+    if criteria.area_confidence > _MIN_CONFIDENCE:
+        for chip_index, chip_positions in enumerate(
+            packed.chip_positions
+        ):
+            if not chip_positions:
+                continue
+            sum_lb = np.zeros(count, dtype=np.float64)
+            sum_ml = np.zeros(count, dtype=np.float64)
+            sum_ub = np.zeros(count, dtype=np.float64)
+            for p in chip_positions:
+                sum_lb += packed.area_lb[p][digits[p]]
+                sum_ml += packed.area_ml[p][digits[p]]
+                sum_ub += packed.area_ub[p][digits[p]]
+            probability = triangular_cdf_array(
+                packed.usable_real[chip_index], sum_lb, sum_ml, sum_ub
+            )
+            verdict |= probability < (
+                criteria.area_confidence - KILL_MARGIN
+            )
+    power_screens = criteria.power_confidence > _MIN_CONFIDENCE and (
+        criteria.chip_power_mw is not None
+        or criteria.system_power_mw is not None
+    )
+    if power_screens:
+        system_power = np.zeros(count, dtype=np.float64)
+        for chip_index, chip_positions in enumerate(
+            packed.chip_positions
+        ):
+            if not chip_positions:
+                continue
+            chip_power = np.zeros(count, dtype=np.float64)
+            for p in chip_positions:
+                chip_power += packed.power_lb[p][digits[p]]
+            if criteria.chip_power_mw is not None:
+                verdict |= chip_power > criteria.chip_power_mw
+            system_power += chip_power
+        if criteria.system_power_mw is not None:
+            verdict |= system_power > criteria.system_power_mw
+
+    return prune_kill, unintegrable, verdict, ii_main, latency_max
+
+
+def evaluate_range_batch(
+    problem: "EvaluationProblem",
+    start: int,
+    stop: int,
+    cancel: Optional[Callable[[], bool]] = None,
+    counters: Optional[Dict[str, int]] = None,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> Tuple[List["FeasibleDesign"], int]:
+    """Vectorized-screening twin of ``evaluate_range`` over [start, stop).
+
+    Survivors of the screens run the *scalar* ``evaluate_range`` one
+    flat index at a time, in order — identical code path, identical
+    floats, identical appended designs.  Counter contract vs the scalar
+    loop: ``combinations``, ``pruned_level2`` and ``feasible`` match
+    exactly; ``integration_infeasible`` counts the structurally-killed
+    plus the survivors that failed real integration (a verdict-screened
+    combination the scalar path would have charged there lands in
+    ``screened_verdict`` instead — see the module docstring).
+    """
+    from repro.engine.workers import evaluate_range
+
+    packed = problem.packed()
+    feasible: List["FeasibleDesign"] = []
+    trials = 0
+    pruned = 0
+    structural = 0
+    screened = 0
+    survivor_counters: Dict[str, int] = {}
+    try:
+        for block_start in range(start, stop, block_size):
+            if cancel is not None and cancel():
+                raise SearchCancelled(
+                    f"enumeration cancelled after {trials} of "
+                    f"{stop - start} combinations"
+                )
+            block_stop = min(stop, block_start + block_size)
+            flats = np.arange(block_start, block_stop, dtype=np.int64)
+            prune_kill, unintegrable, verdict, _, _ = screen_block(
+                problem, packed, flats
+            )
+            trials += flats.shape[0]
+            # Scalar classification order: the prune check runs first,
+            # then integration, then the verdict.
+            pruned += int(np.count_nonzero(prune_kill))
+            structural += int(
+                np.count_nonzero(unintegrable & ~prune_kill)
+            )
+            screened += int(
+                np.count_nonzero(
+                    verdict & ~prune_kill & ~unintegrable
+                )
+            )
+            survivors = flats[
+                ~(prune_kill | unintegrable | verdict)
+            ]
+            for flat in survivors.tolist():
+                if cancel is not None and cancel():
+                    raise SearchCancelled(
+                        f"enumeration cancelled after {trials} of "
+                        f"{stop - start} combinations"
+                    )
+                designs, _ = evaluate_range(
+                    problem, flat, flat + 1,
+                    counters=survivor_counters,
+                )
+                feasible.extend(designs)
+    finally:
+        if counters is not None:
+            counters["combinations"] = (
+                counters.get("combinations", 0) + trials
+            )
+            counters["pruned_level2"] = (
+                counters.get("pruned_level2", 0) + pruned
+            )
+            counters["integration_infeasible"] = (
+                counters.get("integration_infeasible", 0)
+                + structural
+                + survivor_counters.get("integration_infeasible", 0)
+            )
+            counters["screened_verdict"] = (
+                counters.get("screened_verdict", 0) + screened
+            )
+            counters["feasible"] = (
+                counters.get("feasible", 0) + len(feasible)
+            )
+    return feasible, trials

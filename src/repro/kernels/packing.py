@@ -1,0 +1,207 @@
+"""Packing prediction lists into numpy triplet columns.
+
+One :class:`PackedPredictions` holds everything the batch kernels need
+to screen any combination of one :class:`~repro.engine.workers.
+EvaluationProblem`: per-partition prediction columns (``float64``
+triplet components, ``int64`` cycle counts, ``int32`` interned
+module-set ids), the mixed-radix place values that decode flat indices,
+the chip layout in *scalar iteration order*, and the handful of
+selection-independent thresholds (usable areas, the memory-bandwidth
+window, the pin-capacity verdict) that integration would otherwise
+recompute per combination.
+
+Packing is cheap (one pass over the lists) but not free, so it happens
+once per problem: :meth:`repro.engine.workers.EvaluationProblem.packed`
+caches the result on the problem instance — which also ships it to pool
+workers through the existing initializer pickle — and
+:meth:`repro.eval.EvaluationContext.attach_packed` reuses it across
+checks of an unchanged design.
+
+Column order inside every per-chip array follows
+``partitioning.partitions_on_chip`` and chips follow
+``partitioning.chips`` insertion order — the exact iteration order of
+:func:`~repro.engine.workers.chip_area_hopeless` and
+:func:`repro.core.integration._chip_usage` — so sequential float sums
+over these arrays reproduce the scalar path's IEEE rounding bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+from repro.engine.sharding import digit_weights
+from repro.units import ceil_div
+
+if TYPE_CHECKING:  # pragma: no cover — typing only
+    from repro.engine.workers import EvaluationProblem
+
+__all__ = ["PackedPredictions", "pack_problem"]
+
+
+@dataclass(frozen=True)
+class PackedPredictions:
+    """Column-array form of one problem's prediction lists.
+
+    All per-partition tuples are aligned with ``names`` (the problem's
+    sorted partition order, i.e. mixed-radix digit positions); all
+    per-chip tuples are aligned with ``chip_names``.  Immutable and
+    picklable — it rides to pool workers inside the problem.
+    """
+
+    names: Tuple[str, ...]
+    radices: Tuple[int, ...]
+    #: Mixed-radix place values: ``digit[p] = (flat // weights[p]) % radices[p]``.
+    weights: Tuple[int, ...]
+    # -- per-partition prediction columns (one array per partition) --
+    ii: Tuple[np.ndarray, ...]            # int64
+    latency: Tuple[np.ndarray, ...]       # int64
+    pipelined: Tuple[np.ndarray, ...]     # bool
+    area_lb: Tuple[np.ndarray, ...]       # float64
+    area_ml: Tuple[np.ndarray, ...]       # float64
+    area_ub: Tuple[np.ndarray, ...]       # float64
+    power_lb: Tuple[np.ndarray, ...]      # float64
+    #: Interned module-set labels: ``module_set_labels[module_set_ids[p][i]]``.
+    module_set_ids: Tuple[np.ndarray, ...]  # int32
+    module_set_labels: Tuple[str, ...]
+    # -- chip layout, in scalar iteration order --
+    chip_names: Tuple[str, ...]
+    #: Digit positions of the partitions on each chip, in
+    #: ``partitions_on_chip`` order.
+    chip_positions: Tuple[Tuple[int, ...], ...]
+    #: Optimistic usable area (supply pads only) — the level-2 prune limit.
+    usable_opt: Tuple[float, ...]
+    #: Real usable area (every package pin bonded) — the verdict limit.
+    usable_real: Tuple[float, ...]
+    # -- selection-independent integration thresholds --
+    #: Max access cycles any memory block needs per iteration (0: none).
+    memory_need: int
+    transfer_multiplier: int
+    #: True when memory I/O alone oversubscribes some chip's data pins —
+    #: every combination raises ``InfeasibleError`` in integration.
+    memory_pins_infeasible: bool
+
+    def nbytes(self) -> int:
+        """Total array payload, for stats and the performance docs."""
+        arrays = (
+            self.ii + self.latency + self.pipelined + self.area_lb
+            + self.area_ml + self.area_ub + self.power_lb
+            + self.module_set_ids
+        )
+        return sum(a.nbytes for a in arrays)
+
+
+def pack_problem(problem: "EvaluationProblem") -> PackedPredictions:
+    """Pack one problem's prediction lists into kernel columns."""
+    from repro.chips.chip import pin_budget
+    from repro.core.tasks import memory_interfaces
+    from repro.memory.access import memory_access_profile
+
+    partitioning = problem.partitioning
+    position: Dict[str, int] = {
+        name: index for index, name in enumerate(problem.names)
+    }
+
+    labels: Dict[str, int] = {}
+    ii, latency, pipelined = [], [], []
+    area_lb, area_ml, area_ub, power_lb = [], [], [], []
+    module_set_ids = []
+    for options in problem.lists:
+        ii.append(np.array(
+            [p.ii_main for p in options], dtype=np.int64
+        ))
+        latency.append(np.array(
+            [p.latency_main for p in options], dtype=np.int64
+        ))
+        pipelined.append(np.array(
+            [p.pipelined for p in options], dtype=bool
+        ))
+        area_lb.append(np.array(
+            [p.area_total.lb for p in options], dtype=np.float64
+        ))
+        area_ml.append(np.array(
+            [p.area_total.ml for p in options], dtype=np.float64
+        ))
+        area_ub.append(np.array(
+            [p.area_total.ub for p in options], dtype=np.float64
+        ))
+        power_lb.append(np.array(
+            [p.power_mw.lb for p in options], dtype=np.float64
+        ))
+        module_set_ids.append(np.array(
+            [
+                labels.setdefault(p.module_set.label, len(labels))
+                for p in options
+            ],
+            dtype=np.int32,
+        ))
+
+    chip_names = tuple(partitioning.chips)
+    chip_positions = tuple(
+        tuple(
+            position[name]
+            for name in partitioning.partitions_on_chip(chip)
+        )
+        for chip in chip_names
+    )
+    usable_opt = tuple(
+        float(problem.usable_area[chip]) for chip in chip_names
+    )
+    usable_real = tuple(
+        float(
+            chip.package.usable_area_mil2(chip.package.pin_count)
+        )
+        for chip in partitioning.chips.values()
+    )
+
+    # Selection-independent integration verdicts (see repro.core.
+    # integration): the memory-bandwidth window only depends on ii_main,
+    # and the memory pin capacity not even on that.
+    memory_need = 0
+    if partitioning.memories:
+        profile = memory_access_profile(
+            partitioning.graph, partitioning.graph.operations
+        )
+        for block in profile.blocks:
+            module = partitioning.memories[block]
+            memory_need = max(
+                memory_need,
+                ceil_div(profile.accesses(block), module.ports),
+            )
+    interfaces = memory_interfaces(partitioning)
+    task_graph = problem.task_graph
+    memory_pins_infeasible = False
+    for chip_name, chip in partitioning.chips.items():
+        budget = pin_budget(
+            chip.package,
+            communication_links=task_graph.communication_links(chip_name),
+            memory_blocks=len(interfaces.get(chip_name, ())),
+        )
+        load = task_graph.memory_pin_loads.get(chip_name, 0)
+        if budget.data - load < 0:
+            memory_pins_infeasible = True
+            break
+
+    return PackedPredictions(
+        names=problem.names,
+        radices=problem.radices,
+        weights=digit_weights(problem.radices),
+        ii=tuple(ii),
+        latency=tuple(latency),
+        pipelined=tuple(pipelined),
+        area_lb=tuple(area_lb),
+        area_ml=tuple(area_ml),
+        area_ub=tuple(area_ub),
+        power_lb=tuple(power_lb),
+        module_set_ids=tuple(module_set_ids),
+        module_set_labels=tuple(labels),
+        chip_names=chip_names,
+        chip_positions=chip_positions,
+        usable_opt=usable_opt,
+        usable_real=usable_real,
+        memory_need=memory_need,
+        transfer_multiplier=problem.clocks.transfer_multiplier,
+        memory_pins_infeasible=memory_pins_infeasible,
+    )
