@@ -83,6 +83,19 @@ SPECS: Dict[str, List[Check]] = {
         Check("front_points", "exact"),
         Check("speedup", "higher", tol=0.6),
     ],
+    "BENCH_distributed.json": [
+        # Fleet-vs-single-node verdict identity, cross-worker shared-
+        # cache reuse, and clean SIGTERM drain are correctness gates —
+        # they must hold on every run, smoke or full.
+        Check("identity_ok", "true"),
+        Check("cross_worker_hits_ok", "true"),
+        Check("drain_ok", "true"),
+        Check("gates_ok", "true"),
+        # Fleet-vs-single RPS on the same host — machine speed cancels,
+        # but the smoke workload is too small to saturate 4 workers, so
+        # the ratio only binds between same-mode runs.
+        Check("speedup", "higher", tol=0.6, same_mode=True),
+    ],
     "BENCH_auto.json": [
         Check("cases[*].auto.feasible", "true"),
         Check("cases[*].auto.chop_valid", "true"),

@@ -1,0 +1,212 @@
+"""The multi-writer shared backend of the prediction cache.
+
+A fleet of server processes (``chop serve --procs N``, or several
+single-node servers on one NFS export) share one cache directory.  The
+base atomic-rename write already guarantees readers never observe a
+torn entry; this backend adds what concurrent *writers* need on top:
+
+* **advisory per-entry locking** — each store takes an ``fcntl.flock``
+  on a sidecar ``<key>.lock`` file for the compare-and-replace window,
+  so two writers racing on one key serialize instead of doing redundant
+  replaces (on platforms without ``fcntl`` the lock degrades to a
+  no-op and atomic rename alone carries correctness);
+* **compare-digest-discard on collision** — before replacing an
+  existing entry the writer compares content digests; an identical
+  entry (the common case: two workers predicted the same project) is
+  left in place and the write is discarded, counted as
+  ``collisions_discarded``.  Differing digests are last-writer-wins,
+  counted as ``collisions_replaced`` — entries are pure functions of
+  the key, so a difference means a version/model skew worth surfacing;
+* **writer attribution** — every entry records the ``writer`` id
+  (``host:pid``) that produced it, and loads are split into
+  ``hits_local`` / ``hits_remote`` in :meth:`stats`, which is how the
+  distributed benchmark proves cross-worker cache reuse.
+
+Quarantine semantics are inherited unchanged: a corrupt entry is
+renamed to ``*.corrupt`` by whichever reader trips on it first; the
+rename is atomic, so concurrent readers cannot double-quarantine or
+resurrect the entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pathlib
+import pickle
+import socket
+import tempfile
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional, Union
+
+try:  # pragma: no cover - platform probe
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None  # type: ignore[assignment]
+
+from repro.cache.backend import CACHE_VERSION, PredictionCacheBase
+from repro.resilience.retry import RetryPolicy
+
+
+def default_writer_id() -> str:
+    """``host:pid`` — unique per concurrently live writer process."""
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
+class SharedPredictionCache(PredictionCacheBase):
+    """A prediction-cache directory safe under many writer processes."""
+
+    kind = "shared"
+
+    def __init__(
+        self,
+        directory: Union[str, pathlib.Path],
+        version: int = CACHE_VERSION,
+        retry_policy: Optional[RetryPolicy] = None,
+        writer_id: Optional[str] = None,
+    ) -> None:
+        super().__init__(directory, version=version, retry_policy=retry_policy)
+        self.writer_id = writer_id or default_writer_id()
+        self._hits_local = 0
+        self._hits_remote = 0
+        self._collisions_discarded = 0
+        self._collisions_replaced = 0
+
+    # ------------------------------------------------------------------
+    # backend hooks
+    # ------------------------------------------------------------------
+    def _payload(self, key, predictions) -> Dict[str, Any]:
+        payload = super()._payload(key, predictions)
+        payload["writer"] = self.writer_id
+        payload["digest"] = self._digest(payload["predictions"])
+        return payload
+
+    def _write(self, key: str, payload: Dict[str, Any]) -> None:
+        """Compare-and-replace under an advisory per-entry lock.
+
+        The lock only narrows the window in which two writers both
+        decide to replace; correctness never depends on it (atomic
+        ``os.replace`` keeps readers safe even on no-``fcntl``
+        platforms, where :meth:`_entry_lock` is a no-op).
+        """
+        path = self.path_for(key)
+        with self._entry_lock(key):
+            existing = self._existing_digest(path)
+            if existing is not None and existing == payload["digest"]:
+                # An identical entry is already on disk — discard the
+                # write instead of churning the directory.
+                with self._lock:
+                    self._collisions_discarded += 1
+                return
+            if existing is not None:
+                with self._lock:
+                    self._collisions_replaced += 1
+            descriptor, temp_name = tempfile.mkstemp(
+                prefix=".tmp-", suffix=".pkl", dir=self.directory
+            )
+            try:
+                with os.fdopen(descriptor, "wb") as handle:
+                    pickle.dump(payload, handle, pickle.HIGHEST_PROTOCOL)
+                os.replace(temp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+                raise
+
+    def _on_hit(self, payload: Dict[str, Any]) -> None:
+        # Entries written by the plain disk backend carry no writer id;
+        # they did not come from this process, so they count as remote.
+        with self._lock:
+            if payload.get("writer") == self.writer_id:
+                self._hits_local += 1
+            else:
+                self._hits_remote += 1
+
+    # ------------------------------------------------------------------
+    # collision machinery
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _digest(predictions: Dict[str, Any]) -> str:
+        """Content digest of the (already sorted) prediction lists.
+
+        Pickle bytes are not canonical across object provenance: a
+        freshly built graph shares interned strings that a round-tripped
+        copy does not, so ``dumps(fresh) != dumps(loads(dumps(fresh)))``
+        even though the documents are equal.  One normalizing round trip
+        reaches a fixed point, making the digest comparable between a
+        fresh store and an entry re-read from disk (the digestless
+        disk-backend migration path).  A digest mismatch is never a
+        correctness problem — it just turns a discard into a replace.
+        """
+        raw = pickle.dumps(predictions, pickle.HIGHEST_PROTOCOL)
+        canonical = pickle.dumps(
+            pickle.loads(raw), pickle.HIGHEST_PROTOCOL
+        )
+        return hashlib.sha256(canonical).hexdigest()
+
+    def _existing_digest(self, path: pathlib.Path) -> Optional[str]:
+        """Digest of the entry already at ``path``, if readable.
+
+        A missing file means no collision; an unreadable or digestless
+        one (torn by a pre-shared writer, or corrupt) reports a digest
+        that can never match, so the store replaces it.
+        """
+        try:
+            with path.open("rb") as handle:
+                existing = pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            return "<unreadable>"
+        if not isinstance(existing, dict):
+            return "<unreadable>"
+        digest = existing.get("digest")
+        if isinstance(digest, str):
+            return digest
+        # Entries from the disk backend have no digest field; compute
+        # one so an identical migration write is still discarded.
+        predictions = existing.get("predictions")
+        if isinstance(predictions, dict):
+            try:
+                return self._digest(predictions)
+            except Exception:
+                return "<unreadable>"
+        return "<unreadable>"
+
+    @contextmanager
+    def _entry_lock(self, key: str) -> Iterator[None]:
+        """Advisory inter-process lock for one entry's write window."""
+        if fcntl is None:
+            yield
+            return
+        lock_path = self.directory / f"{key}.lock"
+        try:
+            handle = open(lock_path, "a+b")
+        except OSError:
+            # The lock is an optimization; a directory that refuses the
+            # sidecar file still gets correct atomic-rename stores.
+            yield
+            return
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            yield
+        finally:
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+            finally:
+                handle.close()
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        doc = super().stats()
+        with self._lock:
+            doc["writer_id"] = self.writer_id
+            doc["hits_local"] = self._hits_local
+            doc["hits_remote"] = self._hits_remote
+            doc["collisions_discarded"] = self._collisions_discarded
+            doc["collisions_replaced"] = self._collisions_replaced
+        return doc

@@ -142,9 +142,11 @@ def _checked(session, heuristic: str, args):
             heuristic=heuristic, engine=engine,
             soft_deadline_s=soft_deadline, kernel=kernel,
         )
-    from repro.engine import DiskPredictionCache
+    from repro.cache import create_backend
 
-    cache = DiskPredictionCache(cache_dir)
+    cache = create_backend(
+        getattr(args, "cache_backend", None) or "auto", cache_dir
+    )
     key = cache.key_for(
         project_fingerprint(session_to_dict(session)),
         session.library,
@@ -408,9 +410,12 @@ def _cmd_explore(args: argparse.Namespace) -> int:
 
     disk_cache = None
     if args.disk_cache:
-        from repro.engine import DiskPredictionCache
+        from repro.cache import create_backend
 
-        disk_cache = DiskPredictionCache(args.disk_cache)
+        disk_cache = create_backend(
+            getattr(args, "cache_backend", None) or "auto",
+            args.disk_cache,
+        )
 
     trace_path = getattr(args, "trace", None)
     tracer = None
@@ -604,24 +609,46 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     # $CHOP_LOG / $CHOP_LOG_FILE select level and sink; unset stays off.
     configure_logging()
-    service = ChopService(
-        cache_size=args.cache_size,
-        max_sessions=args.max_sessions,
-        workers=args.workers,
-        job_timeout_s=args.job_timeout,
-        search_workers=args.search_workers,
-        disk_cache_dir=args.disk_cache,
-        start_method=args.start_method,
-        engine_kernel=args.engine,
-        max_queued=args.max_queued,
-        max_jobs_per_session=args.max_session_jobs,
-        max_body_bytes=args.max_body_kb * 1024,
-        drain_timeout_s=args.drain_timeout,
-        slo_latency_ms=args.slo_latency_ms,
-        slo_error_rate=args.slo_error_rate,
-        flight_capacity=args.flight_capacity,
-        flight_dir=args.flight_dir,
-    )
+
+    def _make_service(fleet=None) -> "ChopService":
+        return ChopService(
+            cache_size=args.cache_size,
+            max_sessions=args.max_sessions,
+            workers=args.workers,
+            job_timeout_s=args.job_timeout,
+            search_workers=args.search_workers,
+            disk_cache_dir=args.disk_cache,
+            cache_backend=args.cache_backend,
+            start_method=args.start_method,
+            engine_kernel=args.engine,
+            max_queued=args.max_queued,
+            max_jobs_per_session=args.max_session_jobs,
+            max_body_bytes=args.max_body_kb * 1024,
+            drain_timeout_s=args.drain_timeout,
+            slo_latency_ms=args.slo_latency_ms,
+            slo_error_rate=args.slo_error_rate,
+            flight_capacity=args.flight_capacity,
+            flight_dir=args.flight_dir,
+            fleet=fleet,
+        )
+
+    if args.procs > 1:
+        # Multi-process front: the parent binds once and forks workers;
+        # each worker builds its own shared-nothing service after the
+        # fork (see repro.service.fleet).  The parent relays SIGTERM to
+        # the fleet and exits 0 only when every worker drained cleanly.
+        from repro.service.fleet import serve_fleet
+
+        return serve_fleet(
+            _make_service,
+            host=args.host,
+            port=args.port,
+            procs=args.procs,
+            drain_timeout_s=args.drain_timeout,
+            announce=lambda line: print(line, flush=True),
+        )
+
+    service = _make_service()
     server = make_server(service, host=args.host, port=args.port)
     # port 0 binds an ephemeral port; report the one actually bound so
     # wrappers (tests, orchestrators) can parse it from the first line.
@@ -745,6 +772,13 @@ def _add_engine_arguments(command: argparse.ArgumentParser) -> None:
         "--disk-cache", default=None, metavar="DIR",
         help="persist BAD prediction lists under DIR and reuse them on "
         "identical reruns",
+    )
+    command.add_argument(
+        "--cache-backend", choices=("auto", "disk", "shared"),
+        default="auto",
+        help="prediction-cache backend for --disk-cache: 'disk' "
+        "(single writer), 'shared' (safe under concurrent writer "
+        "processes), or 'auto' (default)",
     )
     command.add_argument(
         "--dry-run", action="store_true",
@@ -954,6 +988,11 @@ def build_parser() -> argparse.ArgumentParser:
         "repeated sweeps are warm",
     )
     explore_.add_argument(
+        "--cache-backend", choices=("auto", "disk", "shared"),
+        default="auto",
+        help="prediction-cache backend for --disk-cache (default auto)",
+    )
+    explore_.add_argument(
         "--trace", default=None, metavar="PATH",
         help="write the explore.* span tree as JSONL to PATH",
     )
@@ -1067,6 +1106,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--disk-cache", default=None, metavar="DIR",
         help="persist BAD prediction lists under DIR so identical "
         "projects skip prediction across restarts",
+    )
+    serve_.add_argument(
+        "--cache-backend", choices=("auto", "disk", "shared"),
+        default="auto",
+        help="prediction-cache backend for --disk-cache: 'auto' picks "
+        "'shared' (multi-writer safe) when --procs > 1 and 'disk' "
+        "otherwise",
+    )
+    serve_.add_argument(
+        "--procs", type=int, default=1,
+        help="worker processes sharing the bound port (SO_REUSEPORT "
+        "where available); requests route stickily by project "
+        "fingerprint, /metrics aggregates the fleet, SIGTERM drains "
+        "every worker (default 1: classic single process)",
     )
     serve_.add_argument(
         "--start-method", choices=("fork", "spawn", "forkserver"),

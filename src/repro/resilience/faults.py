@@ -19,10 +19,14 @@ Site semantics:
                       serial retry path does not re-fire it)
 ``shard_exit=N``      hard ``os._exit(13)`` of the worker holding shard
                       ``N`` — a true process death, breaks the pool
-``cache_store=K``     ``InjectedFault`` on the first ``K`` disk-cache
-                      writes of this process
-``cache_load=K``      ``InjectedFault`` on the first ``K`` disk-cache
-                      reads of this process (observed as a miss)
+``cache_store=K``     ``InjectedFault`` on the first ``K`` prediction-
+                      cache writes of this process — the site sits in
+                      the :class:`repro.cache.CacheBackend` interface
+                      layer, so it fires for every backend (disk,
+                      shared multi-writer)
+``cache_load=K``      ``InjectedFault`` on the first ``K`` prediction-
+                      cache reads of this process (observed as a miss),
+                      likewise backend-agnostic
 ``cache_store_delay=S``  sleep ``S`` seconds before every cache write
 ``job=K``             ``InjectedFault`` in the first ``K`` service job
                       bodies of this process

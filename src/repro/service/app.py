@@ -61,7 +61,8 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Mapping, Optional, Tuple
 
-from repro.engine import DiskPredictionCache, EvaluationEngine
+from repro.cache import PredictionCacheBase, create_backend
+from repro.engine import EvaluationEngine
 from repro.errors import (
     ChopError,
     DrainingError,
@@ -128,6 +129,7 @@ class ChopService:
         job_timeout_s: Optional[float] = 300.0,
         search_workers: int = 0,
         disk_cache_dir: Optional[str] = None,
+        cache_backend: str = "auto",
         start_method: Optional[str] = None,
         engine_kernel: str = "scalar",
         max_queued: Optional[int] = 64,
@@ -140,6 +142,7 @@ class ChopService:
         flight_capacity: int = 256,
         flight_dir: Optional[str] = None,
         registry: Optional[MetricsRegistry] = None,
+        fleet: Optional[Any] = None,
     ) -> None:
         if max_body_bytes < 1:
             raise ValueError(
@@ -151,6 +154,10 @@ class ChopService:
         self.log = get_logger("service")
         self.retry_stats = RetryStats()
         self._draining = threading.Event()
+        #: The fleet router when this service is one worker of a
+        #: multi-process front (see :mod:`repro.service.fleet`); None
+        #: in the classic single-process deployment.
+        self.fleet = fleet
         self.sessions = SessionRegistry(capacity=max_sessions)
         self.cache = LRUCache(capacity=cache_size)
         self.jobs = JobQueue(
@@ -158,6 +165,7 @@ class ChopService:
             default_timeout_s=job_timeout_s,
             max_queued=max_queued,
             max_per_session=max_jobs_per_session,
+            id_prefix=(fleet.job_prefix if fleet is not None else ""),
             retry_policy=(
                 job_retry
                 if job_retry is not None
@@ -181,8 +189,13 @@ class ChopService:
             if search_workers > 1
             else None
         )
-        self.disk_cache: Optional[DiskPredictionCache] = (
-            DiskPredictionCache(disk_cache_dir)
+        # The prediction cache is backend-pluggable (repro.cache):
+        # "auto" resolves to the multi-writer shared backend whenever
+        # this service is one worker of a fleet, the single-writer disk
+        # backend otherwise.
+        writers = fleet.workers if fleet is not None else 1
+        self.disk_cache: Optional[PredictionCacheBase] = (
+            create_backend(cache_backend, disk_cache_dir, writers=writers)
             if disk_cache_dir
             else None
         )
@@ -206,6 +219,8 @@ class ChopService:
             self.metrics.register_gauges(
                 "disk_cache", self.disk_cache.stats
             )
+        if fleet is not None:
+            self.metrics.register_gauges("fleet", fleet.stats)
         self._auto_lock = threading.Lock()
         self._auto_stats: Dict[str, int] = {
             "jobs": 0, "feasible": 0, "infeasible": 0, "clones": 0,
@@ -255,6 +270,7 @@ class ChopService:
         path: str,
         body: Optional[bytes],
         trace_id: Optional[str] = None,
+        internal: bool = False,
     ) -> Response:
         """Serve one request; returns (status, payload, route, headers).
 
@@ -265,6 +281,11 @@ class ChopService:
         with the server-side span tree.  The headers dict carries
         backpressure hints — ``Retry-After`` on 429 (queue or session
         quota) and 503 (draining).
+
+        In a fleet, a sticky request owned by another worker is
+        forwarded to that worker's internal listener; ``internal``
+        marks requests arriving *on* the internal listener, which are
+        always served locally (forwarding never chains).
         """
         fallback = f"{method} {path}"
         try:
@@ -278,8 +299,14 @@ class ChopService:
                     f"{self.max_body_bytes}-byte cap",
                     kind="body_too_large",
                 )
+            if self.fleet is not None and not internal:
+                owner = self.fleet.owner_for(method, path, body)
+                if owner is not None and owner != self.fleet.index:
+                    return self.fleet.forward(
+                        owner, method, path, body, trace_id
+                    )
             status, payload, route = self._route(
-                method, path, body, trace_id
+                method, path, body, trace_id, internal=internal
             )
             return status, payload, route, {}
         except ServiceError as exc:
@@ -328,6 +355,7 @@ class ChopService:
         path: str,
         body: Optional[bytes],
         trace_id: Optional[str] = None,
+        internal: bool = False,
     ) -> _Routed:
         path, _, query = path.partition("?")
         parts = [p for p in path.split("/") if p]
@@ -336,7 +364,7 @@ class ChopService:
         if method == "GET" and parts == ["readyz"]:
             return self._readyz() + ("GET /readyz",)
         if method == "GET" and parts == ["metrics"]:
-            return 200, self._metrics(query), "GET /metrics"
+            return 200, self._metrics(query, internal), "GET /metrics"
         if method == "GET" and parts == ["slo"]:
             return 200, self.slo.evaluate(), "GET /slo"
         if method == "GET" and parts == ["debug", "recent"]:
@@ -408,17 +436,32 @@ class ChopService:
             return 503, {"status": "draining"}
         return 200, {"status": "ready"}
 
-    def _metrics(self, query: str = "") -> Any:
+    def _metrics(self, query: str = "", internal: bool = False) -> Any:
         # Refresh the SLO burn gauges so every scrape (either format)
         # carries the current objective state.
         self.slo.evaluate()
+        # In a fleet, any worker serves the whole fleet's metrics by
+        # scraping its peers' internal listeners and merging; the
+        # internal scrape itself (and an explicit ?scope=local) stays
+        # single-worker so the recursion bottoms out.
+        aggregate = (
+            self.fleet is not None
+            and not internal
+            and "scope=local" not in query
+        )
         if "format=prometheus" in query:
             # The text exposition renders the shared registry directly;
             # subsystem stats() suppliers are registered pull-gauges.
-            return render_registry(self.registry)
+            text = render_registry(self.registry)
+            if aggregate:
+                return self.fleet.aggregate_prometheus(text)
+            return text
         # Legacy JSON shape: per-route sample percentiles plus the
         # registered subsystem gauge suppliers.
-        return self.metrics.snapshot()
+        snapshot = self.metrics.snapshot()
+        if aggregate:
+            return self.fleet.aggregate_json(snapshot)
+        return snapshot
 
     def _recent(self, query: str = "") -> Dict[str, Any]:
         """The flight recorder's newest records, for ``/debug/recent``."""
@@ -1028,6 +1071,9 @@ class _Handler(BaseHTTPRequestHandler):
     service: ChopService  # injected by make_server
     quiet = True
     protocol_version = "HTTP/1.1"
+    #: True on a fleet worker's internal (forwarding) listener — those
+    #: requests are always served locally, never re-forwarded.
+    internal = False
 
     # Route through one dispatcher per method.
     def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
@@ -1061,6 +1107,13 @@ class _Handler(BaseHTTPRequestHandler):
             status, payload, route, extra = self.service.handle(
                 method, self.path, body,
                 trace_id=self.headers.get("X-Trace-Id"),
+                internal=self.internal,
+            )
+        if self.service.fleet is not None:
+            # Which worker *answered* — forwarded responses keep the
+            # owner's stamp; locally served ones get this worker's.
+            extra.setdefault(
+                "X-Chop-Worker", str(self.service.fleet.index)
             )
         if isinstance(payload, str):
             # Pre-rendered text (the Prometheus exposition format).

@@ -32,6 +32,7 @@ class LRUCache:
         self._entries: "OrderedDict[Hashable, Future]" = OrderedDict()
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
 
     # ------------------------------------------------------------------
     # core API
@@ -58,6 +59,7 @@ class LRUCache:
                 leader = True
                 while len(self._entries) > self.capacity:
                     self._entries.popitem(last=False)
+                    self._evictions += 1
         if leader:
             try:
                 future.set_result(factory())
@@ -105,6 +107,7 @@ class LRUCache:
                 "size": len(self._entries),
                 "hits": self._hits,
                 "misses": self._misses,
+                "evictions": self._evictions,
                 "hit_rate": (self._hits / total) if total else 0.0,
             }
 

@@ -125,6 +125,7 @@ class JobQueue:
         max_per_session: Optional[int] = None,
         retry_policy: Optional[RetryPolicy] = None,
         retry_stats: Optional[RetryStats] = None,
+        id_prefix: str = "",
     ) -> None:
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
@@ -145,6 +146,10 @@ class JobQueue:
         #: disables retries (first failure is terminal).
         self.retry_policy = retry_policy
         self.retry_stats = retry_stats
+        #: Prepended to every job id.  The fleet front gives each worker
+        #: process ``w{index}-`` so a job id names its owning worker and
+        #: ``GET /jobs/{id}`` can be routed without shared state.
+        self.id_prefix = id_prefix
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="chop-job"
         )
@@ -152,6 +157,8 @@ class JobQueue:
         self._jobs: Dict[str, Job] = {}
         self._counter = 0
         self._draining = False
+        self._rejected_queue_full = 0
+        self._rejected_session_quota = 0
 
     @property
     def draining(self) -> bool:
@@ -196,6 +203,7 @@ class JobQueue:
                 1 for j in self._jobs.values() if j.state == QUEUED
             )
             if self.max_queued is not None and queued >= self.max_queued:
+                self._rejected_queue_full += 1
                 raise QueueFullError(
                     f"job queue is full ({queued} queued, cap "
                     f"{self.max_queued}); retry later",
@@ -209,6 +217,7 @@ class JobQueue:
                     and j.state in (QUEUED, RUNNING)
                 )
                 if active >= self.max_per_session:
+                    self._rejected_session_quota += 1
                     raise QueueFullError(
                         f"session {session_key!r} already has {active} "
                         f"active jobs (cap {self.max_per_session}); "
@@ -217,7 +226,7 @@ class JobQueue:
                     )
             self._counter += 1
             job = Job(
-                id=f"job-{self._counter}",
+                id=f"{self.id_prefix}job-{self._counter}",
                 kind=kind,
                 timeout_s=timeout_s,
                 session_key=session_key,
@@ -307,12 +316,16 @@ class JobQueue:
         with self._lock:
             states = [job.state for job in self._jobs.values()]
             draining = self._draining
+            rejected_full = self._rejected_queue_full
+            rejected_quota = self._rejected_session_quota
         return {
             "queued": states.count(QUEUED),
             "running": states.count(RUNNING),
             "total": len(states),
             "max_queued": self.max_queued,
             "draining": draining,
+            "rejected_queue_full": rejected_full,
+            "rejected_session_quota": rejected_quota,
         }
 
     def wait(self, job_id: str, timeout: float = 30.0) -> Job:

@@ -173,14 +173,30 @@ class TestEngineShardRecovery:
 
 
 # ----------------------------------------------------------------------
-# disk cache: transient write errors retried, reads degrade to a miss
+# prediction cache: transient write errors retried, reads degrade to a
+# miss — the cache_store/cache_load fault sites live in the backend
+# interface (repro.cache.backend), so every backend shares the same
+# injection and recovery branches; parametrizing proves it.
 # ----------------------------------------------------------------------
-class TestDiskCacheFaults:
+@pytest.fixture(params=["disk", "shared"])
+def cache_cls(request):
+    from repro.cache import create_backend, resolve_backend_kind
+
+    kind = request.param
+    assert resolve_backend_kind(kind) == kind
+
+    def build(directory, **kwargs):
+        return create_backend(kind, directory, **kwargs)
+
+    return build
+
+
+class TestCacheBackendFaults:
     def test_store_retries_through_injected_faults(
-        self, tmp_path, monkeypatch
+        self, tmp_path, monkeypatch, cache_cls
     ):
         session = experiment1_session(partition_count=2)
-        cache = DiskPredictionCache(
+        cache = cache_cls(
             tmp_path,
             retry_policy=RetryPolicy(
                 max_attempts=3, base_delay_s=0.001, jitter=0.0
@@ -195,10 +211,10 @@ class TestDiskCacheFaults:
         assert stats["store_failures"] == 0
 
     def test_store_exhaustion_raises_and_store_safely_swallows(
-        self, tmp_path, monkeypatch
+        self, tmp_path, monkeypatch, cache_cls
     ):
         session = experiment1_session(partition_count=2)
-        cache = DiskPredictionCache(
+        cache = cache_cls(
             tmp_path,
             retry_policy=RetryPolicy(
                 max_attempts=2, base_delay_s=0.001, jitter=0.0
@@ -217,9 +233,11 @@ class TestDiskCacheFaults:
         assert cache.store_safely(key, exported) is False
         assert cache.stats()["store_failures"] == 2
 
-    def test_injected_read_fault_is_a_miss(self, tmp_path, monkeypatch):
+    def test_injected_read_fault_is_a_miss(
+        self, tmp_path, monkeypatch, cache_cls
+    ):
         session = experiment1_session(partition_count=2)
-        cache = DiskPredictionCache(tmp_path)
+        cache = cache_cls(tmp_path)
         key = cache.key_for("fp", session.library, session.clocks)
         cache.store(key, session.export_predictions())
 
